@@ -1,0 +1,351 @@
+// The benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (Section 9 and Appendix B), plus ablation benchmarks for the
+// design choices DESIGN.md calls out. Each benchmark runs the corresponding
+// experiment and reports the headline quantities via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the whole evaluation. The UNTANGLE_BENCH_SCALE environment
+// variable (default 0.002) trades fidelity for time; the numbers recorded in
+// EXPERIMENTS.md use 0.01.
+package untangle_test
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"untangle/internal/covert"
+	"untangle/internal/experiments"
+	"untangle/internal/partition"
+	"untangle/internal/stats"
+	"untangle/internal/workload"
+)
+
+func benchScale() float64 {
+	if v := os.Getenv("UNTANGLE_BENCH_SCALE"); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil && f > 0 && f <= 1 {
+			return f
+		}
+	}
+	return 0.002
+}
+
+func sensitivityInstructions() uint64 {
+	// Scale the steady-state sensitivity runs with the bench scale, with a
+	// floor that keeps the classification meaningful.
+	n := uint64(150_000_000 * benchScale())
+	if n < 600_000 {
+		n = 600_000
+	}
+	return n
+}
+
+// reportMixMetrics attaches the Figure 10-style headline metrics.
+func reportMixMetrics(b *testing.B, res *experiments.MixResult) {
+	b.Helper()
+	for _, kind := range []partition.Kind{partition.TimeBased, partition.Untangle, partition.Shared} {
+		speed, err := res.SystemSpeedup(kind)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(speed, "speedup-"+kind.String())
+	}
+	for _, kind := range []partition.Kind{partition.TimeBased, partition.Untangle} {
+		leak, err := res.LeakagePerAssessment(kind)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(stats.Mean(leak), "bits/assess-"+kind.String())
+	}
+	mf, err := res.MaintainFraction(partition.Untangle)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(mf, "maintain-frac")
+}
+
+func benchmarkMix(b *testing.B, mixID int) {
+	mix, err := workload.MixByID(mixID)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var res *experiments.MixResult
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.RunMix(mix, experiments.Options{Scale: benchScale()})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportMixMetrics(b, res)
+}
+
+// Figure 10: the four highlighted mixes.
+
+func BenchmarkFigure10Mix1(b *testing.B) { benchmarkMix(b, 1) }
+func BenchmarkFigure10Mix2(b *testing.B) { benchmarkMix(b, 2) }
+func BenchmarkFigure10Mix3(b *testing.B) { benchmarkMix(b, 3) }
+func BenchmarkFigure10Mix4(b *testing.B) { benchmarkMix(b, 4) }
+
+// Figures 12-17: the remaining twelve mixes, one sub-benchmark each.
+func BenchmarkFigures12to17(b *testing.B) {
+	for id := 5; id <= 16; id++ {
+		b.Run(fmt.Sprintf("Mix%d", id), func(b *testing.B) { benchmarkMix(b, id) })
+	}
+}
+
+// Figure 11: the LLC-sensitivity study over all 36 benchmarks.
+func BenchmarkFigure11Sensitivity(b *testing.B) {
+	var study []experiments.SensitivityResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		study, err = experiments.SensitivityStudy(sensitivityInstructions())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	sensitive := 0
+	for _, r := range study {
+		if r.Sensitive {
+			sensitive++
+		}
+	}
+	b.ReportMetric(float64(sensitive), "llc-sensitive")
+	b.ReportMetric(float64(len(study)), "benchmarks")
+}
+
+// Table 6: average and total leakage for Mixes 1-4 under Time and Untangle.
+func BenchmarkTable6Leakage(b *testing.B) {
+	var rows []experiments.Table6Row
+	for i := 0; i < b.N; i++ {
+		rows = rows[:0]
+		for id := 1; id <= 4; id++ {
+			mix, err := workload.MixByID(id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := experiments.RunMix(mix, experiments.Options{
+				Scale: benchScale(),
+				Kinds: []partition.Kind{partition.Static, partition.TimeBased, partition.Untangle},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			row, err := res.Table6()
+			if err != nil {
+				b.Fatal(err)
+			}
+			rows = append(rows, row)
+		}
+	}
+	var reduction, timeTotal, unTotal float64
+	for _, r := range rows {
+		reduction += r.ReductionPerAssessment
+		timeTotal += r.TimeAvgTotal
+		unTotal += r.UntangleAvgTotal
+	}
+	n := float64(len(rows))
+	b.ReportMetric(100*reduction/n, "reduction-%")
+	b.ReportMetric(timeTotal/n, "time-total-bits")
+	b.ReportMetric(unTotal/n, "untangle-total-bits")
+}
+
+// Section 9, active attacker: Untangle without the Maintain optimization.
+func BenchmarkActiveAttacker(b *testing.B) {
+	var rates []float64
+	for i := 0; i < b.N; i++ {
+		rates = rates[:0]
+		for id := 1; id <= 4; id++ {
+			mix, err := workload.MixByID(id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := experiments.RunMix(mix, experiments.Options{
+				Scale:               benchScale(),
+				Kinds:               []partition.Kind{partition.Untangle},
+				WorstCaseAccounting: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			leak, err := res.LeakagePerAssessment(partition.Untangle)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rates = append(rates, stats.Mean(leak))
+		}
+	}
+	b.ReportMetric(stats.Mean(rates), "bits/assess-worst")
+}
+
+// Section 1 motivation: dynamic schemes track a bursty workload's demand
+// swings; Static cannot. Reports the bursty workload's IPC per scheme.
+func BenchmarkAdaptationBurstyWorkload(b *testing.B) {
+	var results []experiments.AdaptationResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		results, err = experiments.Adaptation(benchScale(), uint64(550_000_000*benchScale()))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range results {
+		b.ReportMetric(r.BurstyIPC, "bursty-ipc-"+r.Kind.String())
+	}
+}
+
+// Appendix A: the R'max table computation itself.
+func BenchmarkRmaxComputation(b *testing.B) {
+	cfg := covert.DefaultTableConfig()
+	cfg.MaxMaintains = 8
+	var tbl *covert.RateTable
+	var err error
+	for i := 0; i < b.N; i++ {
+		tbl, err = covert.NewRateTable(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(tbl.Entry(0).RatePerSecond, "rmax0-bits/s")
+	b.ReportMetric(tbl.Entry(0).BitsPerTransmission, "bits/resize-0")
+	b.ReportMetric(tbl.Entry(tbl.Len()-1).BitsPerTransmission, "bits/resize-max")
+}
+
+// Ablation: the cooldown Tc sweep (Mechanism 1). Longer cooldowns lower the
+// per-resize charge's rate bound.
+func BenchmarkAblationCooldown(b *testing.B) {
+	for _, tc := range []time.Duration{500 * time.Microsecond, time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond} {
+		b.Run(tc.String(), func(b *testing.B) {
+			cfg := covert.TableConfig{
+				Unit: tc / 40, Cooldown: tc, DelayWidth: time.Millisecond, MaxMaintains: 0,
+			}
+			var tbl *covert.RateTable
+			var err error
+			for i := 0; i < b.N; i++ {
+				tbl, err = covert.NewRateTable(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(tbl.Entry(0).RatePerSecond, "rmax-bits/s")
+		})
+	}
+}
+
+// Ablation: the end-to-end cooldown trade-off of Section 5.3.2, at the
+// simulation level: leakage rate falls with Tc while adaptivity (and hence
+// performance headroom) shrinks.
+func BenchmarkAblationCooldownEndToEnd(b *testing.B) {
+	mix, err := workload.MixByID(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var points []experiments.CooldownPoint
+	for i := 0; i < b.N; i++ {
+		points, err = experiments.CooldownSweep(mix, benchScale(), []float64{1, 4, 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range points {
+		b.ReportMetric(p.BitsPerSecond, fmt.Sprintf("bits/s-Tc-x%g", p.Multiplier))
+		b.ReportMetric(p.Speedup, fmt.Sprintf("speedup-Tc-x%g", p.Multiplier))
+	}
+}
+
+// Ablation: the random-delay width sweep (Mechanism 2). Wider delays lower
+// the rate bound.
+func BenchmarkAblationDelayWidth(b *testing.B) {
+	for _, w := range []time.Duration{250 * time.Microsecond, time.Millisecond, 4 * time.Millisecond} {
+		b.Run(w.String(), func(b *testing.B) {
+			cfg := covert.TableConfig{
+				Unit: 25 * time.Microsecond, Cooldown: time.Millisecond, DelayWidth: w, MaxMaintains: 0,
+			}
+			var tbl *covert.RateTable
+			var err error
+			for i := 0; i < b.N; i++ {
+				tbl, err = covert.NewRateTable(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(tbl.Entry(0).RatePerSecond, "rmax-bits/s")
+		})
+	}
+}
+
+// Ablation: set partitioning (9 sizes down to 128kB, the paper's choice)
+// versus classic way partitioning (whole 1MB ways). Coarser actions shrink
+// the Time baseline's per-assessment charge (log2 8 vs log2 9) but waste
+// capacity on small working sets.
+func BenchmarkAblationPartitionGranularity(b *testing.B) {
+	mix, err := workload.MixByID(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, way := range []bool{false, true} {
+		name := "set-partitioned"
+		if way {
+			name = "way-partitioned"
+		}
+		b.Run(name, func(b *testing.B) {
+			var res *experiments.MixResult
+			for i := 0; i < b.N; i++ {
+				res, err = experiments.RunMix(mix, experiments.Options{
+					Scale:          benchScale(),
+					Kinds:          []partition.Kind{partition.Static, partition.TimeBased, partition.Untangle},
+					WayPartitioned: way,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			speed, err := res.SystemSpeedup(partition.Untangle)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(speed, "speedup")
+			leak, _ := res.LeakagePerAssessment(partition.Untangle)
+			b.ReportMetric(stats.Mean(leak), "bits/assess")
+		})
+	}
+}
+
+// Ablation: annotations off (Edge 1 of Figure 2 restored). Performance is
+// essentially unchanged, but the action sequence becomes secret-dependent —
+// reported here through the count of visible actions, which grows when
+// secret demand perturbs the metric.
+func BenchmarkAblationAnnotations(b *testing.B) {
+	mix, err := workload.MixByID(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, annotated := range []bool{true, false} {
+		name := "annotated"
+		if !annotated {
+			name = "unannotated"
+		}
+		b.Run(name, func(b *testing.B) {
+			var res *experiments.MixResult
+			for i := 0; i < b.N; i++ {
+				res, err = experiments.RunMix(mix, experiments.Options{
+					Scale:              benchScale(),
+					Kinds:              []partition.Kind{partition.Static, partition.Untangle},
+					DisableAnnotations: !annotated,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			speed, err := res.SystemSpeedup(partition.Untangle)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(speed, "speedup")
+			mf, _ := res.MaintainFraction(partition.Untangle)
+			b.ReportMetric(mf, "maintain-frac")
+		})
+	}
+}

@@ -1,0 +1,175 @@
+// Command annotate is the victim-program toolchain (Sections 2.1, 4, 6.5):
+// it parses a program written in the mini-language, runs the taint analysis
+// that derives the Untangle annotations, reports what was found, and can
+// compile the program with concrete inputs into an annotated binary trace
+// ready for the simulator.
+//
+// Usage:
+//
+//	annotate victim.unt                           # analyze, print the report
+//	annotate -input secret=1 victim.unt           # also execute and summarize the stream
+//	annotate -input secret=1 -out victim.trace victim.unt
+//
+// Program syntax (see internal/lang):
+//
+//	array arr[32768]        # 64-byte elements (x8 etc. overrides)
+//	secret key              # taint source
+//	param  n
+//	if key % 2 { for i in 0..32768 { load x = arr[i] } }
+//	spin 1000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"untangle/internal/isa"
+	"untangle/internal/lang"
+)
+
+type inputFlags map[string]int64
+
+func (f inputFlags) String() string { return fmt.Sprint(map[string]int64(f)) }
+
+func (f inputFlags) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want name=value, got %q", s)
+	}
+	v, err := strconv.ParseInt(val, 10, 64)
+	if err != nil {
+		return err
+	}
+	f[name] = v
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("annotate: ")
+	inputs := inputFlags{}
+	var (
+		out    = flag.String("out", "", "compile to this annotated trace file (requires -input for every parameter)")
+		budget = flag.Int64("max-instructions", 50_000_000, "interpreter instruction budget")
+	)
+	flag.Var(inputs, "input", "parameter value as name=value (repeatable)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := lang.Parse(string(src))
+	if err != nil {
+		log.Fatal(err)
+	}
+	analysis, err := lang.Analyze(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s: %d arrays, %d parameters, analysis results:\n", flag.Arg(0), len(prog.Arrays), len(prog.Params))
+	for _, p := range prog.Params {
+		kind := "public parameter"
+		if p.Secret {
+			kind = "SECRET parameter (taint source)"
+		}
+		fmt.Printf("  %-16s %s\n", p.Name, kind)
+	}
+	var names []string
+	for v := range analysis.VarTaint {
+		names = append(names, v)
+	}
+	sort.Strings(names)
+	for _, v := range names {
+		if isParam(prog, v) {
+			continue
+		}
+		fmt.Printf("  %-16s scalar: %s\n", v, taintWord(analysis.VarTaint[v]))
+	}
+	for _, a := range prog.Arrays {
+		fmt.Printf("  %-16s array:  %s\n", a.Name, taintWord(analysis.ArrayTaint[a.Name]))
+	}
+
+	if len(inputs) == 0 {
+		return
+	}
+	exec, err := lang.NewExec(prog, inputs, *budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var ops, instr, mem, secretUse, secretProg uint64
+	buf := make([]isa.Op, 4096)
+	var w *isa.TraceWriter
+	var f *os.File
+	if *out != "" {
+		f, err = os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w, err = isa.NewTraceWriter(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	for {
+		n := exec.Fill(buf)
+		if n == 0 {
+			break
+		}
+		for _, op := range buf[:n] {
+			ops++
+			instr += op.Instructions()
+			if op.IsMem() {
+				mem++
+			}
+			if op.SecretUse() {
+				secretUse++
+			}
+			if op.SecretProgress() {
+				secretProg++
+			}
+			if w != nil {
+				if err := w.WriteOp(op); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+	}
+	if w != nil {
+		if err := w.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *out)
+	}
+	fmt.Printf("\nexecution with %v:\n", inputs)
+	fmt.Printf("  retired instructions  %d\n", instr)
+	fmt.Printf("  memory accesses       %d\n", mem)
+	fmt.Printf("  usage-excluded ops    %d (FlagSecretUse)\n", secretUse)
+	fmt.Printf("  progress-excluded ops %d (FlagSecretProgress)\n", secretProg)
+}
+
+func isParam(p *lang.Program, name string) bool {
+	for _, prm := range p.Params {
+		if prm.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func taintWord(t lang.Taint) string {
+	if t {
+		return "SECRET"
+	}
+	return "public"
+}

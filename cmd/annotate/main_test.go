@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestInputFlags(t *testing.T) {
+	f := inputFlags{}
+	if err := f.Set("key=42"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Set("n=-3"); err != nil {
+		t.Fatal(err)
+	}
+	if f["key"] != 42 || f["n"] != -3 {
+		t.Errorf("flags = %v", f)
+	}
+	if err := f.Set("noequals"); err == nil {
+		t.Error("missing '=' accepted")
+	}
+	if err := f.Set("k=notanumber"); err == nil {
+		t.Error("bad value accepted")
+	}
+	if f.String() == "" {
+		t.Error("String() empty")
+	}
+}

@@ -1,0 +1,144 @@
+// Command experiments runs the complete evaluation of the paper — the
+// Figure 11 sensitivity study, all 16 workload mixes of Figures 10 and
+// 12-17 under the four schemes, the Table 6 leakage summary, and the
+// Section 9 active-attacker measurement — and prints everything in the
+// paper's layout. The -out flag additionally writes the same report to a
+// file (used to regenerate EXPERIMENTS.md's measured columns).
+//
+// Usage:
+//
+//	experiments -scale 0.01                 # all mixes, laptop-sized
+//	experiments -scale 0.01 -mixes 1,2,3,4  # just the Figure 10 mixes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"untangle/internal/experiments"
+	"untangle/internal/partition"
+	"untangle/internal/report"
+	"untangle/internal/stats"
+	"untangle/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		scale   = flag.Float64("scale", 0.01, "scale factor (1.0 = paper fidelity)")
+		mixList = flag.String("mixes", "", "comma-separated mix ids (default: all 16)")
+		sensIns = flag.Uint64("sensitivity-instructions", 1_500_000, "instructions per sensitivity run (0 skips Figure 11)")
+		outPath = flag.String("out", "", "also write the report to this file")
+		skipAct = flag.Bool("skip-active", false, "skip the active-attacker accounting runs")
+	)
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	ids, err := parseMixes(*mixList)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Figure 11.
+	var study []experiments.SensitivityResult
+	if *sensIns > 0 {
+		log.Printf("running Figure 11 sensitivity study (%d instructions per point)...", *sensIns)
+		study, err = experiments.SensitivityStudy(*sensIns)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(w, report.Figure11(study))
+	}
+
+	// Figures 10 and 12-17 plus Table 6 inputs.
+	var rows []experiments.Table6Row
+	var activeRates, maintainFracs []float64
+	for _, id := range ids {
+		mix, err := workload.MixByID(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("running mix %d at scale %v...", id, *scale)
+		res, err := experiments.RunMix(mix, experiments.Options{Scale: *scale})
+		if err != nil {
+			log.Fatal(err)
+		}
+		group, err := report.MixGroup(res, study)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(w, group)
+		row, err := res.Table6()
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, row)
+		maintainFracs = append(maintainFracs, row.UntangleMaintainFrac)
+
+		if !*skipAct {
+			log.Printf("running mix %d with worst-case (active-attacker) accounting...", id)
+			act, err := experiments.RunMix(mix, experiments.Options{
+				Scale:               *scale,
+				Kinds:               []partition.Kind{partition.Untangle},
+				WorstCaseAccounting: true,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			leak, err := act.LeakagePerAssessment(partition.Untangle)
+			if err != nil {
+				log.Fatal(err)
+			}
+			activeRates = append(activeRates, stats.Mean(leak))
+		}
+	}
+
+	fmt.Fprintln(w, report.Table6(rows))
+	var redSum float64
+	for _, r := range rows {
+		redSum += r.ReductionPerAssessment
+	}
+	if len(rows) > 0 {
+		fmt.Fprintf(w, "Average per-assessment leakage reduction (Untangle vs Time): %.0f%%\n",
+			100*redSum/float64(len(rows)))
+		fmt.Fprintf(w, "Average Untangle Maintain fraction: %.0f%%\n", 100*stats.Mean(maintainFracs))
+	}
+	if len(activeRates) > 0 {
+		fmt.Fprintf(w, "Active attacker (no Maintain optimization): %.1f bits per assessment on average\n",
+			stats.Mean(activeRates))
+	}
+}
+
+func parseMixes(s string) ([]int, error) {
+	if s == "" {
+		ids := make([]int, len(workload.Mixes))
+		for i, m := range workload.Mixes {
+			ids[i] = m.ID
+		}
+		return ids, nil
+	}
+	var ids []int
+	for _, part := range strings.Split(s, ",") {
+		id, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad mix id %q", part)
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}

@@ -1,0 +1,20 @@
+package main
+
+import "testing"
+
+func TestParseMixes(t *testing.T) {
+	ids, err := parseMixes("")
+	if err != nil || len(ids) != 16 {
+		t.Fatalf("default = %v, %v", ids, err)
+	}
+	ids, err = parseMixes("1, 4,16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 || ids[0] != 1 || ids[1] != 4 || ids[2] != 16 {
+		t.Errorf("ids = %v", ids)
+	}
+	if _, err := parseMixes("1,x"); err == nil {
+		t.Error("bad id accepted")
+	}
+}

@@ -1,0 +1,92 @@
+// Command rmax computes the covert-channel rate table of Appendix A /
+// Section 7: for each count of consecutive Maintain actions, the verified
+// maximum data rate R'max and the per-resize information charge, under the
+// configured cooldown Tc and random-delay width.
+//
+// Usage:
+//
+//	rmax                                  # paper defaults: Tc = 1ms, δ ~ U[0,1ms)
+//	rmax -cooldown 2ms -delay 500us       # explore the design space
+//	rmax -maintains 32 -unit 10us         # bigger table, finer resolution
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"untangle/internal/covert"
+	"untangle/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rmax: ")
+	var (
+		cooldown  = flag.Duration("cooldown", time.Millisecond, "cooldown Tc between assessments (Mechanism 1)")
+		delay     = flag.Duration("delay", time.Millisecond, "uniform random action delay width (Mechanism 2)")
+		unit      = flag.Duration("unit", 25*time.Microsecond, "attacker time resolution")
+		maintains = flag.Int("maintains", 16, "table capacity: max consecutive Maintains with a dedicated entry")
+		showDist  = flag.Bool("distribution", false, "also print the rate-optimal input distribution for m=0")
+	)
+	flag.Parse()
+
+	cfg := covert.DefaultTableConfig()
+	cfg.Cooldown = *cooldown
+	cfg.DelayWidth = *delay
+	cfg.Unit = *unit
+	cfg.MaxMaintains = *maintains
+
+	tbl, err := covert.NewRateTable(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	entries := make([]report.RateTableEntry, tbl.Len())
+	for m := 0; m < tbl.Len(); m++ {
+		e := tbl.Entry(m)
+		if !e.Verified {
+			log.Printf("warning: entry %d bound not verified within budget", m)
+		}
+		entries[m] = report.RateTableEntry{
+			Maintains:           e.Maintains,
+			RatePerSecond:       e.RatePerSecond,
+			BitsPerTransmission: e.BitsPerTransmission,
+		}
+	}
+	fmt.Printf("Tc = %v, delay ~ U[0, %v), resolution %v\n", *cooldown, *delay, *unit)
+	fmt.Print(report.RateTable(entries))
+
+	if *showDist {
+		// Rebuild the m=0 channel and print the optimal sender strategy:
+		// which durations carry probability mass, and how much.
+		coolUnits := int((*cooldown + *unit - 1) / *unit)
+		noiseUnits := int((*delay + *unit - 1) / *unit)
+		if noiseUnits < 1 {
+			noiseUnits = 1
+		}
+		spread := 16 * noiseUnits
+		step := spread / 128
+		if step < 1 {
+			step = 1
+		}
+		var durations []int
+		for d := coolUnits; d <= coolUnits+spread; d += step {
+			durations = append(durations, d)
+		}
+		ch, err := covert.NewChannel(durations, covert.UniformNoise(noiseUnits))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := ch.MaxRate(covert.DefaultSolverConfig())
+		fmt.Printf("\nRate-optimal input distribution (mass >= 1%%):\n")
+		for i, p := range res.Input {
+			if p >= 0.01 {
+				fmt.Printf("  d = %8v  p = %5.1f%%\n",
+					time.Duration(durations[i])*(*unit), p*100)
+			}
+		}
+		fmt.Printf("  Tavg = %v, %0.2f bits per transmission\n",
+			time.Duration(res.AvgTime*float64(*unit)), res.BitsPerTransmission)
+	}
+}

@@ -1,0 +1,87 @@
+// Command scenario runs a JSON-defined experiment: any mixture of synthetic
+// benchmarks, crypto+SPEC pairs, recorded traces, and mini-language victim
+// programs under a chosen partitioning scheme (see internal/scenario for
+// the format).
+//
+// Usage:
+//
+//	scenario experiment.json
+//	scenario -json out.json experiment.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"untangle/internal/report"
+	"untangle/internal/scenario"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("scenario: ")
+	jsonOut := flag.String("json", "", "also write the full result as JSON")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	sc, err := scenario.Load(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := sc.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("scheme %s, %d domains, %v simulated\n\n", res.Scheme.Kind, len(res.Domains), res.Duration)
+	labels := make([]string, len(res.Domains))
+	ipcs := make([]float64, len(res.Domains))
+	for i, d := range res.Domains {
+		labels[i], ipcs[i] = d.Name, d.IPC
+		fmt.Printf("%-20s IPC %5.2f  instr %-10d assessments %-4d visible %-3d leakage %7.2f bits%s\n",
+			d.Name, d.IPC, d.Instructions, d.Leakage.Assessments, d.Leakage.Visible,
+			d.Leakage.TotalBits, frozenMark(d.Leakage.Frozen))
+	}
+	fmt.Println("\nIPC:")
+	fmt.Print(report.Bars(labels, ipcs, 40, 0))
+
+	// Timelines: partition size and IPC over the measured region.
+	for _, d := range res.Domains {
+		if len(d.PartitionSamples) == 0 {
+			continue
+		}
+		sizes := make([]float64, len(d.PartitionSamples))
+		for i, v := range d.PartitionSamples {
+			sizes[i] = float64(v)
+		}
+		fmt.Printf("\n%-20s partition %s\n", d.Name, report.Sparkline(report.Downsample(sizes, 60)))
+		fmt.Printf("%-20s ipc       %s\n", "", report.Sparkline(report.Downsample(d.IPCSamples, 60)))
+	}
+
+	if *jsonOut != "" {
+		data, err := report.MarshalJSON(res, 100*time.Microsecond)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *jsonOut)
+	}
+}
+
+func frozenMark(frozen bool) string {
+	if frozen {
+		return "  [FROZEN]"
+	}
+	return ""
+}

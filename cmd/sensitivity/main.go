@@ -1,0 +1,46 @@
+// Command sensitivity runs the Figure 11 LLC-sensitivity study: every
+// SPEC17-like benchmark simulated with each of the 9 supported partition
+// sizes, reporting IPC normalized to the 8MB maximum and the resulting
+// adequate LLC size and sensitivity classification.
+//
+// Usage:
+//
+//	sensitivity                       # all 36 benchmarks
+//	sensitivity -bench mcf_0          # one benchmark
+//	sensitivity -instructions 3000000 # higher fidelity
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"untangle/internal/experiments"
+	"untangle/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sensitivity: ")
+	var (
+		bench        = flag.String("bench", "", "run a single benchmark (default: all 36)")
+		instructions = flag.Uint64("instructions", 1_500_000, "measured instructions per run (an equal warmup precedes)")
+	)
+	flag.Parse()
+
+	var study []experiments.SensitivityResult
+	if *bench != "" {
+		r, err := experiments.Sensitivity(*bench, *instructions)
+		if err != nil {
+			log.Fatal(err)
+		}
+		study = []experiments.SensitivityResult{r}
+	} else {
+		var err error
+		study, err = experiments.SensitivityStudy(*instructions)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Print(report.Figure11(study))
+}

@@ -1,0 +1,73 @@
+// Command untangle-sim runs one of the paper's 16 workload mixes under the
+// four Table 4 partitioning schemes and prints a Figure-10-style group:
+// partition-size distributions, leakage per assessment, and IPC normalized
+// to Static.
+//
+// Usage:
+//
+//	untangle-sim -mix 1 -scale 0.01
+//	untangle-sim -mix 4 -scale 0.01 -worst-case   # Section 9 active-attacker accounting
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"untangle/internal/experiments"
+	"untangle/internal/partition"
+	"untangle/internal/report"
+	"untangle/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("untangle-sim: ")
+	var (
+		mixID     = flag.Int("mix", 1, "mix number (1-16)")
+		scale     = flag.Float64("scale", 0.01, "scale factor (1.0 = paper's full 550M-instruction workloads)")
+		worstCase = flag.Bool("worst-case", false, "disable the Maintain optimization (Section 9 active-attacker accounting)")
+		noAnnot   = flag.Bool("no-annotations", false, "ablation: ignore secret annotations (reintroduces action leakage)")
+		budget    = flag.Float64("budget", 0, "per-domain leakage budget in bits (0 = unlimited)")
+		traceOut  = flag.String("trace-out", "", "write per-scheme JSON traces to this file prefix (<prefix>-<scheme>.json)")
+	)
+	flag.Parse()
+
+	mix, err := workload.MixByID(*mixID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := experiments.RunMix(mix, experiments.Options{
+		Scale:               *scale,
+		WorstCaseAccounting: *worstCase,
+		DisableAnnotations:  *noAnnot,
+		Budget:              *budget,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := report.MixGroup(res, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprint(os.Stdout, out)
+	if mf, err := res.MaintainFraction(partition.Untangle); err == nil {
+		fmt.Fprintf(os.Stdout, "\nUntangle Maintain fraction: %.0f%%\n", mf*100)
+	}
+	if *traceOut != "" {
+		samplePeriod := time.Duration(float64(100*time.Microsecond) * *scale)
+		for kind, r := range res.PerScheme {
+			data, err := report.MarshalJSON(r, samplePeriod)
+			if err != nil {
+				log.Fatal(err)
+			}
+			path := fmt.Sprintf("%s-%s.json", *traceOut, kind)
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("wrote %s", path)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+// Covert channel: the Section 5.3 model, hands-on.
+//
+// The example (1) reproduces the worked strategy example of Section 5.3.1
+// (four symbols at 1-4ms beat eight symbols at 1-8ms: 800 vs 667 bits/s),
+// (2) computes the verified R'max bound with Dinkelbach's transform, and (3)
+// plays actual sender/receiver transmissions through the random-delay
+// channel, showing that every concrete strategy stays below the bound.
+//
+//	go run ./examples/covertchannel
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"untangle/internal/attacker"
+	"untangle/internal/covert"
+	"untangle/internal/info"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// --- 1. Section 5.3.1 strategy example (noiseless, 1ms resolution). ---
+	r1, err := covert.NoiselessRate([]int{1, 2, 3, 4}, info.NewUniform(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	r2, err := covert.NoiselessRate([]int{1, 2, 3, 4, 5, 6, 7, 8}, info.NewUniform(8))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Strategy 1 (4 symbols, 1-4ms):  %.0f bits/s\n", r1*1000)
+	fmt.Printf("Strategy 2 (8 symbols, 1-8ms):  %.0f bits/s\n", r2*1000)
+	fmt.Println("More symbols lost: the longer average transmission time dominates.")
+
+	// --- 2. The verified bound for the paper's Untangle parameters. -------
+	cfg := covert.TableConfig{
+		Unit:         50 * time.Microsecond,
+		Cooldown:     time.Millisecond,
+		DelayWidth:   time.Millisecond,
+		MaxMaintains: 0,
+	}
+	bound, err := attacker.BoundFor(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nVerified R'max bound (Tc = 1ms, delay ~ U[0,1ms)): %.0f bits/s\n\n", bound)
+
+	// --- 3. Concrete strategies against the noisy channel. ----------------
+	rng := rand.New(rand.NewSource(7))
+	strategies := []struct {
+		name string
+		s    attacker.Sender
+	}{
+		{"2 symbols, 1ms apart ", attacker.Sender{Durations: []time.Duration{time.Millisecond, 2 * time.Millisecond}}},
+		{"2 symbols, 4ms apart ", attacker.Sender{Durations: []time.Duration{time.Millisecond, 5 * time.Millisecond}}},
+		{"4 symbols, 1ms grid  ", attacker.Sender{Durations: []time.Duration{1e6, 2e6, 3e6, 4e6}}},
+		{"8 symbols, 1ms grid  ", attacker.Sender{Durations: []time.Duration{1e6, 2e6, 3e6, 4e6, 5e6, 6e6, 7e6, 8e6}}},
+	}
+	fmt.Println("Empirical strategies through the δ ~ U[0,1ms) channel (1000 symbols each):")
+	for _, st := range strategies {
+		msg := make([]int, 1000)
+		for i := range msg {
+			msg[i] = rng.Intn(len(st.s.Durations))
+		}
+		times, err := st.s.Schedule(0, msg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		obs := make([]attacker.Observation, len(times))
+		for i, at := range times {
+			obs[i] = attacker.Observation{At: at + time.Duration(rng.Int63n(int64(time.Millisecond)))}
+		}
+		decoded := st.s.DecodeDurations(attacker.Durations(obs))
+		elapsed := obs[len(obs)-1].At - obs[0].At
+		rate := attacker.EmpiricalRate(len(st.s.Durations), msg, decoded, elapsed)
+		ser := attacker.SymbolErrorRate(msg, decoded)
+		fmt.Printf("  %s symbol errors %5.1f%%  -> %6.0f bits/s (%.0f%% of the bound)\n",
+			st.name, ser*100, rate, 100*rate/bound)
+	}
+	fmt.Println("\nNo strategy beats the bound; wider spacing trades errors for time.")
+}

@@ -1,0 +1,145 @@
+// Leakage demo: the three snippets of Figure 1 run against real schemes.
+//
+// For each snippet the demo runs the victim twice — once per secret value —
+// under (a) the Time baseline, (b) Untangle without annotations, and (c)
+// Untangle with annotations, and prints whether the resizing ACTION SEQUENCE
+// differed between the two secrets. The paper's claims, visible in the
+// output:
+//
+//   - Figures 1a/1b leak through actions under Time and unannotated
+//     Untangle, but the action sequences become identical once annotations
+//     exclude the secret-dependent demand (Section 5.2).
+//
+//   - Figure 1c never differs in actions under annotated Untangle — only in
+//     WHEN they happen. That residual is the scheduling leakage that the
+//     covert-channel model bounds (Section 5.3).
+//
+//     go run ./examples/leakagedemo
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"untangle/internal/isa"
+	"untangle/internal/partition"
+	"untangle/internal/sim"
+	"untangle/internal/workload"
+)
+
+const scale = 0.005
+
+func run(scheme partition.SchemeConfig, stream isa.Stream) (sizes []int64, times []time.Duration) {
+	cfg := sim.Scaled(scheme, scale)
+	cfg.Warmup = 0 // compare complete traces; a time-based warmup window
+	// would clip the two runs at secret-dependent points.
+	spec, err := workload.SPECByName("imagick_0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The victim runs alone: the paper's timing-independence statement is
+	// about the victim's own instruction stream. (Co-runners change the
+	// global monitor state over wall-clock time, which is the environment
+	// acting on the victim - Section 6.2's active-attacker discussion, not
+	// action leakage.)
+	// The budget counts PUBLIC instructions: two executions of the same
+	// program differing only in secret-dependent extra work retire the
+	// identical public instruction sequence.
+	s, err := sim.New(cfg, []sim.DomainSpec{
+		{Name: "victim", Stream: isa.NewLimitedPublic(stream, 1_200_000), CPU: spec.CPUParams()},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, a := range res.Domains[0].Trace {
+		sizes = append(sizes, a.Size)
+		times = append(times, a.ApplyAt)
+	}
+	return sizes, times
+}
+
+func sameActions(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sameTimes(a, b []time.Duration) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func verdict(streamFor func(secret bool) isa.Stream) {
+	timeBaseline := partition.DefaultScheme(partition.TimeBased)
+	timeBaseline.Annotated = false // conventional schemes have no annotation support
+	schemes := []struct {
+		label  string
+		scheme partition.SchemeConfig
+	}{
+		{"Time baseline            ", timeBaseline},
+		{"Untangle, no annotations ", unannotated()},
+		{"Untangle, annotated      ", partition.DefaultScheme(partition.Untangle)},
+	}
+	for _, s := range schemes {
+		a0, t0 := run(s.scheme, streamFor(false))
+		a1, t1 := run(s.scheme, streamFor(true))
+		fmt.Printf("  %s actions %-9s timing %s\n", s.label,
+			tern(sameActions(a0, a1), "identical", "DIFFER"),
+			tern(sameTimes(t0, t1), "identical", "differs"))
+	}
+}
+
+func unannotated() partition.SchemeConfig {
+	c := partition.DefaultScheme(partition.Untangle)
+	c.Annotated = false
+	return c
+}
+
+func tern(b bool, yes, no string) string {
+	if b {
+		return yes
+	}
+	return no
+}
+
+func main() {
+	log.SetFlags(0)
+	annotatedFlag := true
+
+	fmt.Println("Figure 1a: secret-gated 4MB traversal (control-flow leak)")
+	verdict(func(secret bool) isa.Stream { return workload.Figure1a(secret, annotatedFlag) })
+
+	fmt.Println("\nFigure 1b: secret-strided traversal (data-flow leak)")
+	verdict(func(secret bool) isa.Stream {
+		stride := uint64(1)
+		if secret {
+			stride = 8
+		}
+		return workload.Figure1b(stride, annotatedFlag)
+	})
+
+	fmt.Println("\nFigure 1c: secret-delayed public traversal (timing leak)")
+	verdict(func(secret bool) isa.Stream { return workload.Figure1c(secret, annotatedFlag, 400_000) })
+
+	fmt.Println("\nReading: annotations kill the action leakage of 1a/1b under Untangle;")
+	fmt.Println("1c's actions are identical even so - only their timing moves, and that")
+	fmt.Println("is exactly the scheduling leakage Untangle bounds with the covert channel.")
+}

@@ -1,0 +1,165 @@
+// Other resources: Untangle beyond the LLC (Sections 6.3 and 6.4).
+//
+// The framework generalizes to any resource with (1) a timing-independent
+// utilization metric and (2) annotations for secret-dependent usage. This
+// example demonstrates:
+//
+//   - a shared second-level TLB partitioned by entries, with the
+//     shadow-TLB metric feeding the same hit-maximizing allocator used for
+//     the LLC;
+//
+//   - SMT functional-unit partitioning driven by the retired-instruction
+//     mix (the Section 6.3 recipe for SecSMT-style pipeline resources);
+//
+//   - the Section 6.4 tiered security lattice, where a low-tier program's
+//     resizes toward strictly-higher-tier neighbours are free of charge.
+//
+//     go run ./examples/otherresources
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"untangle/internal/core"
+	"untangle/internal/covert"
+	"untangle/internal/partition"
+	"untangle/internal/smt"
+	"untangle/internal/tlb"
+)
+
+func main() {
+	log.SetFlags(0)
+	tlbDemo()
+	smtDemo()
+	tieredDemo()
+}
+
+func tlbDemo() {
+	fmt.Println("=== TLB partitioning (Section 6.3) ===")
+	sizes := tlb.DefaultEntrySizes()
+	// Two domains: a page-walker (database-like, 400-page hot set) and a
+	// compute kernel (24 pages).
+	mk := func(pages int, seed int64) *tlb.Monitor {
+		m, err := tlb.NewMonitor(tlb.MonitorConfig{Sizes: sizes, Ways: 8, Window: 1 << 14})
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := rand.New(rand.NewSource(seed))
+		for i := 0; i < 60000; i++ {
+			m.Observe(uint64(r.Intn(pages)) * tlb.PageBytes)
+		}
+		return m
+	}
+	big, small := mk(400, 1), mk(24, 2)
+
+	// The allocator is resource-agnostic: candidate "sizes" are entry
+	// counts, capacity is the 1024-entry shared STLB.
+	sizeUnits := make([]int64, len(sizes))
+	for i, s := range sizes {
+		sizeUnits[i] = int64(s)
+	}
+	alloc, err := partition.NewAllocator(sizeUnits, 1024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	grant := alloc.GlobalAllocate([][]float64{big.Utilities(), small.Utilities()})
+	fmt.Printf("  1024-entry shared TLB split: page-walker %d entries, kernel %d entries\n",
+		grant[0], grant[1])
+
+	// Resize a live TLB partition along the granted sizes.
+	t, err := tlb.New(tlb.Config{Entries: 128, Ways: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for p := uint64(0); p < 100; p++ {
+		t.Access(p * tlb.PageBytes)
+	}
+	if err := t.Resize(int(grant[0])); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  live partition resized 128 -> %d entries; %d translations retained\n\n",
+		t.Entries(), countPresent(t, 100))
+}
+
+func countPresent(t *tlb.TLB, pages uint64) int {
+	n := 0
+	for p := uint64(0); p < pages; p++ {
+		if t.Contains(p * tlb.PageBytes) {
+			n++
+		}
+	}
+	return n
+}
+
+func smtDemo() {
+	fmt.Println("=== SMT functional-unit partitioning (Section 6.3) ===")
+	// Thread 0 is FP-heavy, thread 1 is ALU-heavy; monitor their retired
+	// mixes over a progress window, then let the action heuristic repartition
+	// the issue slots.
+	mon0, _ := smt.NewMonitor(4096, 8)
+	mon1, _ := smt.NewMonitor(4096, 8)
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 20000; i++ {
+		if r.Float64() < 0.55 {
+			mon0.Retire(smt.FP)
+		} else {
+			mon0.Retire(smt.UnitKind(-1))
+		}
+		if r.Float64() < 0.5 {
+			mon1.Retire(smt.ALU)
+		} else if r.Float64() < 0.2 {
+			mon1.Retire(smt.FP)
+		} else {
+			mon1.Retire(smt.UnitKind(-1))
+		}
+	}
+	usage := [2]smt.Mix{mon0.Fractions(), mon1.Fractions()}
+	even := smt.Even()
+	next := smt.Decide(even, usage, 0.05)
+	before := smt.Throughput(even, usage, 8)
+	after := smt.Throughput(next, usage, 8)
+	fmt.Printf("  thread0 mix: FP %.2f; thread1 mix: ALU %.2f FP %.2f\n",
+		usage[0][smt.FP], usage[1][smt.ALU], usage[1][smt.FP])
+	fmt.Printf("  FP slots 8/16 -> %d/16, ALU slots 8/16 -> %d/16 (visible resize: %v)\n",
+		next.Shares[0][smt.FP], next.Shares[1][smt.ALU], smt.Visible(even, next))
+	fmt.Printf("  IPC: thread0 %.2f -> %.2f, thread1 %.2f -> %.2f\n\n",
+		before[0], after[0], before[1], after[1])
+}
+
+func tieredDemo() {
+	fmt.Println("=== Tiered security lattice (Section 6.4) ===")
+	tblCfg := covert.TableConfig{
+		Unit: 100 * time.Microsecond, Cooldown: time.Millisecond,
+		DelayWidth: time.Millisecond, MaxMaintains: 4,
+	}
+	tbl, err := covert.Shared(tblCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inner, err := core.NewUntangleAccountant(core.AccountantConfig{
+		Domains: 2, Table: tbl, OptimizeMaintain: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Domain 0 is low-tier (L), domain 1 high-tier (H): flows L -> H are
+	// permitted, so L's visible resizes are free.
+	acct, err := core.NewTieredAccountant(inner, []core.Tier{0, 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	at := time.Duration(0)
+	for i := 0; i < 5; i++ {
+		at += 2 * time.Millisecond
+		acct.RecordAssessment(0, true, at) // L resizes
+		acct.RecordAssessment(1, true, at) // H resizes
+	}
+	fmt.Printf("  L (low tier):  %d visible resizes, %d free flows, %.2f bits charged\n",
+		5, acct.FreeFlows(0), acct.Domain(0).TotalBits)
+	fmt.Printf("  H (high tier): %d visible resizes, %d free flows, %.2f bits charged\n",
+		5, acct.FreeFlows(1), acct.Domain(1).TotalBits)
+	fmt.Println("  (H is charged because the lower-tier L observes it; L is not.)")
+}

@@ -1,0 +1,3 @@
+module untangle
+
+go 1.22

@@ -1,0 +1,305 @@
+// Package attacker implements the adversary models of the paper's threat
+// model (Section 4) and attack discussions (Sections 6.2 and 9):
+//
+//   - Observer: the idealized passive attacker that sees the victim's exact
+//     resizing trace (what actions, and when).
+//   - Squeezer: the active attacker that pressures the shared LLC to force
+//     the victim into attacker-visible resizes at every assessment.
+//   - Replay: the replay attacker that runs the victim many times and
+//     accumulates scheduling leakage across runs until the victim's budget
+//     freezes further resizing.
+//   - Sender/DecodeDurations: a cooperating covert-channel sender and
+//     receiver used to validate empirically that no transmission strategy
+//     beats the Appendix A bound.
+package attacker
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"untangle/internal/covert"
+	"untangle/internal/isa"
+	"untangle/internal/partition"
+	"untangle/internal/workload"
+)
+
+// Observation is one attacker-visible event: the victim adopted a new
+// partition size at a point in time. Maintains are invisible (Section 5.3.4)
+// and never appear here.
+type Observation struct {
+	At   time.Duration
+	Size int64
+}
+
+// Observer extracts what the idealized attacker of Section 4 learns from a
+// victim's resizing trace: the visible actions and their times.
+func Observer(trace partition.Trace) []Observation {
+	var out []Observation
+	for _, a := range trace {
+		if a.Visible {
+			out = append(out, Observation{At: a.ApplyAt, Size: a.Size})
+		}
+	}
+	return out
+}
+
+// Durations returns the inter-observation durations the covert-channel model
+// reasons about (the d_y of Equation 5.8).
+func Durations(obs []Observation) []time.Duration {
+	if len(obs) < 2 {
+		return nil
+	}
+	out := make([]time.Duration, 0, len(obs)-1)
+	for i := 1; i < len(obs); i++ {
+		out = append(out, obs[i].At-obs[i-1].At)
+	}
+	return out
+}
+
+// InferFromSamples reconstructs the attacker-visible resizing events a
+// *realistic* attacker can recover (Section 4: "an attacker can only
+// indirectly estimate the victim's resizing trace by probing its own
+// partition size and observing how it changes over time"). samples[i] is
+// the partition size the attacker observed at times[i]; every change is one
+// inferred event, timestamped at the sample that revealed it. The estimate
+// is quantized to the probing period and misses events the allocator did not
+// propagate into the attacker's partition — which is why the paper's
+// idealized attacker (Observer) upper-bounds the realistic one.
+func InferFromSamples(times []time.Duration, samples []int64) []Observation {
+	n := len(times)
+	if len(samples) < n {
+		n = len(samples)
+	}
+	var out []Observation
+	for i := 1; i < n; i++ {
+		if samples[i] != samples[i-1] {
+			out = append(out, Observation{At: times[i], Size: samples[i]})
+		}
+	}
+	return out
+}
+
+// EstimateObservedBits computes an empirical estimate of the information the
+// attacker's observations actually carry: the entropy of the observed
+// inter-action duration histogram at the given measurement resolution,
+// times the number of observations. It is a plug-in estimate over one
+// trace — a lower-bound-ish diagnostic, not a sound bound — and exists to
+// check that the accountant's charges dominate what a real observation
+// sequence empirically contains.
+func EstimateObservedBits(durations []time.Duration, resolution time.Duration) float64 {
+	if len(durations) == 0 || resolution <= 0 {
+		return 0
+	}
+	counts := map[int64]int{}
+	for _, d := range durations {
+		counts[int64(d/resolution)]++
+	}
+	n := float64(len(durations))
+	h := 0.0
+	for _, c := range counts {
+		p := float64(c) / n
+		h -= p * math.Log2(p)
+	}
+	return h * n
+}
+
+// SqueezerParams configures the active attacker's workload.
+type SqueezerParams struct {
+	// Seed makes the squeezer deterministic.
+	Seed uint64
+	// DemandBytes is the working set the squeezer claims (default 8MB: the
+	// maximum supported partition size).
+	DemandBytes uint64
+	// MemFraction is the squeezer's memory intensity (default 0.45; an
+	// attacker maximizes pressure).
+	MemFraction float64
+}
+
+// Squeezer returns the active attacker's workload: an endless stream with a
+// huge, heavily re-scanned working set. Run in its own domain, it drives the
+// allocator to take capacity from other domains ("squeezing" them), forcing
+// the victim's assessments to become visible actions (Figure 9).
+func Squeezer(p SqueezerParams) (isa.Stream, workload.Params, error) {
+	wp := workload.Params{
+		Name:        "squeezer",
+		Seed:        p.Seed + 0x5EED,
+		MemFraction: p.MemFraction,
+		HotBytes:    16 * workload.KB,
+		HotProb:     0.1,
+		ColdBytes:   p.DemandBytes,
+		ScanFrac:    0.5,
+		WriteFrac:   0.3,
+		MLP:         8,
+		BaseCPI:     0.2,
+	}
+	if wp.MemFraction <= 0 {
+		wp.MemFraction = 0.45
+	}
+	if wp.ColdBytes == 0 {
+		wp.ColdBytes = 8 * workload.MB
+	}
+	g, err := workload.NewGenerator(wp)
+	if err != nil {
+		return nil, workload.Params{}, err
+	}
+	return g, wp, nil
+}
+
+// PulsingSqueezer returns an attacker workload that alternates between a
+// heavy-pressure phase and a near-idle phase every period instructions.
+// Because the allocator keeps reassigning the capacity the attacker claims
+// and releases, a co-located victim is forced through repeated Expand and
+// Shrink actions — the Figure 9 squeeze. Several pulsing squeezers in
+// distinct domains amplify the effect (a single domain can claim at most the
+// largest supported partition).
+func PulsingSqueezer(p SqueezerParams, period uint64) (isa.Stream, workload.Params, error) {
+	heavy, params, err := Squeezer(p)
+	if err != nil {
+		return nil, workload.Params{}, err
+	}
+	idle := workload.Params{
+		Name:        "squeezer-idle",
+		Seed:        p.Seed + 0x1D1E,
+		MemFraction: 0.05,
+		HotBytes:    8 * workload.KB,
+		HotProb:     0.95,
+		ColdBytes:   16 * workload.KB,
+		WriteFrac:   0.1,
+		MLP:         4,
+		BaseCPI:     0.3,
+	}
+	ig, err := workload.NewGenerator(idle)
+	if err != nil {
+		return nil, workload.Params{}, err
+	}
+	if period == 0 {
+		period = 1_000_000
+	}
+	return isa.NewLoop(heavy, period, ig, period), params, nil
+}
+
+// ReplayResult summarizes a replay attack (Section 6.2): the attacker replays
+// the victim RunLeakage-bits-per-run program until the accumulated leakage
+// reaches the victim's threshold, after which the OS freezes resizing.
+type ReplayResult struct {
+	// RunsUntilFrozen is how many complete replays the attacker gets before
+	// the budget is exhausted.
+	RunsUntilFrozen int
+	// TotalLeakage is the accumulated leakage when the freeze engages.
+	TotalLeakage float64
+}
+
+// Replay models the cross-run accumulation: each replay leaks perRun bits
+// (as measured by the Untangle accountant for one run); the OS accumulates
+// and freezes at the threshold. It returns an error for non-positive rates.
+func Replay(perRun, threshold float64) (ReplayResult, error) {
+	if perRun <= 0 {
+		return ReplayResult{}, fmt.Errorf("attacker: per-run leakage must be positive")
+	}
+	if threshold <= 0 {
+		return ReplayResult{}, fmt.Errorf("attacker: threshold must be positive")
+	}
+	runs := int(threshold / perRun)
+	return ReplayResult{
+		RunsUntilFrozen: runs,
+		TotalLeakage:    math.Min(threshold, float64(runs+1)*perRun),
+	}, nil
+}
+
+// Sender produces the covert-channel input timings for a cooperative victim:
+// it maps each symbol of message (values in [0, len(durations))) to its
+// duration and emits the absolute transmission times.
+type Sender struct {
+	// Durations maps symbols to inter-action durations; all must be at
+	// least the scheme's cooldown.
+	Durations []time.Duration
+}
+
+// Schedule returns the absolute times at which the sender performs visible
+// actions to transmit message, starting at start.
+func (s Sender) Schedule(start time.Duration, message []int) ([]time.Duration, error) {
+	out := make([]time.Duration, 0, len(message)+1)
+	t := start
+	out = append(out, t)
+	for i, sym := range message {
+		if sym < 0 || sym >= len(s.Durations) {
+			return nil, fmt.Errorf("attacker: symbol %d at %d out of alphabet", sym, i)
+		}
+		t += s.Durations[sym]
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// DecodeDurations is the receiver: it maps each observed duration to the
+// nearest symbol duration (maximum-likelihood for symmetric unimodal noise).
+func (s Sender) DecodeDurations(observed []time.Duration) []int {
+	out := make([]int, len(observed))
+	for i, d := range observed {
+		best, bestDist := 0, time.Duration(math.MaxInt64)
+		for sym, sd := range s.Durations {
+			dist := d - sd
+			if dist < 0 {
+				dist = -dist
+			}
+			if dist < bestDist {
+				best, bestDist = sym, dist
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// SymbolErrorRate compares sent and decoded messages.
+func SymbolErrorRate(sent, decoded []int) float64 {
+	if len(sent) == 0 {
+		return 0
+	}
+	n := len(sent)
+	if len(decoded) < n {
+		n = len(decoded)
+	}
+	errs := len(sent) - n // missing symbols count as errors
+	for i := 0; i < n; i++ {
+		if sent[i] != decoded[i] {
+			errs++
+		}
+	}
+	return float64(errs) / float64(len(sent))
+}
+
+// EmpiricalRate estimates the information rate actually achieved by a
+// sender/receiver pair over a run: symbols carry log2(alphabet) bits, errors
+// are discounted via the binary-symmetric-channel style penalty, and the
+// result is divided by the elapsed time. It is used to check that practical
+// strategies stay below the Appendix A bound.
+func EmpiricalRate(alphabet int, sent, decoded []int, elapsed time.Duration) float64 {
+	if len(sent) == 0 || elapsed <= 0 || alphabet < 2 {
+		return 0
+	}
+	ser := SymbolErrorRate(sent, decoded)
+	bitsPerSymbol := math.Log2(float64(alphabet))
+	// Fano-style discount: a symbol error destroys at most bitsPerSymbol
+	// plus the binary entropy of the error indicator.
+	h := 0.0
+	if ser > 0 && ser < 1 {
+		h = -ser*math.Log2(ser) - (1-ser)*math.Log2(1-ser)
+	}
+	goodput := bitsPerSymbol - h - ser*bitsPerSymbol
+	if goodput < 0 {
+		goodput = 0
+	}
+	return goodput * float64(len(sent)) / elapsed.Seconds()
+}
+
+// BoundFor returns the verified Appendix A rate bound (bits/second) for a
+// scheme's cooldown and delay at the given table configuration.
+func BoundFor(cfg covert.TableConfig) (float64, error) {
+	tbl, err := covert.Shared(cfg)
+	if err != nil {
+		return 0, err
+	}
+	return tbl.Entry(0).RatePerSecond, nil
+}

@@ -1,0 +1,278 @@
+package attacker
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"untangle/internal/covert"
+	"untangle/internal/isa"
+	"untangle/internal/partition"
+)
+
+func TestObserverSeesOnlyVisibleActions(t *testing.T) {
+	trace := partition.Trace{
+		{ApplyAt: 1 * time.Millisecond, Prev: 2 << 20, Size: 4 << 20, Visible: true},
+		{ApplyAt: 2 * time.Millisecond, Prev: 4 << 20, Size: 4 << 20, Visible: false},
+		{ApplyAt: 3 * time.Millisecond, Prev: 4 << 20, Size: 2 << 20, Visible: true},
+	}
+	obs := Observer(trace)
+	if len(obs) != 2 {
+		t.Fatalf("observed %d events, want 2", len(obs))
+	}
+	if obs[0].Size != 4<<20 || obs[1].At != 3*time.Millisecond {
+		t.Errorf("observations = %+v", obs)
+	}
+	d := Durations(obs)
+	if len(d) != 1 || d[0] != 2*time.Millisecond {
+		t.Errorf("durations = %v", d)
+	}
+	if Durations(obs[:1]) != nil {
+		t.Error("single observation should yield no durations")
+	}
+}
+
+func TestSqueezerStreamIsHeavy(t *testing.T) {
+	s, params, err := Squeezer(SqueezerParams{Seed: 1, DemandBytes: 8 << 20, MemFraction: 0.45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if params.ColdBytes != 8<<20 {
+		t.Errorf("demand = %d", params.ColdBytes)
+	}
+	buf := make([]isa.Op, 4096)
+	n := s.Fill(buf)
+	if n == 0 {
+		t.Fatal("squeezer stream empty")
+	}
+	var mem, instr uint64
+	for _, op := range buf[:n] {
+		instr += op.Instructions()
+		if op.IsMem() {
+			mem++
+		}
+	}
+	if frac := float64(mem) / float64(instr); frac < 0.3 {
+		t.Errorf("squeezer memory fraction %v too low to pressure the LLC", frac)
+	}
+}
+
+func TestSqueezerDefaults(t *testing.T) {
+	_, params, err := Squeezer(SqueezerParams{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if params.ColdBytes != 8<<20 || params.MemFraction != 0.45 {
+		t.Errorf("defaults not applied: %+v", params)
+	}
+}
+
+func TestReplay(t *testing.T) {
+	r, err := Replay(38.5, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RunsUntilFrozen != 25 {
+		t.Errorf("runs = %d, want 25", r.RunsUntilFrozen)
+	}
+	if r.TotalLeakage > 1000 {
+		t.Errorf("accumulated %v exceeds threshold", r.TotalLeakage)
+	}
+	if _, err := Replay(0, 10); err == nil {
+		t.Error("zero per-run accepted")
+	}
+	if _, err := Replay(1, 0); err == nil {
+		t.Error("zero threshold accepted")
+	}
+}
+
+func TestSenderScheduleAndDecodeRoundTrip(t *testing.T) {
+	s := Sender{Durations: []time.Duration{time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond, 8 * time.Millisecond}}
+	msg := []int{0, 3, 1, 2, 2, 0}
+	times, err := s.Schedule(0, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != len(msg)+1 {
+		t.Fatalf("times = %d", len(times))
+	}
+	// Convert to observations and decode without noise: perfect recovery.
+	obs := make([]Observation, len(times))
+	for i, at := range times {
+		obs[i] = Observation{At: at}
+	}
+	decoded := s.DecodeDurations(Durations(obs))
+	if SymbolErrorRate(msg, decoded) != 0 {
+		t.Errorf("noiseless decode failed: sent %v, got %v", msg, decoded)
+	}
+	if _, err := s.Schedule(0, []int{9}); err == nil {
+		t.Error("out-of-alphabet symbol accepted")
+	}
+}
+
+func TestDecodeWithNoiseDegradesGracefully(t *testing.T) {
+	s := Sender{Durations: []time.Duration{time.Millisecond, 2 * time.Millisecond}}
+	r := rand.New(rand.NewSource(5))
+	msg := make([]int, 200)
+	for i := range msg {
+		msg[i] = r.Intn(2)
+	}
+	times, _ := s.Schedule(0, msg)
+	// Add uniform delay noise of width 1ms (the paper's Mechanism 2).
+	noisy := make([]Observation, len(times))
+	for i, at := range times {
+		noisy[i] = Observation{At: at + time.Duration(r.Int63n(int64(time.Millisecond)))}
+	}
+	decoded := s.DecodeDurations(Durations(noisy))
+	ser := SymbolErrorRate(msg, decoded)
+	if ser == 0 {
+		t.Error("1ms noise on 1ms-separated symbols should cause some errors")
+	}
+	if ser > 0.5 {
+		t.Errorf("error rate %v worse than guessing", ser)
+	}
+}
+
+func TestSymbolErrorRate(t *testing.T) {
+	if got := SymbolErrorRate([]int{1, 2, 3}, []int{1, 0, 3}); got != 1.0/3 {
+		t.Errorf("SER = %v", got)
+	}
+	if got := SymbolErrorRate([]int{1, 2, 3}, []int{1}); got != 2.0/3 {
+		t.Errorf("missing symbols SER = %v", got)
+	}
+	if got := SymbolErrorRate(nil, nil); got != 0 {
+		t.Errorf("empty SER = %v", got)
+	}
+}
+
+func TestEmpiricalRateStrategiesStayUnderBound(t *testing.T) {
+	// Run several concrete transmission strategies through noise and check
+	// every achieved rate stays below the verified Appendix A bound.
+	cfg := covert.TableConfig{
+		Unit:         50 * time.Microsecond,
+		Cooldown:     time.Millisecond,
+		DelayWidth:   time.Millisecond,
+		MaxMaintains: 0,
+		Solver: covert.SolverConfig{
+			MaxDinkelbachRounds: 10,
+			Tolerance:           1e-6,
+			InnerIterations:     250,
+			InnerStep:           0.3,
+			UpperBoundSlack:     1e-3,
+			VerifyIterations:    500,
+		},
+	}
+	bound, err := BoundFor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(42))
+	strategies := []Sender{
+		{Durations: []time.Duration{time.Millisecond, 2 * time.Millisecond}},
+		{Durations: []time.Duration{time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond, 4 * time.Millisecond}},
+		{Durations: []time.Duration{time.Millisecond, 5 * time.Millisecond}},
+		{Durations: []time.Duration{time.Millisecond, 3 * time.Millisecond, 9 * time.Millisecond}},
+	}
+	for si, s := range strategies {
+		msg := make([]int, 400)
+		for i := range msg {
+			msg[i] = r.Intn(len(s.Durations))
+		}
+		times, err := s.Schedule(0, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		noisy := make([]Observation, len(times))
+		for i, at := range times {
+			noisy[i] = Observation{At: at + time.Duration(r.Int63n(int64(time.Millisecond)))}
+		}
+		decoded := s.DecodeDurations(Durations(noisy))
+		elapsed := noisy[len(noisy)-1].At - noisy[0].At
+		rate := EmpiricalRate(len(s.Durations), msg, decoded, elapsed)
+		if rate > bound {
+			t.Errorf("strategy %d achieved %v bits/s, exceeding the bound %v", si, rate, bound)
+		}
+		if rate <= 0 {
+			t.Errorf("strategy %d achieved no information flow", si)
+		}
+	}
+}
+
+func TestEmpiricalRateEdgeCases(t *testing.T) {
+	if EmpiricalRate(2, nil, nil, time.Second) != 0 {
+		t.Error("empty message should rate 0")
+	}
+	if EmpiricalRate(1, []int{0}, []int{0}, time.Second) != 0 {
+		t.Error("unary alphabet should rate 0")
+	}
+	if EmpiricalRate(2, []int{0}, []int{0}, 0) != 0 {
+		t.Error("zero elapsed should rate 0")
+	}
+}
+
+func TestPropertyDecodeIsNearest(t *testing.T) {
+	s := Sender{Durations: []time.Duration{time.Millisecond, 4 * time.Millisecond, 10 * time.Millisecond}}
+	f := func(raw uint32) bool {
+		d := time.Duration(uint64(raw)) % (12 * time.Millisecond)
+		sym := s.DecodeDurations([]time.Duration{d})[0]
+		// Verify no other symbol is strictly closer.
+		chosen := absDur(d - s.Durations[sym])
+		for _, sd := range s.Durations {
+			if absDur(d-sd) < chosen {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func absDur(d time.Duration) time.Duration {
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+func TestPulsingSqueezerAlternates(t *testing.T) {
+	s, params, err := PulsingSqueezer(SqueezerParams{Seed: 3}, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if params.ColdBytes != 8<<20 {
+		t.Errorf("heavy-phase demand = %d", params.ColdBytes)
+	}
+	// Walk two full periods: the distinct-line footprint per 5000-instruction
+	// window must alternate between large (heavy) and tiny (idle).
+	buf := make([]isa.Op, 512)
+	window := func() int {
+		lines := map[uint64]bool{}
+		var instr uint64
+		for instr < 5000 {
+			n := s.Fill(buf)
+			if n == 0 {
+				t.Fatal("squeezer ran dry")
+			}
+			for _, op := range buf[:n] {
+				instr += op.Instructions()
+				if op.IsMem() {
+					lines[op.Addr/64] = true
+				}
+			}
+		}
+		return len(lines)
+	}
+	heavy1 := window()
+	idle1 := window()
+	heavy2 := window()
+	if heavy1 < 4*idle1 || heavy2 < 4*idle1 {
+		t.Errorf("phases not alternating: heavy %d/%d vs idle %d", heavy1, heavy2, idle1)
+	}
+	// Default period applies when zero.
+	if _, _, err := PulsingSqueezer(SqueezerParams{Seed: 4}, 0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,342 @@
+// Package cache implements the set-associative cache models used by the
+// simulator: the private L1s, the set-partitioned shared LLC of Section 8,
+// and the resize semantics that dynamic partitioning relies on.
+//
+// Partitioning follows the paper's evaluation: the LLC is set-partitioned
+// (following Bespoke/Chunked-cache-style designs [15, 37, 46]), so a domain's
+// partition is an independent region of sets and resizing changes the number
+// of sets a domain owns. Lines are remapped on resize: lines whose new set
+// index still exists are reinserted (respecting associativity), the rest are
+// written back and dropped.
+package cache
+
+import (
+	"fmt"
+	"sort"
+)
+
+// LineBytes is the line size used throughout the simulated hierarchy
+// (Table 3: 64 B lines everywhere).
+const LineBytes = 64
+
+// Config describes a cache geometry.
+type Config struct {
+	// SizeBytes is the total capacity.
+	SizeBytes int64
+	// Ways is the associativity.
+	Ways int
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (c Config) Sets() int {
+	if c.Ways <= 0 {
+		return 0
+	}
+	return int(c.SizeBytes / int64(LineBytes*c.Ways))
+}
+
+// Validate checks the geometry is realizable.
+func (c Config) Validate() error {
+	if c.Ways <= 0 {
+		return fmt.Errorf("cache: ways = %d", c.Ways)
+	}
+	if c.SizeBytes <= 0 || c.SizeBytes%int64(LineBytes*c.Ways) != 0 {
+		return fmt.Errorf("cache: size %d not a multiple of way capacity %d", c.SizeBytes, LineBytes*c.Ways)
+	}
+	return nil
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	Writebacks uint64
+	// Prefetches counts lines installed by Prefetch (not demand traffic).
+	Prefetches uint64
+}
+
+// Accesses returns total accesses.
+func (s Stats) Accesses() uint64 { return s.Hits + s.Misses }
+
+// HitRate returns the hit fraction, or 0 with no accesses.
+func (s Stats) HitRate() float64 {
+	if a := s.Accesses(); a > 0 {
+		return float64(s.Hits) / float64(a)
+	}
+	return 0
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Hits += other.Hits
+	s.Misses += other.Misses
+	s.Evictions += other.Evictions
+	s.Writebacks += other.Writebacks
+	s.Prefetches += other.Prefetches
+}
+
+// Sub subtracts a baseline snapshot from s (interval statistics).
+func (s *Stats) Sub(base Stats) {
+	s.Hits -= base.Hits
+	s.Misses -= base.Misses
+	s.Evictions -= base.Evictions
+	s.Writebacks -= base.Writebacks
+	s.Prefetches -= base.Prefetches
+}
+
+// line is one cache line. The tag stores the full line address (address
+// divided by LineBytes); keeping the whole line address rather than a
+// set-relative tag makes resizing remaps trivial and costs nothing in a
+// simulator.
+type line struct {
+	lineAddr uint64
+	lru      uint64
+	valid    bool
+	dirty    bool
+}
+
+// Cache is a set-associative, true-LRU, write-back cache with a resizable
+// number of sets.
+type Cache struct {
+	ways  int
+	sets  int
+	lines []line // sets*ways, set-major
+	tick  uint64
+	stats Stats
+	// replacement-policy state (see policy.go); LRU needs none beyond the
+	// per-line tick.
+	policy Policy
+	plru   []uint32
+	rng    uint64
+}
+
+// New builds a cache with the given geometry.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cache{ways: cfg.Ways, sets: cfg.Sets()}
+	c.lines = make([]line, c.sets*c.ways)
+	return c, nil
+}
+
+// MustNew builds a cache and panics on invalid geometry. For tests and
+// static tables whose configs are compile-time constants.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Sets returns the current number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// SizeBytes returns the current capacity.
+func (c *Cache) SizeBytes() int64 { return int64(c.sets) * int64(c.ways) * LineBytes }
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters (used after warmup).
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// setIndex maps a line address to its set.
+func (c *Cache) setIndex(lineAddr uint64) int {
+	// Mix the upper bits into the index so strided patterns spread across
+	// sets the way physical indexing does. The mix must be consistent across
+	// resizes only in that it is a pure function of the line address.
+	h := lineAddr * 0x9E3779B97F4A7C15
+	h ^= h >> 32
+	return int(h % uint64(c.sets))
+}
+
+// Access performs a load or store of the line containing addr. It returns
+// true on hit. Misses allocate (write-allocate policy) and evict LRU.
+func (c *Cache) Access(addr uint64, write bool) bool {
+	lineAddr := addr / LineBytes
+	set := c.setIndex(lineAddr)
+	base := set * c.ways
+	ways := c.lines[base : base+c.ways]
+	c.tick++
+	empty := -1
+	for i := range ways {
+		l := &ways[i]
+		if !l.valid {
+			if empty < 0 {
+				empty = i
+			}
+			continue
+		}
+		if l.lineAddr == lineAddr {
+			l.lru = c.tick
+			if write {
+				l.dirty = true
+			}
+			if c.policy == TreePLRU {
+				c.plruTouch(set, i, c.ways)
+			}
+			c.stats.Hits++
+			return true
+		}
+	}
+	c.stats.Misses++
+	slot := empty
+	if slot < 0 {
+		slot = c.victimFor(set, ways)
+		c.stats.Evictions++
+		if ways[slot].dirty {
+			c.stats.Writebacks++
+		}
+	}
+	ways[slot] = line{lineAddr: lineAddr, lru: c.tick, valid: true, dirty: write}
+	if c.policy == TreePLRU {
+		c.plruTouch(set, slot, c.ways)
+	}
+	return false
+}
+
+// Prefetch installs the line containing addr if absent, inserting it in LRU
+// position below the most-recent line (conservative insertion, so useless
+// prefetches are evicted first). It does not touch demand hit/miss counters.
+func (c *Cache) Prefetch(addr uint64) {
+	lineAddr := addr / LineBytes
+	set := c.setIndex(lineAddr)
+	base := set * c.ways
+	ways := c.lines[base : base+c.ways]
+	var victim, empty = -1, -1
+	var oldest uint64 = ^uint64(0)
+	for i := range ways {
+		l := &ways[i]
+		if !l.valid {
+			if empty < 0 {
+				empty = i
+			}
+			continue
+		}
+		if l.lineAddr == lineAddr {
+			return // already resident; leave LRU state alone
+		}
+		if l.lru < oldest {
+			oldest = l.lru
+			victim = i
+		}
+	}
+	slot := empty
+	if slot < 0 {
+		slot = victim
+		c.stats.Evictions++
+		if ways[slot].dirty {
+			c.stats.Writebacks++
+		}
+	}
+	c.stats.Prefetches++
+	// Insert one tick below the current time so a demand access dominates.
+	lru := c.tick
+	if lru > 0 {
+		lru--
+	}
+	ways[slot] = line{lineAddr: lineAddr, lru: lru, valid: true}
+}
+
+// Contains reports whether the line holding addr is present, without
+// touching LRU state or statistics (a "probe" for tests and attackers).
+func (c *Cache) Contains(addr uint64) bool {
+	lineAddr := addr / LineBytes
+	base := c.setIndex(lineAddr) * c.ways
+	for _, l := range c.lines[base : base+c.ways] {
+		if l.valid && l.lineAddr == lineAddr {
+			return true
+		}
+	}
+	return false
+}
+
+// ValidLines returns the number of valid lines (for invariant checks).
+func (c *Cache) ValidLines() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Flush invalidates everything, counting writebacks for dirty lines.
+func (c *Cache) Flush() {
+	for i := range c.lines {
+		if c.lines[i].valid && c.lines[i].dirty {
+			c.stats.Writebacks++
+		}
+		c.lines[i] = line{}
+	}
+}
+
+// Resize changes the number of sets to match newSize, preserving lines
+// whose new set has room (LRU order decides who survives an over-full set).
+// Dirty dropped lines count as writebacks. Resizing to the current size is
+// a no-op so Maintain actions cost nothing.
+func (c *Cache) Resize(newSize int64) error {
+	cfg := Config{SizeBytes: newSize, Ways: c.ways}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	newSets := cfg.Sets()
+	if newSets == c.sets {
+		return nil
+	}
+	old := c.lines
+	c.sets = newSets
+	c.lines = make([]line, newSets*c.ways)
+	if c.plru != nil {
+		c.plru = make([]uint32, newSets)
+	}
+	// Reinsert surviving lines in LRU order (oldest first) so that when a
+	// new set overflows, the most recently used lines win.
+	survivors := make([]line, 0, len(old))
+	for i := range old {
+		if old[i].valid {
+			survivors = append(survivors, old[i])
+		}
+	}
+	sort.Slice(survivors, func(i, j int) bool { return survivors[i].lru < survivors[j].lru })
+	for _, l := range survivors {
+		set := c.setIndex(l.lineAddr)
+		base := set * c.ways
+		placed := false
+		slot, oldest := -1, ^uint64(0)
+		for i := 0; i < c.ways; i++ {
+			w := &c.lines[base+i]
+			if !w.valid {
+				*w = l
+				placed = true
+				break
+			}
+			if w.lru < oldest {
+				oldest = w.lru
+				slot = i
+			}
+		}
+		if !placed {
+			// Set over-full after shrink: replace the LRU occupant (which
+			// is older because we insert oldest-first). The displaced line
+			// is dropped; count its writeback if dirty.
+			displaced := c.lines[base+slot]
+			if displaced.lru < l.lru {
+				if displaced.dirty {
+					c.stats.Writebacks++
+				}
+				c.lines[base+slot] = l
+			} else if l.dirty {
+				c.stats.Writebacks++
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+package cache
+
+// Replacement policies. The paper's evaluation (and this repository's
+// default everywhere) is true LRU; hardware LLCs typically approximate it.
+// The alternatives exist for the replacement-policy ablation: tree-PLRU
+// tracks LRU closely, random replacement degrades re-use retention, and the
+// monitor's shadow tags — which assume stack-like behaviour — approximate
+// real utilities less well under random replacement.
+
+// Policy selects the victim within a set.
+type Policy int
+
+const (
+	// LRU evicts the least-recently-used line (the default).
+	LRU Policy = iota
+	// TreePLRU approximates LRU with a binary decision tree per set, the
+	// common hardware implementation for 8/16-way sets.
+	TreePLRU
+	// Random evicts a pseudo-random way (deterministically seeded).
+	Random
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "LRU"
+	case TreePLRU:
+		return "TreePLRU"
+	case Random:
+		return "Random"
+	default:
+		return "Policy(?)"
+	}
+}
+
+// SetPolicy switches the cache's replacement policy. It may be called only
+// before the first access (policy state is lazily initialized).
+func (c *Cache) SetPolicy(p Policy) {
+	c.policy = p
+	if p == TreePLRU && c.plru == nil {
+		// One bit per internal tree node, ways-1 nodes per set.
+		c.plru = make([]uint32, c.sets)
+	}
+}
+
+// Policy returns the active replacement policy.
+func (c *Cache) Policy() Policy { return c.policy }
+
+// victimFor picks the eviction way index for a full set under the active
+// policy. ways is the set's slice; used only when no empty way exists.
+func (c *Cache) victimFor(set int, ways []line) int {
+	switch c.policy {
+	case TreePLRU:
+		return c.plruVictim(set, len(ways))
+	case Random:
+		c.rng = c.rng*6364136223846793005 + 1442695040888963407
+		return int((c.rng >> 33) % uint64(len(ways)))
+	default:
+		victim, oldest := 0, ^uint64(0)
+		for i := range ways {
+			if ways[i].lru < oldest {
+				oldest = ways[i].lru
+				victim = i
+			}
+		}
+		return victim
+	}
+}
+
+// plruTouch updates the tree bits on an access to way w: each node on the
+// path is pointed AWAY from the accessed leaf.
+func (c *Cache) plruTouch(set, w, ways int) {
+	if c.plru == nil {
+		return
+	}
+	bits := c.plru[set]
+	node := 1
+	// Walk from the root: the tree has `ways` leaves (power of two assumed;
+	// non-power-of-two associativities fall back to modulo leaf mapping).
+	for span := ways; span > 1; span /= 2 {
+		half := span / 2
+		if w < half {
+			bits |= 1 << uint(node-1) // point to the right half
+			node = node * 2
+		} else {
+			bits &^= 1 << uint(node-1) // point to the left half
+			node = node*2 + 1
+			w -= half
+		}
+	}
+	c.plru[set] = bits
+}
+
+// plruVictim follows the tree bits to the pseudo-LRU leaf.
+func (c *Cache) plruVictim(set, ways int) int {
+	bits := c.plru[set]
+	node := 1
+	w := 0
+	for span := ways; span > 1; span /= 2 {
+		half := span / 2
+		if bits&(1<<uint(node-1)) != 0 {
+			// Bit points right: the colder half is the right one.
+			node = node*2 + 1
+			w += half
+		} else {
+			node = node * 2
+		}
+	}
+	if w >= ways {
+		w = ways - 1
+	}
+	return w
+}

@@ -1,0 +1,210 @@
+package cache
+
+import (
+	"fmt"
+)
+
+// WayPartitioned is the classic way-partitioned shared cache (Catalyst [28],
+// Intel CAT style): every set's ways are divided into contiguous per-domain
+// regions, so a domain's partition size moves in increments of one way
+// (1 MB for the Table 3 LLC). The evaluation uses set partitioning because
+// its 9 supported sizes go down to 128 kB; this type exists as the
+// comparison point for the granularity ablation — same total capacity,
+// coarser resizing alphabet.
+type WayPartitioned struct {
+	sets  int
+	ways  int
+	lines []line // sets*ways, set-major
+	tick  uint64
+	// wayStart/wayCount give each domain its contiguous way range.
+	wayStart []int
+	wayCount []int
+	stats    []Stats
+}
+
+// NewWayPartitioned builds the shared structure and grants each domain an
+// initial number of ways; the grants must fit the associativity.
+func NewWayPartitioned(cfg Config, initialWays []int) (*WayPartitioned, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	total := 0
+	for d, w := range initialWays {
+		if w < 1 {
+			return nil, fmt.Errorf("cache: domain %d granted %d ways", d, w)
+		}
+		total += w
+	}
+	if total > cfg.Ways {
+		return nil, fmt.Errorf("cache: %d ways granted, only %d exist", total, cfg.Ways)
+	}
+	w := &WayPartitioned{
+		sets:     cfg.Sets(),
+		ways:     cfg.Ways,
+		wayStart: make([]int, len(initialWays)),
+		wayCount: append([]int(nil), initialWays...),
+		stats:    make([]Stats, len(initialWays)),
+	}
+	w.lines = make([]line, w.sets*w.ways)
+	w.layout()
+	return w, nil
+}
+
+// layout recomputes contiguous way ranges from the counts, packing domains
+// in index order. Lines that fall outside their domain's new range are
+// invalidated by Resize before calling layout.
+func (w *WayPartitioned) layout() {
+	start := 0
+	for d := range w.wayCount {
+		w.wayStart[d] = start
+		start += w.wayCount[d]
+	}
+}
+
+// Ways returns the number of ways currently granted to a domain.
+func (w *WayPartitioned) Ways(domain int) int { return w.wayCount[domain] }
+
+// SizeBytes returns a domain's partition size.
+func (w *WayPartitioned) SizeBytes(domain int) int64 {
+	return int64(w.wayCount[domain]) * int64(w.sets) * LineBytes
+}
+
+// Stats returns a domain's counters.
+func (w *WayPartitioned) Stats(domain int) Stats { return w.stats[domain] }
+
+// Access performs a load/store for a domain, confined to its ways.
+func (w *WayPartitioned) Access(domain int, addr uint64, write bool) bool {
+	lineAddr := addr / LineBytes
+	h := lineAddr * 0x9E3779B97F4A7C15
+	h ^= h >> 32
+	set := int(h % uint64(w.sets))
+	base := set*w.ways + w.wayStart[domain]
+	ways := w.lines[base : base+w.wayCount[domain]]
+	w.tick++
+	st := &w.stats[domain]
+	var victim, empty = -1, -1
+	var oldest uint64 = ^uint64(0)
+	for i := range ways {
+		l := &ways[i]
+		if !l.valid {
+			if empty < 0 {
+				empty = i
+			}
+			continue
+		}
+		if l.lineAddr == lineAddr {
+			l.lru = w.tick
+			if write {
+				l.dirty = true
+			}
+			st.Hits++
+			return true
+		}
+		if l.lru < oldest {
+			oldest = l.lru
+			victim = i
+		}
+	}
+	st.Misses++
+	slot := empty
+	if slot < 0 {
+		slot = victim
+		st.Evictions++
+		if ways[slot].dirty {
+			st.Writebacks++
+		}
+	}
+	ways[slot] = line{lineAddr: lineAddr, lru: w.tick, valid: true, dirty: write}
+	return false
+}
+
+// Contains probes a domain's partition without side effects.
+func (w *WayPartitioned) Contains(domain int, addr uint64) bool {
+	lineAddr := addr / LineBytes
+	h := lineAddr * 0x9E3779B97F4A7C15
+	h ^= h >> 32
+	set := int(h % uint64(w.sets))
+	base := set*w.ways + w.wayStart[domain]
+	for _, l := range w.lines[base : base+w.wayCount[domain]] {
+		if l.valid && l.lineAddr == lineAddr {
+			return true
+		}
+	}
+	return false
+}
+
+// Resize changes every domain's way grant at once (way repartitioning is a
+// global operation: ranges shift). Lines are preserved where a domain's new
+// range overlaps its old one positionally; the rest are invalidated, with
+// dirty victims counted as writebacks against their owner.
+func (w *WayPartitioned) Resize(newWays []int) error {
+	if len(newWays) != len(w.wayCount) {
+		return fmt.Errorf("cache: %d grants for %d domains", len(newWays), len(w.wayCount))
+	}
+	total := 0
+	for d, n := range newWays {
+		if n < 1 {
+			return fmt.Errorf("cache: domain %d granted %d ways", d, n)
+		}
+		total += n
+	}
+	if total > w.ways {
+		return fmt.Errorf("cache: %d ways granted, only %d exist", total, w.ways)
+	}
+	same := true
+	for d, n := range newWays {
+		if n != w.wayCount[d] {
+			same = false
+			break
+		}
+	}
+	if same {
+		// Maintain: nothing moves, skip the migration entirely.
+		return nil
+	}
+	// Compute new starts, then migrate set by set: for each domain, copy the
+	// most-recently-used lines of its old range into its new range.
+	oldStart := append([]int(nil), w.wayStart...)
+	oldCount := append([]int(nil), w.wayCount...)
+	w.wayCount = append(w.wayCount[:0], newWays...)
+	w.layout()
+	newLines := make([]line, len(w.lines))
+	for set := 0; set < w.sets; set++ {
+		base := set * w.ways
+		for d := range newWays {
+			src := w.lines[base+oldStart[d] : base+oldStart[d]+oldCount[d]]
+			dst := newLines[base+w.wayStart[d] : base+w.wayStart[d]+w.wayCount[d]]
+			keepTopLRU(src, dst, &w.stats[d])
+		}
+	}
+	w.lines = newLines
+	return nil
+}
+
+// keepTopLRU copies the most-recently-used valid lines of src into dst
+// (which holds len(dst) slots), charging writebacks for dropped dirty lines.
+func keepTopLRU(src, dst []line, st *Stats) {
+	// Selection by repeated max; way counts are at most 16.
+	used := make([]bool, len(src))
+	for slot := range dst {
+		best, bestLRU := -1, uint64(0)
+		for i := range src {
+			if used[i] || !src[i].valid {
+				continue
+			}
+			if best < 0 || src[i].lru > bestLRU {
+				best, bestLRU = i, src[i].lru
+			}
+		}
+		if best < 0 {
+			break
+		}
+		dst[slot] = src[best]
+		used[best] = true
+	}
+	for i := range src {
+		if src[i].valid && !used[i] && src[i].dirty {
+			st.Writebacks++
+		}
+	}
+}

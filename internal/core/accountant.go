@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"untangle/internal/covert"
+)
+
+// AccountantConfig configures runtime leakage accounting for one scheme.
+type AccountantConfig struct {
+	// Domains is the number of security domains tracked.
+	Domains int
+	// Actions is the number of supported resizing actions |A|; the Time
+	// baseline is charged log2(Actions) bits per assessment (Section 8,
+	// "Measuring the Leakage").
+	Actions int
+	// Table is the precomputed covert-channel rate table; required for
+	// Untangle accounting, ignored by the Time baseline.
+	Table *covert.RateTable
+	// OptimizeMaintain enables the Section 5.3.4 optimization: runs of
+	// invisible Maintain actions lengthen the effective cooldown and lower
+	// the charged rate. Disabling it reproduces the worst-case accounting
+	// used for the active-attacker experiment of Section 9.
+	OptimizeMaintain bool
+	// Budget, if positive, is the per-domain leakage threshold in bits
+	// (Section 4): once a domain's accumulated leakage reaches it, the
+	// domain is frozen and no further resizes are allowed.
+	Budget float64
+}
+
+// DomainLeakage aggregates one domain's accounting state.
+type DomainLeakage struct {
+	// TotalBits is the accumulated leakage charge.
+	TotalBits float64
+	// Assessments counts resizing assessments.
+	Assessments int
+	// Visible counts attacker-visible actions (size changes).
+	Visible int
+	// MaintainRun is the current run of consecutive Maintains.
+	MaintainRun int
+	// lastVisible is the time of the last visible action (or the start of
+	// accounting), the reference point for the next gap charge.
+	lastVisible time.Duration
+	// lastAssessment is the time of the last assessment of any kind.
+	lastAssessment time.Duration
+	// Frozen reports whether the budget is exhausted.
+	Frozen bool
+}
+
+// PerAssessment returns the average leakage per assessment in bits.
+func (d DomainLeakage) PerAssessment() float64 {
+	if d.Assessments == 0 {
+		return 0
+	}
+	return d.TotalBits / float64(d.Assessments)
+}
+
+// MaintainFraction returns the fraction of assessments that were Maintains.
+func (d DomainLeakage) MaintainFraction() float64 {
+	if d.Assessments == 0 {
+		return 0
+	}
+	return 1 - float64(d.Visible)/float64(d.Assessments)
+}
+
+// TimeAccountant implements the Section 8 baseline accounting for the Time
+// scheme: every assessment leaks log2(|A|) bits, because with a
+// fixed-time schedule the conservative analysis must assume every action
+// choice is equally likely (Section 3.3).
+type TimeAccountant struct {
+	perAssessment float64
+	domains       []DomainLeakage
+	budget        float64
+}
+
+// NewTimeAccountant builds the baseline accountant.
+func NewTimeAccountant(cfg AccountantConfig) (*TimeAccountant, error) {
+	if cfg.Domains <= 0 || cfg.Actions < 2 {
+		return nil, fmt.Errorf("core: need domains and at least 2 actions")
+	}
+	return &TimeAccountant{
+		perAssessment: math.Log2(float64(cfg.Actions)),
+		domains:       make([]DomainLeakage, cfg.Domains),
+		budget:        cfg.Budget,
+	}, nil
+}
+
+// RecordAssessment charges one assessment for a domain.
+func (a *TimeAccountant) RecordAssessment(domain int, visible bool, at time.Duration) {
+	d := &a.domains[domain]
+	if d.Frozen {
+		return
+	}
+	d.Assessments++
+	if visible {
+		d.Visible++
+	}
+	d.TotalBits += a.perAssessment
+	d.lastAssessment = at
+	if a.budget > 0 && d.TotalBits >= a.budget {
+		d.Frozen = true
+	}
+}
+
+// Domain returns a copy of a domain's accounting state.
+func (a *TimeAccountant) Domain(domain int) DomainLeakage { return a.domains[domain] }
+
+// Frozen reports whether the domain exhausted its budget.
+func (a *TimeAccountant) Frozen(domain int) bool { return a.domains[domain].Frozen }
+
+// PerAssessmentBits returns the constant charge (log2 |A|).
+func (a *TimeAccountant) PerAssessmentBits() float64 { return a.perAssessment }
+
+// UntangleAccountant implements the Section 7 runtime measurement: action
+// leakage is zero (eliminated by the design principles plus annotations), and
+// scheduling leakage is charged per visible resize at the precomputed rate
+// Rmax_m, where m is the number of consecutive Maintains since the last
+// visible action.
+//
+// The accounting follows the hardware table protocol: while a domain keeps
+// choosing Maintain, nothing is charged; when a visible resize occurs after
+// m Maintains, the whole gap since the previous visible action is charged at
+// rate Rmax_m (conservative: the gap is at least (m+1)Tc, and Rmax_m is the
+// verified upper bound for that effective cooldown).
+type UntangleAccountant struct {
+	table            *covert.RateTable
+	optimizeMaintain bool
+	budget           float64
+	domains          []DomainLeakage
+}
+
+// NewUntangleAccountant builds the Untangle accountant.
+func NewUntangleAccountant(cfg AccountantConfig) (*UntangleAccountant, error) {
+	if cfg.Domains <= 0 {
+		return nil, fmt.Errorf("core: need at least one domain")
+	}
+	if cfg.Table == nil {
+		return nil, fmt.Errorf("core: Untangle accounting needs a rate table")
+	}
+	return &UntangleAccountant{
+		table:            cfg.Table,
+		optimizeMaintain: cfg.OptimizeMaintain,
+		budget:           cfg.Budget,
+		domains:          make([]DomainLeakage, cfg.Domains),
+	}, nil
+}
+
+// RecordAssessment charges a domain for one assessment at time at.
+func (a *UntangleAccountant) RecordAssessment(domain int, visible bool, at time.Duration) {
+	d := &a.domains[domain]
+	if d.Frozen {
+		return
+	}
+	d.Assessments++
+	if a.optimizeMaintain {
+		if visible {
+			d.Visible++
+			d.TotalBits += a.table.LeakagePerResize(d.MaintainRun)
+			d.MaintainRun = 0
+			d.lastVisible = at
+		} else {
+			d.MaintainRun++
+		}
+	} else {
+		// Worst-case model (Section 5.3.3): every action is assumed to
+		// change the partition size, so every assessment is charged the
+		// per-transmission bound of the base Tc channel.
+		if visible {
+			d.Visible++
+		}
+		d.TotalBits += a.table.LeakagePerResize(0)
+		d.lastVisible = at
+	}
+	d.lastAssessment = at
+	if a.budget > 0 && d.TotalBits >= a.budget {
+		d.Frozen = true
+	}
+}
+
+// Domain returns a copy of a domain's accounting state.
+func (a *UntangleAccountant) Domain(domain int) DomainLeakage { return a.domains[domain] }
+
+// Frozen reports whether the domain exhausted its budget (Section 4: the
+// victim may not resize further; performance suffers but security holds).
+func (a *UntangleAccountant) Frozen(domain int) bool { return a.domains[domain].Frozen }
+
+// Table exposes the rate table (for reporting).
+func (a *UntangleAccountant) Table() *covert.RateTable { return a.table }
+
+// Accountant is the interface the simulator drives; both the Time baseline
+// and Untangle implement it.
+type Accountant interface {
+	RecordAssessment(domain int, visible bool, at time.Duration)
+	Domain(domain int) DomainLeakage
+	Frozen(domain int) bool
+}
+
+var (
+	_ Accountant = (*TimeAccountant)(nil)
+	_ Accountant = (*UntangleAccountant)(nil)
+)
+
+// NullAccountant records assessments without charging leakage; used for the
+// Static and Shared schemes, which never resize (Static) or have no
+// partition to observe (Shared).
+type NullAccountant struct {
+	domains []DomainLeakage
+}
+
+// NewNullAccountant builds a no-op accountant for n domains.
+func NewNullAccountant(n int) *NullAccountant {
+	return &NullAccountant{domains: make([]DomainLeakage, n)}
+}
+
+// RecordAssessment implements Accountant.
+func (a *NullAccountant) RecordAssessment(domain int, visible bool, _ time.Duration) {
+	d := &a.domains[domain]
+	d.Assessments++
+	if visible {
+		d.Visible++
+	}
+}
+
+// Domain implements Accountant.
+func (a *NullAccountant) Domain(domain int) DomainLeakage { return a.domains[domain] }
+
+// Frozen implements Accountant.
+func (a *NullAccountant) Frozen(int) bool { return false }
+
+var _ Accountant = (*NullAccountant)(nil)

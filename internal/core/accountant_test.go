@@ -1,0 +1,222 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"untangle/internal/covert"
+)
+
+func testTable(t *testing.T) *covert.RateTable {
+	t.Helper()
+	tbl, err := covert.Shared(covert.TableConfig{
+		Unit:         100 * time.Microsecond,
+		Cooldown:     time.Millisecond,
+		DelayWidth:   time.Millisecond,
+		MaxMaintains: 8,
+		Solver: covert.SolverConfig{
+			MaxDinkelbachRounds: 8,
+			Tolerance:           1e-5,
+			InnerIterations:     150,
+			InnerStep:           0.3,
+			UpperBoundSlack:     1e-3,
+			VerifyIterations:    300,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestTimeAccountantChargesLog2Actions(t *testing.T) {
+	a, err := NewTimeAccountant(AccountantConfig{Domains: 2, Actions: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Log2(9) // 3.17 bits, the paper's Time baseline
+	if got := a.PerAssessmentBits(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("per-assessment = %v, want log2 9", got)
+	}
+	for i := 0; i < 100; i++ {
+		a.RecordAssessment(0, i%7 == 0, time.Duration(i)*time.Millisecond)
+	}
+	d := a.Domain(0)
+	if d.Assessments != 100 {
+		t.Errorf("assessments = %d", d.Assessments)
+	}
+	if math.Abs(d.TotalBits-100*want) > 1e-9 {
+		t.Errorf("total = %v, want %v", d.TotalBits, 100*want)
+	}
+	if math.Abs(d.PerAssessment()-want) > 1e-9 {
+		t.Errorf("per assessment = %v, want %v", d.PerAssessment(), want)
+	}
+	// Untouched domain stays zero.
+	if a.Domain(1).TotalBits != 0 {
+		t.Error("domain 1 charged without assessments")
+	}
+}
+
+func TestTimeAccountantValidation(t *testing.T) {
+	if _, err := NewTimeAccountant(AccountantConfig{Domains: 0, Actions: 9}); err == nil {
+		t.Error("zero domains accepted")
+	}
+	if _, err := NewTimeAccountant(AccountantConfig{Domains: 1, Actions: 1}); err == nil {
+		t.Error("single action accepted")
+	}
+}
+
+func TestUntangleAccountantMaintainsAreFree(t *testing.T) {
+	a, err := NewUntangleAccountant(AccountantConfig{Domains: 1, Table: testTable(t), OptimizeMaintain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 50; i++ {
+		a.RecordAssessment(0, false, time.Duration(i)*time.Millisecond)
+	}
+	d := a.Domain(0)
+	if d.TotalBits != 0 {
+		t.Errorf("50 Maintains charged %v bits, want 0 until a visible action", d.TotalBits)
+	}
+	if d.MaintainRun != 50 {
+		t.Errorf("maintain run = %d", d.MaintainRun)
+	}
+	if d.MaintainFraction() != 1 {
+		t.Errorf("maintain fraction = %v", d.MaintainFraction())
+	}
+}
+
+func TestUntangleAccountantVisibleChargesGapAtRunRate(t *testing.T) {
+	tbl := testTable(t)
+	a, _ := NewUntangleAccountant(AccountantConfig{Domains: 1, Table: tbl, OptimizeMaintain: true})
+	// 4 Maintains at 1..4ms, then a visible resize at 5ms: charge the 5ms
+	// gap at Rmax_4.
+	for i := 1; i <= 4; i++ {
+		a.RecordAssessment(0, false, time.Duration(i)*time.Millisecond)
+	}
+	a.RecordAssessment(0, true, 5*time.Millisecond)
+	want := tbl.LeakagePerResize(4)
+	d := a.Domain(0)
+	if math.Abs(d.TotalBits-want) > 1e-12 {
+		t.Errorf("charged %v, want %v", d.TotalBits, want)
+	}
+	if d.MaintainRun != 0 {
+		t.Error("maintain run not reset by a visible action")
+	}
+	if d.Visible != 1 || d.Assessments != 5 {
+		t.Errorf("counts = %+v", d)
+	}
+}
+
+func TestUntangleOptimizationLowersCharge(t *testing.T) {
+	// The same trace (9 Maintains + 1 visible, repeated) must cost strictly
+	// less with the Section 5.3.4 optimization than without it.
+	tbl := testTable(t)
+	run := func(optimize bool) float64 {
+		a, _ := NewUntangleAccountant(AccountantConfig{Domains: 1, Table: tbl, OptimizeMaintain: optimize})
+		at := time.Duration(0)
+		for round := 0; round < 10; round++ {
+			for i := 0; i < 9; i++ {
+				at += time.Millisecond
+				a.RecordAssessment(0, false, at)
+			}
+			at += time.Millisecond
+			a.RecordAssessment(0, true, at)
+		}
+		return a.Domain(0).TotalBits
+	}
+	opt, worst := run(true), run(false)
+	if opt >= worst {
+		t.Errorf("optimized charge %v >= worst-case %v", opt, worst)
+	}
+	if opt <= 0 || worst <= 0 {
+		t.Error("charges must be positive")
+	}
+}
+
+func TestUntangleWorstCaseChargesEveryAssessment(t *testing.T) {
+	tbl := testTable(t)
+	a, _ := NewUntangleAccountant(AccountantConfig{Domains: 1, Table: tbl, OptimizeMaintain: false})
+	for i := 1; i <= 10; i++ {
+		a.RecordAssessment(0, false, time.Duration(i)*time.Millisecond)
+	}
+	d := a.Domain(0)
+	want := 10 * tbl.LeakagePerResize(0)
+	if math.Abs(d.TotalBits-want) > 1e-9 {
+		t.Errorf("worst-case charge = %v, want %v", d.TotalBits, want)
+	}
+}
+
+func TestBudgetFreezesDomain(t *testing.T) {
+	tbl := testTable(t)
+	perVisible := tbl.LeakagePerResize(0)
+	a, _ := NewUntangleAccountant(AccountantConfig{
+		Domains: 1, Table: tbl, OptimizeMaintain: true,
+		Budget: 2.5 * perVisible,
+	})
+	at := time.Duration(0)
+	visibleAccepted := 0
+	for i := 0; i < 10; i++ {
+		at += time.Millisecond
+		if !a.Frozen(0) {
+			visibleAccepted++
+		}
+		a.RecordAssessment(0, true, at)
+	}
+	if !a.Frozen(0) {
+		t.Fatal("domain never froze")
+	}
+	d := a.Domain(0)
+	// Charges stop once frozen: total stays near the budget.
+	if d.TotalBits > 3.2*perVisible {
+		t.Errorf("total %v exceeded budget region", d.TotalBits)
+	}
+	if visibleAccepted >= 10 {
+		t.Error("freeze did not limit resizes")
+	}
+	// Section 4/6.2: security holds; only performance suffers afterwards.
+}
+
+func TestTimeAccountantBudget(t *testing.T) {
+	a, _ := NewTimeAccountant(AccountantConfig{Domains: 1, Actions: 9, Budget: 10})
+	for i := 0; i < 10; i++ {
+		a.RecordAssessment(0, true, time.Duration(i)*time.Millisecond)
+	}
+	if !a.Frozen(0) {
+		t.Error("Time accountant did not freeze at budget")
+	}
+	d := a.Domain(0)
+	if d.TotalBits > 13 {
+		t.Errorf("charges continued after freeze: %v", d.TotalBits)
+	}
+}
+
+func TestUntangleAccountantValidation(t *testing.T) {
+	if _, err := NewUntangleAccountant(AccountantConfig{Domains: 1}); err == nil {
+		t.Error("missing table accepted")
+	}
+	if _, err := NewUntangleAccountant(AccountantConfig{Domains: 0, Table: testTable(t)}); err == nil {
+		t.Error("zero domains accepted")
+	}
+}
+
+func TestNullAccountant(t *testing.T) {
+	a := NewNullAccountant(2)
+	a.RecordAssessment(1, true, time.Millisecond)
+	a.RecordAssessment(1, false, 2*time.Millisecond)
+	if a.Frozen(1) {
+		t.Error("null accountant froze")
+	}
+	d := a.Domain(1)
+	if d.TotalBits != 0 || d.Assessments != 2 || d.Visible != 1 {
+		t.Errorf("state = %+v", d)
+	}
+}
+
+func TestPerAssessmentZeroWithoutAssessments(t *testing.T) {
+	var d DomainLeakage
+	if d.PerAssessment() != 0 || d.MaintainFraction() != 0 {
+		t.Error("empty domain stats should be zero")
+	}
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Tier is a security level in the extended threat model of Section 6.4:
+// information may flow from a lower-tiered program L to a higher-tiered
+// program H, but not vice versa. The paper's default peer model corresponds
+// to every domain sharing one tier.
+type Tier int
+
+// TieredAccountant wraps an Accountant with the Section 6.4 charging rule:
+// a domain's visible resizing action is chargeable only if some *other*
+// domain sits at the same tier or below — i.e., there exists an observer to
+// whom information flow is forbidden. When every co-located domain is
+// strictly higher-tiered, the resize is an allowed L-to-H flow and "does not
+// count towards the leakage thresholds of both programs".
+//
+// Section 6.4's caveat — that L's resizing perturbs H's timing, which H's
+// secret-dependent behaviour can reflect back through other observable
+// events — is a scheduling-leakage channel on H's side; it is measured by
+// charging H (not L) through its own accountant when H is chargeable.
+type TieredAccountant struct {
+	inner Accountant
+	tiers []Tier
+	// skipped counts assessments recorded as free flows per domain.
+	skipped []int
+}
+
+// NewTieredAccountant wraps inner with per-domain tiers.
+func NewTieredAccountant(inner Accountant, tiers []Tier) (*TieredAccountant, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("core: nil inner accountant")
+	}
+	if len(tiers) == 0 {
+		return nil, fmt.Errorf("core: no tiers")
+	}
+	return &TieredAccountant{
+		inner:   inner,
+		tiers:   append([]Tier(nil), tiers...),
+		skipped: make([]int, len(tiers)),
+	}, nil
+}
+
+// Chargeable reports whether a visible resize by domain counts against its
+// budget: true when some other domain's tier is less than or equal to the
+// actor's (an observer the actor must not leak to exists).
+func (a *TieredAccountant) Chargeable(domain int) bool {
+	for i, t := range a.tiers {
+		if i != domain && t <= a.tiers[domain] {
+			return true
+		}
+	}
+	return false
+}
+
+// RecordAssessment implements Accountant. Non-chargeable visible actions are
+// recorded as invisible so that assessments still count (the schedule is
+// public) but no bits are charged.
+func (a *TieredAccountant) RecordAssessment(domain int, visible bool, at time.Duration) {
+	if visible && !a.Chargeable(domain) {
+		a.skipped[domain]++
+		visible = false
+	}
+	a.inner.RecordAssessment(domain, visible, at)
+}
+
+// Domain implements Accountant.
+func (a *TieredAccountant) Domain(domain int) DomainLeakage { return a.inner.Domain(domain) }
+
+// Frozen implements Accountant.
+func (a *TieredAccountant) Frozen(domain int) bool { return a.inner.Frozen(domain) }
+
+// FreeFlows returns how many visible actions by domain were allowed as
+// lower-to-higher flows without charge.
+func (a *TieredAccountant) FreeFlows(domain int) int { return a.skipped[domain] }
+
+var _ Accountant = (*TieredAccountant)(nil)

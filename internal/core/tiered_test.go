@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTieredValidation(t *testing.T) {
+	if _, err := NewTieredAccountant(nil, []Tier{0}); err == nil {
+		t.Error("nil inner accepted")
+	}
+	if _, err := NewTieredAccountant(NewNullAccountant(1), nil); err == nil {
+		t.Error("empty tiers accepted")
+	}
+}
+
+func TestTieredChargeability(t *testing.T) {
+	// Domain 0 at tier 0 (low), domains 1 and 2 at tier 1 (high), domain 3
+	// at tier 1.
+	a, err := NewTieredAccountant(NewNullAccountant(4), []Tier{0, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The low domain only coexists with strictly-higher domains: its
+	// resizes are allowed flows.
+	if a.Chargeable(0) {
+		t.Error("L among only-H peers should not be chargeable")
+	}
+	// A high domain has peers at its own tier (and a lower one): chargeable.
+	for _, d := range []int{1, 2, 3} {
+		if !a.Chargeable(d) {
+			t.Errorf("domain %d should be chargeable", d)
+		}
+	}
+}
+
+func TestTieredPeersAllChargeable(t *testing.T) {
+	// The paper's default peer model: one tier for everyone.
+	a, _ := NewTieredAccountant(NewNullAccountant(3), []Tier{5, 5, 5})
+	for d := 0; d < 3; d++ {
+		if !a.Chargeable(d) {
+			t.Errorf("peer domain %d should be chargeable", d)
+		}
+	}
+}
+
+func TestTieredRecordingSkipsFreeFlows(t *testing.T) {
+	inner, err := NewUntangleAccountant(AccountantConfig{
+		Domains: 2, Table: testTable(t), OptimizeMaintain: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewTieredAccountant(inner, []Tier{0, 1}) // L, H
+	if err != nil {
+		t.Fatal(err)
+	}
+	// L performs visible resizes: free (flows to H only).
+	for i := 1; i <= 5; i++ {
+		a.RecordAssessment(0, true, time.Duration(i)*time.Millisecond)
+	}
+	if got := a.Domain(0).TotalBits; got != 0 {
+		t.Errorf("L charged %v bits for allowed flows", got)
+	}
+	if a.FreeFlows(0) != 5 {
+		t.Errorf("free flows = %d, want 5", a.FreeFlows(0))
+	}
+	if a.Domain(0).Assessments != 5 {
+		t.Errorf("assessments = %d; free flows still count as assessments", a.Domain(0).Assessments)
+	}
+	// H performs visible resizes: charged (L observes it).
+	for i := 1; i <= 5; i++ {
+		a.RecordAssessment(1, true, time.Duration(i)*time.Millisecond)
+	}
+	if got := a.Domain(1).TotalBits; got <= 0 {
+		t.Error("H not charged despite a lower-tier observer")
+	}
+	if a.Frozen(1) {
+		t.Error("unexpected freeze")
+	}
+}
+
+func TestTieredSingleDomainNeverChargeable(t *testing.T) {
+	a, _ := NewTieredAccountant(NewNullAccountant(1), []Tier{0})
+	if a.Chargeable(0) {
+		t.Error("a lone domain has no observers")
+	}
+}

@@ -1,0 +1,144 @@
+// Package core implements the Untangle framework itself (Section 5 of the
+// paper): the formal decomposition of resizing-trace leakage into action
+// leakage and scheduling leakage (Equations 5.1-5.6), and the runtime
+// leakage accountant of Section 7 that charges scheduling leakage against a
+// victim's budget using the precomputed covert-channel rate table.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"untangle/internal/info"
+)
+
+// ResizingTrace is one realizable resizing trace: the sequence of actions
+// (partition sizes, or any comparable action encoding) and the time of each
+// action (Section 3.2). Times are integer timestamps at a finite resolution,
+// as the paper assumes.
+type ResizingTrace struct {
+	Actions []int64
+	Times   []int64
+}
+
+// actionKey returns a map key identifying the action sequence S.
+func (t ResizingTrace) actionKey() string {
+	return fmt.Sprint(t.Actions)
+}
+
+// fullKey identifies the complete trace (S, T_S).
+func (t ResizingTrace) fullKey() string {
+	return fmt.Sprint(t.Actions, t.Times)
+}
+
+// Validate checks the trace is well-formed: matching lengths and strictly
+// increasing timestamps.
+func (t ResizingTrace) Validate() error {
+	if len(t.Actions) != len(t.Times) {
+		return fmt.Errorf("core: %d actions but %d times", len(t.Actions), len(t.Times))
+	}
+	for i := 1; i < len(t.Times); i++ {
+		if t.Times[i] <= t.Times[i-1] {
+			return fmt.Errorf("core: timestamps must be strictly increasing (index %d)", i)
+		}
+	}
+	return nil
+}
+
+// WeightedTrace pairs a realizable trace with its probability of occurring
+// (driven by the distribution of the victim's secret inputs).
+type WeightedTrace struct {
+	Trace ResizingTrace
+	Prob  float64
+}
+
+// TraceSet is the set of realizable resizing traces of a victim program
+// together with their probabilities — the object whose entropy defines the
+// program's leakage (Section 3.2).
+type TraceSet struct {
+	traces []WeightedTrace
+}
+
+// NewTraceSet validates the traces and probabilities.
+func NewTraceSet(traces []WeightedTrace) (*TraceSet, error) {
+	sum := 0.0
+	for i, wt := range traces {
+		if err := wt.Trace.Validate(); err != nil {
+			return nil, fmt.Errorf("trace %d: %w", i, err)
+		}
+		if wt.Prob < 0 {
+			return nil, fmt.Errorf("trace %d: negative probability", i)
+		}
+		sum += wt.Prob
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return nil, fmt.Errorf("core: trace probabilities sum to %v", sum)
+	}
+	return &TraceSet{traces: append([]WeightedTrace(nil), traces...)}, nil
+}
+
+// TotalLeakage returns L = H(S, T_S), the joint entropy of the realizable
+// traces (Equation 5.1), in bits. Identical (S, T_S) pairs are merged first.
+func (ts *TraceSet) TotalLeakage() float64 {
+	probs := map[string]float64{}
+	for _, wt := range ts.traces {
+		probs[wt.Trace.fullKey()] += wt.Prob
+	}
+	return entropyOfMap(probs)
+}
+
+// ActionLeakage returns H(S), the entropy of the action sequences alone —
+// the "what" part of the leakage (Equation 5.6, first term).
+func (ts *TraceSet) ActionLeakage() float64 {
+	probs := map[string]float64{}
+	for _, wt := range ts.traces {
+		probs[wt.Trace.actionKey()] += wt.Prob
+	}
+	return entropyOfMap(probs)
+}
+
+// SchedulingLeakage returns E[H(T_s | S=s)], the expected entropy of the
+// timing sequences within each action sequence — the "when" part of the
+// leakage (Equation 5.6, second term).
+func (ts *TraceSet) SchedulingLeakage() float64 {
+	// Group traces by action sequence.
+	groups := map[string]map[string]float64{}
+	groupProb := map[string]float64{}
+	for _, wt := range ts.traces {
+		ak := wt.Trace.actionKey()
+		if groups[ak] == nil {
+			groups[ak] = map[string]float64{}
+		}
+		groups[ak][wt.Trace.fullKey()] += wt.Prob
+		groupProb[ak] += wt.Prob
+	}
+	leak := 0.0
+	for ak, group := range groups {
+		p := groupProb[ak]
+		if p <= 0 {
+			continue
+		}
+		// Conditional distribution of timings given S = s.
+		cond := make(info.Dist, 0, len(group))
+		for _, q := range group {
+			cond = append(cond, q/p)
+		}
+		leak += p * cond.Entropy()
+	}
+	return leak
+}
+
+// Decompose returns (total, action, scheduling) leakage. The chain rule of
+// Equation 5.6 guarantees total = action + scheduling; Decompose computes
+// all three independently so tests can verify the identity.
+func (ts *TraceSet) Decompose() (total, action, scheduling float64) {
+	return ts.TotalLeakage(), ts.ActionLeakage(), ts.SchedulingLeakage()
+}
+
+func entropyOfMap(probs map[string]float64) float64 {
+	d := make(info.Dist, 0, len(probs))
+	for _, p := range probs {
+		d = append(d, p)
+	}
+	return d.Entropy()
+}

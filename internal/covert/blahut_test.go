@@ -1,0 +1,95 @@
+package covert
+
+import (
+	"math"
+	"testing"
+
+	"untangle/internal/info"
+)
+
+func TestConstShiftNonNegative(t *testing.T) {
+	// H(δ_i - δ_{i-1}) >= H(δ): convolving with an independent copy cannot
+	// reduce entropy.
+	for _, w := range []int{1, 2, 4, 16, 40} {
+		ch, err := NewChannel([]int{10, 20}, UniformNoise(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s := ch.constShift(); s < -1e-12 {
+			t.Errorf("width %d: shift = %v", w, s)
+		}
+	}
+}
+
+func TestBlahutAgreesWithMirrorDescent(t *testing.T) {
+	cfgs := []struct {
+		name      string
+		durations []int
+		noise     int
+	}{
+		{"noiseless", []int{5, 7, 11, 16}, 1},
+		{"narrow-noise", []int{20, 24, 28, 36, 52}, 6},
+		{"paper-like", rangeDur(40, 400, 8), 40},
+	}
+	solver := DefaultSolverConfig()
+	for _, c := range cfgs {
+		t.Run(c.name, func(t *testing.T) {
+			ch, err := NewChannel(c.durations, UniformNoise(c.noise))
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := ch.MaxRate(solver)
+			b := ch.MaxRateBlahut(solver)
+			if rel := math.Abs(a.Rate-b.Rate) / math.Max(a.Rate, 1e-12); rel > 0.01 {
+				t.Errorf("solvers disagree: mirror %v vs blahut %v (rel %v)", a.Rate, b.Rate, rel)
+			}
+			if !b.Verified {
+				t.Error("blahut bound not verified")
+			}
+			// Each solver's achieved rate must respect the other's verified
+			// upper bound.
+			if a.Rate > b.UpperBound+1e-9 || b.Rate > a.UpperBound+1e-9 {
+				t.Errorf("rates exceed cross bounds: %v/%v vs bounds %v/%v",
+					a.Rate, b.Rate, a.UpperBound, b.UpperBound)
+			}
+		})
+	}
+}
+
+func rangeDur(lo, hi, step int) []int {
+	var out []int
+	for d := lo; d <= hi; d += step {
+		out = append(out, d)
+	}
+	return out
+}
+
+func TestBlahutHelperImprovesObjective(t *testing.T) {
+	ch, err := NewChannel(rangeDur(20, 120, 4), UniformNoise(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := 0.02
+	uniformObj := ch.objective(info.NewUniform(len(ch.Durations)), q)
+	_, solved := ch.blahutHelper(q, 200, 1e-10)
+	if solved < uniformObj-1e-9 {
+		t.Errorf("helper objective %v below uniform starting point %v", solved, uniformObj)
+	}
+}
+
+func TestBlahutNoiselessMatchesExactCapacityTradeoff(t *testing.T) {
+	// For a noiseless channel, R'max = max_p H(X)/E[d_X]. For two symbols
+	// with durations d1, d2 the optimum is known to satisfy
+	// R = log2(z)/d1 where z solves z^{-d1} + z^{-d2} = 1 (Shannon's
+	// combinatorial capacity of timing codes). Check against a numerically
+	// solved instance: d = {1, 2} gives R = log2(golden ratio) ≈ 0.6942.
+	ch, err := NewChannel([]int{1, 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ch.MaxRateBlahut(DefaultSolverConfig())
+	want := math.Log2((1 + math.Sqrt(5)) / 2)
+	if math.Abs(res.Rate-want) > 0.01 {
+		t.Errorf("noiseless {1,2} rate = %v, want log2(phi) = %v", res.Rate, want)
+	}
+}

@@ -1,0 +1,205 @@
+// Package covert implements the covert-channel model of Section 5.3.3 of the
+// Untangle paper and the maximum-data-rate computation of Appendix A.
+//
+// The model: information is encoded as the time a victim spends in an
+// observable state (a partition size). The sender picks an input symbol x,
+// represented by a duration d_x measured in integer time units; the cooldown
+// mechanism (Mechanism 1) forces d_x >= Tc. The resizing action that ends the
+// duration is delayed by a random δ drawn from a known distribution
+// (Mechanism 2), so the receiver observes
+//
+//	d_y = d_x + δ_i - δ_{i-1}                     (Equation 5.8)
+//
+// The per-transmission information is bounded by H(Y) - H(δ) (Equation A.10)
+// and the channel's data rate by
+//
+//	R'max = max_{p(x)} (H(Y) - H(δ)) / Tavg       (Problem A.11)
+//
+// which this package solves with Dinkelbach's transform (Appendix A), using a
+// pure-Go exponentiated-gradient concave maximizer in place of the paper's
+// PyTorch Adam optimizer.
+package covert
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"untangle/internal/info"
+)
+
+// Channel is a fully-specified covert channel: a set of candidate input
+// durations and the random-delay distribution.
+type Channel struct {
+	// Durations holds d_x for every input symbol, in integer time units,
+	// strictly increasing. Mechanism 1 requires Durations[0] >= cooldown.
+	Durations []int
+	// Noise is the distribution of the random delay δ over offsets
+	// 0..len(Noise)-1 time units. A single-point distribution means no
+	// random delay (Mechanism 2 disabled).
+	Noise info.Dist
+
+	// noiseDiff is p(δ_i - δ_{i-1}), the autocorrelation of Noise, over
+	// offsets -(W-1)..W-1 stored at index k+(W-1).
+	noiseDiff []float64
+	// hNoise is H(δ) in bits.
+	hNoise float64
+}
+
+// NewChannel validates and precomputes a channel.
+func NewChannel(durations []int, noise info.Dist) (*Channel, error) {
+	if len(durations) == 0 {
+		return nil, errors.New("covert: no input durations")
+	}
+	for i, d := range durations {
+		if d <= 0 {
+			return nil, fmt.Errorf("covert: duration %d is %d, must be positive", i, d)
+		}
+		if i > 0 && durations[i] <= durations[i-1] {
+			return nil, fmt.Errorf("covert: durations must be strictly increasing (index %d)", i)
+		}
+	}
+	if len(noise) == 0 {
+		noise = info.Dist{1}
+	}
+	if err := noise.Validate(); err != nil {
+		return nil, fmt.Errorf("covert: noise: %w", err)
+	}
+	c := &Channel{
+		Durations: append([]int(nil), durations...),
+		Noise:     noise.Clone(),
+		hNoise:    noise.Entropy(),
+	}
+	c.noiseDiff = autocorrelate(c.Noise)
+	return c, nil
+}
+
+// UniformNoise returns a uniform random-delay distribution over width time
+// units, the paper's δ ~ U[0, 1ms) configuration at the chosen resolution.
+func UniformNoise(width int) info.Dist {
+	if width < 1 {
+		width = 1
+	}
+	return info.NewUniform(width)
+}
+
+// autocorrelate returns p(δ_i - δ_{i-1}) for IID δ: the cross-correlation of
+// the noise distribution with itself, indexed k + (W-1) for k in
+// [-(W-1), W-1]. For uniform noise this is the triangular distribution.
+func autocorrelate(noise info.Dist) []float64 {
+	w := len(noise)
+	out := make([]float64, 2*w-1)
+	for i, pi := range noise {
+		if pi == 0 {
+			continue
+		}
+		for j, pj := range noise {
+			out[i-j+w-1] += pi * pj
+		}
+	}
+	return out
+}
+
+// NoiseEntropy returns H(δ) in bits.
+func (c *Channel) NoiseEntropy() float64 { return c.hNoise }
+
+// outputSpan returns the inclusive range [lo, hi] of possible observed
+// durations d_y.
+func (c *Channel) outputSpan() (lo, hi int) {
+	w := len(c.Noise)
+	return c.Durations[0] - (w - 1), c.Durations[len(c.Durations)-1] + (w - 1)
+}
+
+// OutputDist computes p(y) for the given input distribution: the mixture of
+// the noise-difference kernel shifted to each input duration. The returned
+// slice is indexed by y - lo where lo is the smallest possible output.
+func (c *Channel) OutputDist(px info.Dist) info.Dist {
+	lo, hi := c.outputSpan()
+	py := make(info.Dist, hi-lo+1)
+	w := len(c.Noise)
+	for x, p := range px {
+		if p == 0 {
+			continue
+		}
+		base := c.Durations[x] - (w - 1) - lo
+		for k, q := range c.noiseDiff {
+			if q > 0 {
+				py[base+k] += p * q
+			}
+		}
+	}
+	return py
+}
+
+// InfoPerTransmission returns the conservative per-transmission information
+// bound H(Y) - H(δ) of Equation A.10, in bits, for input distribution px.
+func (c *Channel) InfoPerTransmission(px info.Dist) float64 {
+	v := c.OutputDist(px).Entropy() - c.hNoise
+	if v < 0 {
+		// H(Y) >= H(δ_i - δ_{i-1}) >= H(δ) for every input distribution, so
+		// the bound is non-negative; clamp floating-point rounding residue.
+		v = 0
+	}
+	return v
+}
+
+// AvgTime returns Tavg = sum p(x) d_x (Equation 5.7), in time units.
+func (c *Channel) AvgTime(px info.Dist) float64 {
+	t := 0.0
+	for x, p := range px {
+		t += p * float64(c.Durations[x])
+	}
+	return t
+}
+
+// Rate returns the data-rate bound (H(Y)-H(δ))/Tavg in bits per time unit
+// for input distribution px (the objective of Problem A.11).
+func (c *Channel) Rate(px info.Dist) float64 {
+	return c.InfoPerTransmission(px) / c.AvgTime(px)
+}
+
+// NoiselessRate returns H(X)/Tavg for a channel with no random delay — the
+// quantity used in the worked strategy example of Section 5.3.1 (Strategy 1:
+// 2 bits / 2.5 ms = 800 bits/s; Strategy 2: 3 bits / 4.5 ms ≈ 667 bits/s).
+func NoiselessRate(durations []int, px info.Dist) (bitsPerUnit float64, err error) {
+	ch, err := NewChannel(durations, info.Dist{1})
+	if err != nil {
+		return 0, err
+	}
+	return ch.Rate(px), nil
+}
+
+// objectiveGrad computes the gradient of N(p) - q*D(p) with respect to p,
+// where N(p) = H(Y) - H(δ) and D(p) = Tavg. Used by the Dinkelbach inner
+// solver. The gradient of H(Y) w.r.t. p(x) is
+//
+//	-Σ_y k(y - d_x) (log2 p(y) + 1/ln 2)
+//
+// with k the noise-difference kernel.
+func (c *Channel) objectiveGrad(px info.Dist, q float64, grad []float64) {
+	py := c.OutputDist(px)
+	lo, _ := c.outputSpan()
+	w := len(c.Noise)
+	const invLn2 = 1 / math.Ln2
+	logPy := make([]float64, len(py))
+	for y, p := range py {
+		if p > 0 {
+			logPy[y] = math.Log2(p)
+		}
+	}
+	for x := range px {
+		g := 0.0
+		base := c.Durations[x] - (w - 1) - lo
+		for k, kq := range c.noiseDiff {
+			if kq > 0 {
+				g -= kq * (logPy[base+k] + invLn2)
+			}
+		}
+		grad[x] = g - q*float64(c.Durations[x])
+	}
+}
+
+// objective evaluates N(p) - q*D(p).
+func (c *Channel) objective(px info.Dist, q float64) float64 {
+	return c.InfoPerTransmission(px) - q*c.AvgTime(px)
+}

@@ -1,0 +1,410 @@
+package covert
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"untangle/internal/info"
+)
+
+func TestNewChannelValidation(t *testing.T) {
+	if _, err := NewChannel(nil, nil); err == nil {
+		t.Error("empty durations accepted")
+	}
+	if _, err := NewChannel([]int{0, 1}, nil); err == nil {
+		t.Error("non-positive duration accepted")
+	}
+	if _, err := NewChannel([]int{5, 5}, nil); err == nil {
+		t.Error("non-increasing durations accepted")
+	}
+	if _, err := NewChannel([]int{1, 2}, info.Dist{0.5, 0.6}); err == nil {
+		t.Error("invalid noise accepted")
+	}
+	if _, err := NewChannel([]int{1, 2, 3}, nil); err != nil {
+		t.Errorf("valid channel rejected: %v", err)
+	}
+}
+
+func TestStrategyExampleSection531(t *testing.T) {
+	// Strategy 1: four symbols at 1,2,3,4 ms, uniform -> 2 bits / 2.5 ms
+	// = 800 bits/s. Strategy 2: eight symbols at 1..8 ms, uniform ->
+	// 3 bits / 4.5 ms ≈ 667 bits/s. Time unit: 1 ms.
+	r1, err := NoiselessRate([]int{1, 2, 3, 4}, info.NewUniform(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2.0 / 2.5; math.Abs(r1-want) > 1e-12 {
+		t.Errorf("strategy 1 rate = %v bits/ms, want %v", r1, want)
+	}
+	r2, err := NoiselessRate([]int{1, 2, 3, 4, 5, 6, 7, 8}, info.NewUniform(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 3.0 / 4.5; math.Abs(r2-want) > 1e-12 {
+		t.Errorf("strategy 2 rate = %v bits/ms, want %v", r2, want)
+	}
+	if r1 <= r2 {
+		t.Errorf("paper: strategy 1 (%v) should beat strategy 2 (%v)", r1, r2)
+	}
+	// In bits per second (1 unit = 1 ms):
+	if bps := r1 * 1000; math.Abs(bps-800) > 1e-9 {
+		t.Errorf("strategy 1 = %v bits/s, want 800", bps)
+	}
+}
+
+func TestAutocorrelateUniformIsTriangular(t *testing.T) {
+	tri := autocorrelate(info.NewUniform(4))
+	if len(tri) != 7 {
+		t.Fatalf("len = %d, want 7", len(tri))
+	}
+	want := []float64{1, 2, 3, 4, 3, 2, 1}
+	for i, w := range want {
+		if math.Abs(tri[i]-w/16) > 1e-12 {
+			t.Errorf("tri[%d] = %v, want %v", i, tri[i], w/16)
+		}
+	}
+}
+
+func TestOutputDistIsDistribution(t *testing.T) {
+	ch, err := NewChannel([]int{10, 12, 17}, UniformNoise(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	py := ch.OutputDist(info.Dist{0.2, 0.3, 0.5})
+	if err := py.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoiselessChannelInfoEqualsInputEntropy(t *testing.T) {
+	// With no random delay, Y = X, so H(Y) - H(δ) = H(X).
+	ch, err := NewChannel([]int{3, 5, 9, 14}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	px := info.Dist{0.1, 0.2, 0.3, 0.4}
+	if got, want := ch.InfoPerTransmission(px), px.Entropy(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("info = %v, want H(X) = %v", got, want)
+	}
+}
+
+func TestNoiseReducesInformation(t *testing.T) {
+	durations := []int{10, 11, 12, 13}
+	px := info.NewUniform(4)
+	clean, _ := NewChannel(durations, nil)
+	noisy, _ := NewChannel(durations, UniformNoise(8))
+	if ni, ci := noisy.InfoPerTransmission(px), clean.InfoPerTransmission(px); ni >= ci {
+		t.Errorf("noise should reduce per-transmission info: noisy %v >= clean %v", ni, ci)
+	}
+}
+
+func TestPointMassBoundIsResidualNoiseSpread(t *testing.T) {
+	// The A.10 bound is conservative: even a single input symbol scores
+	// H(δ_i - δ_{i-1}) - H(δ) > 0, because the bound charges the spread of
+	// the delay *difference* seen by the receiver. It must equal exactly
+	// that residual, be identical for every symbol (shift invariance), and
+	// be strictly below the bound for an informative input.
+	ch, _ := NewChannel([]int{10, 20, 30}, UniformNoise(4))
+	want := info.Dist(autocorrelate(UniformNoise(4))).Entropy() - ch.NoiseEntropy()
+	for i := 0; i < 3; i++ {
+		got := ch.InfoPerTransmission(info.NewPoint(3, i))
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("point mass %d bound = %v, want residual %v", i, got, want)
+		}
+	}
+	if uni := ch.InfoPerTransmission(info.NewUniform(3)); uni <= want {
+		t.Errorf("uniform input bound %v should exceed point-mass residual %v", uni, want)
+	}
+}
+
+func TestAvgTime(t *testing.T) {
+	ch, _ := NewChannel([]int{1, 2, 3, 4}, nil)
+	if got := ch.AvgTime(info.NewUniform(4)); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("Tavg = %v, want 2.5", got)
+	}
+}
+
+func TestMaxRateBeatsUniformAndHonorsBound(t *testing.T) {
+	ch, err := NewChannel([]int{20, 22, 24, 26, 28, 30, 34, 38, 46, 62}, UniformNoise(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ch.MaxRate(DefaultSolverConfig())
+	if err := res.Input.Validate(); err != nil {
+		t.Fatalf("optimal input not a distribution: %v", err)
+	}
+	uniform := ch.Rate(info.NewUniform(len(ch.Durations)))
+	if res.Rate < uniform-1e-9 {
+		t.Errorf("optimized rate %v below uniform rate %v", res.Rate, uniform)
+	}
+	if !res.Verified {
+		t.Error("upper bound not verified")
+	}
+	if res.UpperBound < res.Rate {
+		t.Errorf("upper bound %v below converged rate %v", res.UpperBound, res.Rate)
+	}
+	// The bound must dominate any particular strategy we can write down.
+	for _, px := range []info.Dist{
+		info.NewPoint(10, 0),
+		info.NewUniform(10),
+		{0.5, 0, 0, 0, 0, 0, 0, 0, 0, 0.5},
+	} {
+		if r := ch.Rate(px); r > res.UpperBound+1e-9 {
+			t.Errorf("strategy rate %v exceeds verified bound %v", r, res.UpperBound)
+		}
+	}
+}
+
+func TestMaxRateMonotoneInCooldown(t *testing.T) {
+	// Longer cooldowns must lower the maximum rate (Mechanism 1).
+	mk := func(cool int) float64 {
+		var durations []int
+		for d := cool; d <= cool+40; d += 2 {
+			durations = append(durations, d)
+		}
+		ch, err := NewChannel(durations, UniformNoise(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ch.MaxRate(DefaultSolverConfig()).Rate
+	}
+	r1, r2, r4 := mk(10), mk(20), mk(40)
+	if !(r1 > r2 && r2 > r4) {
+		t.Errorf("rates not decreasing with cooldown: %v, %v, %v", r1, r2, r4)
+	}
+}
+
+func TestWiderDelayLowersRate(t *testing.T) {
+	// Mechanism 2: a wider random delay must not increase the max rate.
+	mk := func(w int) float64 {
+		var durations []int
+		for d := 20; d <= 80; d += 2 {
+			durations = append(durations, d)
+		}
+		ch, err := NewChannel(durations, UniformNoise(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ch.MaxRate(DefaultSolverConfig()).Rate
+	}
+	narrow, wide := mk(2), mk(16)
+	if wide >= narrow {
+		t.Errorf("wider delay should lower rate: wide %v >= narrow %v", wide, narrow)
+	}
+}
+
+func TestPropertyRateBelowVerifiedBound(t *testing.T) {
+	var durations []int
+	for d := 15; d <= 45; d += 3 {
+		durations = append(durations, d)
+	}
+	ch, err := NewChannel(durations, UniformNoise(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ch.MaxRate(DefaultSolverConfig())
+	f := func(raw []float64) bool {
+		if len(raw) != len(durations) {
+			return true
+		}
+		px := make(info.Dist, len(raw))
+		sum := 0.0
+		for i, v := range raw {
+			px[i] = math.Abs(v)
+			if math.IsNaN(px[i]) || math.IsInf(px[i], 0) {
+				return true
+			}
+			sum += px[i]
+		}
+		if sum == 0 || math.IsInf(sum, 0) {
+			return true
+		}
+		px.Normalize()
+		if px.Validate() != nil {
+			return true
+		}
+		return ch.Rate(px) <= res.UpperBound+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func testTableConfig() TableConfig {
+	return TableConfig{
+		Unit:         100 * time.Microsecond,
+		Cooldown:     time.Millisecond,
+		DelayWidth:   time.Millisecond,
+		MaxMaintains: 4,
+		Solver: SolverConfig{
+			MaxDinkelbachRounds: 8,
+			Tolerance:           1e-5,
+			InnerIterations:     150,
+			InnerStep:           0.3,
+			UpperBoundSlack:     1e-3,
+			VerifyIterations:    300,
+		},
+	}
+}
+
+func TestRateTableMonotone(t *testing.T) {
+	tbl, err := NewRateTable(testTableConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Section 5.3.4: more consecutive Maintains => longer effective cooldown
+	// => strictly lower leakage rate.
+	for m := 1; m < tbl.Len(); m++ {
+		prev, cur := tbl.Entry(m-1), tbl.Entry(m)
+		if cur.RatePerSecond >= prev.RatePerSecond {
+			t.Errorf("Rmax_%d = %v >= Rmax_%d = %v", m, cur.RatePerSecond, m-1, prev.RatePerSecond)
+		}
+	}
+}
+
+func TestRateTableClampsBeyondCapacity(t *testing.T) {
+	tbl, err := NewRateTable(testTableConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := tbl.Entry(tbl.Len() - 1)
+	if got := tbl.Entry(tbl.Len() + 5); got != last {
+		t.Error("beyond-capacity lookup should reuse the last entry")
+	}
+	if got := tbl.Entry(-3); got != tbl.Entry(0) {
+		t.Error("negative lookup should clamp to entry 0")
+	}
+}
+
+func TestLeakageForGapChargesAtLeastMinimumGap(t *testing.T) {
+	tbl, err := NewRateTable(testTableConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A reported gap below (m+1)Tc must be clamped up, never under-charged.
+	leak := tbl.LeakageForGap(2, time.Microsecond)
+	want := tbl.Entry(2).RatePerSecond * (3 * time.Millisecond).Seconds()
+	if math.Abs(leak-want) > 1e-9 {
+		t.Errorf("leak = %v, want clamped %v", leak, want)
+	}
+	// Longer gaps charge proportionally more.
+	if l10 := tbl.LeakageForGap(0, 10*time.Millisecond); l10 <= tbl.LeakageForGap(0, 2*time.Millisecond) {
+		t.Error("longer gap should charge more bits at a fixed rate")
+	}
+}
+
+func TestSharedTableIsCached(t *testing.T) {
+	cfg := testTableConfig()
+	a, err := Shared(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Shared(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("Shared returned distinct tables for identical configs")
+	}
+}
+
+func TestTableEntriesVerified(t *testing.T) {
+	tbl, err := NewRateTable(testTableConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m < tbl.Len(); m++ {
+		if !tbl.Entry(m).Verified {
+			t.Errorf("entry %d not verified", m)
+		}
+	}
+}
+
+func TestLeakagePerResizeMatchesEntry(t *testing.T) {
+	tbl, err := NewRateTable(testTableConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m < tbl.Len(); m++ {
+		if got, want := tbl.LeakagePerResize(m), tbl.Entry(m).BitsPerTransmission; got != want {
+			t.Errorf("m=%d: %v != %v", m, got, want)
+		}
+	}
+	// Beyond capacity clamps, like Entry.
+	if tbl.LeakagePerResize(100) != tbl.LeakagePerResize(tbl.Len()-1) {
+		t.Error("beyond-capacity per-resize charge not clamped")
+	}
+	// Monotone non-decreasing in m: longer effective cooldowns let a single
+	// resize carry more bits (while the RATE falls).
+	for m := 1; m < tbl.Len(); m++ {
+		if tbl.LeakagePerResize(m) < tbl.LeakagePerResize(m-1) {
+			t.Errorf("bits per resize decreased at m=%d", m)
+		}
+	}
+}
+
+func TestDefaultTableConfigIsUsable(t *testing.T) {
+	cfg := DefaultTableConfig()
+	if cfg.Cooldown != time.Millisecond || cfg.DelayWidth != time.Millisecond {
+		t.Errorf("defaults = %+v, want the paper's Tc = 1ms, delay 1ms", cfg)
+	}
+	if cfg.MaxMaintains != 16 {
+		t.Errorf("table capacity = %d", cfg.MaxMaintains)
+	}
+	if cfg.units(0) != 0 || cfg.units(cfg.Unit) != 1 || cfg.units(cfg.Unit+1) != 2 {
+		t.Error("units rounding wrong")
+	}
+}
+
+func TestWithDefaultsFillsZeroes(t *testing.T) {
+	cfg := TableConfig{MaxMaintains: -3}
+	got := cfg.withDefaults()
+	if got.Unit <= 0 || got.Cooldown <= 0 || got.MaxMaintains != 0 {
+		t.Errorf("defaults not applied: %+v", got)
+	}
+	if got.Solver.MaxDinkelbachRounds <= 0 {
+		t.Error("solver defaults not applied")
+	}
+}
+
+func TestTableConfigAccessor(t *testing.T) {
+	cfg := testTableConfig()
+	tbl, err := NewRateTable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Config().Cooldown != cfg.Cooldown {
+		t.Error("Config() does not round-trip")
+	}
+}
+
+func TestUniformNoiseClampsWidth(t *testing.T) {
+	if got := UniformNoise(0); len(got) != 1 {
+		t.Errorf("width 0 -> %d entries, want 1", len(got))
+	}
+	if got := UniformNoise(-5); len(got) != 1 {
+		t.Errorf("negative width -> %d entries", len(got))
+	}
+	if got := UniformNoise(7); len(got) != 7 || got[3] != 1.0/7 {
+		t.Errorf("width 7 -> %v", got)
+	}
+}
+
+func TestNoiselessRateRejectsBadDurations(t *testing.T) {
+	if _, err := NoiselessRate(nil, nil); err == nil {
+		t.Error("empty durations accepted")
+	}
+}
+
+func TestMaxRateBlahutZeroConfigUsesDefaults(t *testing.T) {
+	ch, err := NewChannel([]int{4, 6, 9}, UniformNoise(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ch.MaxRateBlahut(SolverConfig{})
+	if res.Rate <= 0 || !res.Verified {
+		t.Errorf("zero-config Blahut run: %+v", res)
+	}
+}

@@ -1,0 +1,206 @@
+// Package cpu implements the cycle-accounting core timing model standing in
+// for the paper's gem5 out-of-order cores (Table 3: 8-issue, 8-commit x86 at
+// 2 GHz).
+//
+// The model charges each retired instruction its steady-state pipeline cost
+// (BaseCPI covers issue-width limits and dependency stalls) and charges
+// memory instructions the round-trip latency of the level that served them,
+// divided by a per-workload memory-level-parallelism factor that captures
+// out-of-order overlap. This is the standard analytic decomposition
+// (CPI = CPI_core + miss-rate x penalty / MLP); it reproduces the quantity
+// the evaluation actually depends on — how IPC responds to LLC partition
+// size — without simulating pipeline structures whose details the paper
+// abstracts away too.
+package cpu
+
+import (
+	"fmt"
+	"time"
+)
+
+// Level identifies which level of the hierarchy served a memory access.
+type Level int
+
+const (
+	// L1Hit - served by the private L1 (2-cycle round trip, fully hidden).
+	L1Hit Level = iota
+	// LLCHit - served by the shared L2/LLC (8-cycle round trip).
+	LLCHit
+	// Memory - served by DRAM (50 ns after the L2 lookup).
+	Memory
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case L1Hit:
+		return "L1"
+	case LLCHit:
+		return "LLC"
+	case Memory:
+		return "DRAM"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// Params describes a core and the latencies of Table 3, plus the
+// per-workload overlap parameters.
+type Params struct {
+	// ClockHz is the core frequency (Table 3: 2 GHz).
+	ClockHz float64
+	// CommitWidth is the maximum retired instructions per cycle (8).
+	CommitWidth int
+	// L1HitCycles is the L1 round trip (2 cycles); with an 8-wide core it
+	// is almost entirely pipelined away, so it contributes L1HitCycles/MLP
+	// only beyond the base commit cost.
+	L1HitCycles float64
+	// LLCHitCycles is the shared L2 round trip (8 cycles).
+	LLCHitCycles float64
+	// MemCycles is the DRAM round trip after the L2 (50 ns = 100 cycles).
+	MemCycles float64
+	// MLP is the workload's memory-level parallelism: how many outstanding
+	// misses overlap on average.
+	MLP float64
+	// BaseCPI is the workload's core-bound cycles per instruction with a
+	// perfect memory system (dependency chains, branches, issue limits).
+	BaseCPI float64
+}
+
+// DefaultParams returns the Table 3 machine with neutral workload factors.
+func DefaultParams() Params {
+	return Params{
+		ClockHz:      2e9,
+		CommitWidth:  8,
+		L1HitCycles:  2,
+		LLCHitCycles: 8,
+		MemCycles:    100,
+		MLP:          4,
+		BaseCPI:      0.4,
+	}
+}
+
+// Validate checks the parameters are usable.
+func (p Params) Validate() error {
+	if p.ClockHz <= 0 {
+		return fmt.Errorf("cpu: clock %v Hz", p.ClockHz)
+	}
+	if p.CommitWidth <= 0 {
+		return fmt.Errorf("cpu: commit width %d", p.CommitWidth)
+	}
+	if p.MLP <= 0 {
+		return fmt.Errorf("cpu: MLP %v", p.MLP)
+	}
+	if p.BaseCPI < 0 {
+		return fmt.Errorf("cpu: BaseCPI %v", p.BaseCPI)
+	}
+	return nil
+}
+
+// memCost returns the extra cycles charged for an access served at level.
+func (p Params) memCost(level Level) float64 {
+	switch level {
+	case L1Hit:
+		return p.L1HitCycles / (p.MLP * float64(p.CommitWidth))
+	case LLCHit:
+		return p.LLCHitCycles / p.MLP
+	default:
+		return (p.LLCHitCycles + p.MemCycles) / p.MLP
+	}
+}
+
+// Core accumulates retired instructions and cycles for one domain.
+type Core struct {
+	p Params
+	// cycles is the running cycle count (fractional: the model charges
+	// sub-cycle costs per instruction).
+	cycles float64
+	// retired counts all retired instructions.
+	retired uint64
+}
+
+// New builds a core; it panics on invalid parameters, which are programmer
+// error (all parameters in this repository are static tables).
+func New(p Params) *Core {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return &Core{p: p}
+}
+
+// Params returns the core's parameters.
+func (c *Core) Params() Params { return c.p }
+
+// RetireNonMem retires n plain instructions.
+func (c *Core) RetireNonMem(n uint32) {
+	if n == 0 {
+		return
+	}
+	c.retired += uint64(n)
+	c.cycles += float64(n) * (c.p.BaseCPI + 1/float64(c.p.CommitWidth))
+}
+
+// RetireMem retires one memory instruction served at the given level.
+func (c *Core) RetireMem(level Level) {
+	c.retired++
+	c.cycles += c.p.BaseCPI + 1/float64(c.p.CommitWidth) + c.p.memCost(level)
+}
+
+// Cycles returns the accumulated cycle count.
+func (c *Core) Cycles() float64 { return c.cycles }
+
+// Retired returns the retired instruction count.
+func (c *Core) Retired() uint64 { return c.retired }
+
+// IPC returns retired instructions per cycle so far (0 before any retire).
+func (c *Core) IPC() float64 {
+	if c.cycles == 0 {
+		return 0
+	}
+	return float64(c.retired) / c.cycles
+}
+
+// Now converts the accumulated cycles to wall-clock simulated time.
+func (c *Core) Now() time.Duration {
+	return time.Duration(c.cycles / c.p.ClockHz * float64(time.Second))
+}
+
+// CyclesToDuration converts a cycle count at this core's clock.
+func (c *Core) CyclesToDuration(cycles float64) time.Duration {
+	return time.Duration(cycles / c.p.ClockHz * float64(time.Second))
+}
+
+// DurationToCycles converts simulated time to cycles at this core's clock.
+func (c *Core) DurationToCycles(d time.Duration) float64 {
+	return d.Seconds() * c.p.ClockHz
+}
+
+// AdvanceTo moves the core's clock forward to at least d (idling); it never
+// moves time backward. Used to model stalls imposed from outside (e.g.
+// waiting out a resize cooldown in ablation experiments).
+func (c *Core) AdvanceTo(d time.Duration) {
+	target := c.DurationToCycles(d)
+	if target > c.cycles {
+		c.cycles = target
+	}
+}
+
+// Snapshot captures progress counters for interval statistics.
+type Snapshot struct {
+	Cycles  float64
+	Retired uint64
+}
+
+// Snapshot returns the current counters.
+func (c *Core) Snapshot() Snapshot {
+	return Snapshot{Cycles: c.cycles, Retired: c.retired}
+}
+
+// IPCSince returns the IPC over the interval since a snapshot.
+func (c *Core) IPCSince(s Snapshot) float64 {
+	dc := c.cycles - s.Cycles
+	if dc <= 0 {
+		return 0
+	}
+	return float64(c.retired-s.Retired) / dc
+}

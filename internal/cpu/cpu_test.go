@@ -1,0 +1,177 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Params{
+		{},
+		{ClockHz: 2e9, CommitWidth: 0, MLP: 1},
+		{ClockHz: 2e9, CommitWidth: 8, MLP: 0},
+		{ClockHz: 2e9, CommitWidth: 8, MLP: 1, BaseCPI: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("params %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	for l, want := range map[Level]string{L1Hit: "L1", LLCHit: "LLC", Memory: "DRAM", Level(9): "Level(9)"} {
+		if got := l.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(l), got, want)
+		}
+	}
+}
+
+func TestIPCBounds(t *testing.T) {
+	p := DefaultParams()
+	p.BaseCPI = 0
+	c := New(p)
+	c.RetireNonMem(1000)
+	// With zero BaseCPI and no memory stalls, IPC equals the commit width.
+	if got := c.IPC(); math.Abs(got-8) > 1e-9 {
+		t.Errorf("IPC = %v, want 8", got)
+	}
+}
+
+func TestMemoryStallsLowerIPC(t *testing.T) {
+	mk := func(level Level) float64 {
+		c := New(DefaultParams())
+		for i := 0; i < 1000; i++ {
+			c.RetireNonMem(3)
+			c.RetireMem(level)
+		}
+		return c.IPC()
+	}
+	l1, llc, mem := mk(L1Hit), mk(LLCHit), mk(Memory)
+	if !(l1 > llc && llc > mem) {
+		t.Errorf("IPC ordering violated: L1 %v, LLC %v, DRAM %v", l1, llc, mem)
+	}
+}
+
+func TestHigherMLPHidesLatency(t *testing.T) {
+	mk := func(mlp float64) float64 {
+		p := DefaultParams()
+		p.MLP = mlp
+		c := New(p)
+		for i := 0; i < 100; i++ {
+			c.RetireMem(Memory)
+		}
+		return c.IPC()
+	}
+	if low, high := mk(1), mk(8); low >= high {
+		t.Errorf("MLP should raise IPC: MLP=1 gives %v, MLP=8 gives %v", low, high)
+	}
+}
+
+func TestNowMatchesClock(t *testing.T) {
+	p := DefaultParams() // 2 GHz
+	p.BaseCPI = 0
+	c := New(p)
+	c.RetireNonMem(16e6) // 16M instructions at width 8 = 2M cycles = 1 ms
+	if got := c.Now(); got != time.Millisecond {
+		t.Errorf("Now = %v, want 1ms", got)
+	}
+}
+
+func TestDurationCycleRoundTrip(t *testing.T) {
+	c := New(DefaultParams())
+	d := 3 * time.Millisecond
+	if got := c.CyclesToDuration(c.DurationToCycles(d)); got != d {
+		t.Errorf("round trip %v -> %v", d, got)
+	}
+}
+
+func TestAdvanceToNeverRewinds(t *testing.T) {
+	c := New(DefaultParams())
+	c.RetireNonMem(1 << 20)
+	before := c.Cycles()
+	c.AdvanceTo(0)
+	if c.Cycles() != before {
+		t.Error("AdvanceTo rewound the clock")
+	}
+	c.AdvanceTo(time.Second)
+	if c.Now() < time.Second {
+		t.Errorf("AdvanceTo(1s) left clock at %v", c.Now())
+	}
+}
+
+func TestSnapshotIntervalIPC(t *testing.T) {
+	c := New(DefaultParams())
+	c.RetireNonMem(1000)
+	s := c.Snapshot()
+	if got := c.IPCSince(s); got != 0 {
+		t.Errorf("empty interval IPC = %v, want 0", got)
+	}
+	for i := 0; i < 100; i++ {
+		c.RetireMem(Memory)
+	}
+	slow := c.IPCSince(s)
+	if slow <= 0 || slow >= c.IPC() {
+		t.Errorf("DRAM-bound interval IPC %v should be below cumulative %v", slow, c.IPC())
+	}
+}
+
+func TestPanicsOnInvalidParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with invalid params did not panic")
+		}
+	}()
+	New(Params{})
+}
+
+func TestPropertyCyclesMonotone(t *testing.T) {
+	f := func(ops []uint8) bool {
+		c := New(DefaultParams())
+		prev := 0.0
+		for _, op := range ops {
+			switch op % 4 {
+			case 0:
+				c.RetireNonMem(uint32(op))
+			case 1:
+				c.RetireMem(L1Hit)
+			case 2:
+				c.RetireMem(LLCHit)
+			default:
+				c.RetireMem(Memory)
+			}
+			if c.Cycles() < prev {
+				return false
+			}
+			prev = c.Cycles()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyRetiredCountExact(t *testing.T) {
+	f := func(nonMem []uint16, mems uint8) bool {
+		c := New(DefaultParams())
+		var want uint64
+		for _, n := range nonMem {
+			c.RetireNonMem(uint32(n))
+			want += uint64(n)
+		}
+		for i := 0; i < int(mems); i++ {
+			c.RetireMem(LLCHit)
+			want++
+		}
+		return c.Retired() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

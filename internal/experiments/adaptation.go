@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+
+	"untangle/internal/isa"
+	"untangle/internal/partition"
+	"untangle/internal/sim"
+	"untangle/internal/stats"
+	"untangle/internal/workload"
+)
+
+// The adaptation experiment: the Section 1 motivation for dynamic
+// partitioning, made measurable. A bursty workload alternates between a
+// small and a large footprint while co-running with steady neighbours; a
+// static partition is wrong in one phase or the other, while a dynamic
+// scheme tracks the swing. The experiment reports the bursty workload's IPC
+// under each scheme and the partition-size swing the dynamic schemes
+// produce.
+
+// AdaptationResult summarizes one scheme's behaviour.
+type AdaptationResult struct {
+	Kind partition.Kind
+	// BurstyIPC is the phase-changing workload's IPC.
+	BurstyIPC float64
+	// SystemIPCGeomean is the geometric mean over all domains.
+	SystemIPCGeomean float64
+	// PartitionSwing is max-min of the bursty domain's sampled partition
+	// sizes (0 for Static, positive when the scheme adapts).
+	PartitionSwing int64
+	// LeakagePerAssessment is the bursty domain's average charge.
+	LeakagePerAssessment float64
+}
+
+// Adaptation runs the bursty scenario under the given schemes.
+func Adaptation(scale float64, total uint64, kinds ...partition.Kind) ([]AdaptationResult, error) {
+	if len(kinds) == 0 {
+		kinds = []partition.Kind{partition.Static, partition.TimeBased, partition.Untangle}
+	}
+	var out []AdaptationResult
+	for _, kind := range kinds {
+		cfg := sim.Scaled(partition.DefaultScheme(kind), scale)
+		specs, err := adaptationDomains(scale, total)
+		if err != nil {
+			return nil, err
+		}
+		s, err := sim.New(cfg, specs)
+		if err != nil {
+			return nil, err
+		}
+		res, err := s.Run()
+		if err != nil {
+			return nil, err
+		}
+		r := AdaptationResult{Kind: kind}
+		ipcs := make([]float64, 0, len(res.Domains))
+		for i, d := range res.Domains {
+			ipcs = append(ipcs, d.IPC)
+			if i == 0 {
+				r.BurstyIPC = d.IPC
+				r.LeakagePerAssessment = d.Leakage.PerAssessment()
+				var lo, hi int64
+				for j, sz := range d.PartitionSamples {
+					if j == 0 || sz < lo {
+						lo = sz
+					}
+					if sz > hi {
+						hi = sz
+					}
+				}
+				r.PartitionSwing = hi - lo
+			}
+		}
+		r.SystemIPCGeomean = stats.GeoMean(ipcs)
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// adaptationDomains builds the bursty victim plus three steady co-runners.
+func adaptationDomains(scale float64, total uint64) ([]sim.DomainSpec, error) {
+	phaseLen := uint64(float64(4_000_000) * scale)
+	if phaseLen < 20_000 {
+		phaseLen = 20_000
+	}
+	bursty, burstyParams, err := workload.BurstyWorkload(77, 6, phaseLen)
+	if err != nil {
+		return nil, err
+	}
+	specs := []sim.DomainSpec{{
+		Name:   "bursty",
+		Stream: isa.NewLimited(bursty, total),
+		CPU:    burstyParams.CPUParams(),
+	}}
+	for i, name := range []string{"imagick_0", "deepsjeng_0", "xz_0"} {
+		p, err := workload.SPECByName(name)
+		if err != nil {
+			return nil, err
+		}
+		g, err := workload.NewGenerator(p)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, sim.DomainSpec{
+			Name:   fmt.Sprintf("steady-%d-%s", i, name),
+			Stream: isa.NewLimited(g, total),
+			CPU:    p.CPUParams(),
+		})
+	}
+	return specs, nil
+}

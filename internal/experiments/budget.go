@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"untangle/internal/isa"
+	"untangle/internal/partition"
+	"untangle/internal/sim"
+	"untangle/internal/workload"
+)
+
+// BudgetResult reports the Section 4 guarantee made measurable: when the
+// victim's leakage budget runs out, resizing freezes — "hurting the
+// performance of its subsequent execution, but not its security".
+type BudgetResult struct {
+	// BudgetBits is the configured threshold (0 = unlimited).
+	BudgetBits float64
+	// LeakedBits is the accountant's total charge for the victim.
+	LeakedBits float64
+	// Frozen reports whether the freeze engaged.
+	Frozen bool
+	// VictimIPC is the victim's performance.
+	VictimIPC float64
+	// VisibleActions counts the victim's attacker-visible resizes.
+	VisibleActions int
+}
+
+// BudgetExperiment runs a phase-changing victim under Untangle with the
+// given budgets (use 0 for the unlimited baseline) and three steady
+// co-runners. A bursty victim needs to keep resizing to perform; once
+// frozen it cannot, so its IPC drops while its leakage stays at the
+// threshold.
+func BudgetExperiment(scale float64, total uint64, budgets []float64) ([]BudgetResult, error) {
+	var out []BudgetResult
+	for _, budget := range budgets {
+		cfg := sim.Scaled(partition.DefaultScheme(partition.Untangle), scale)
+		cfg.Budget = budget
+		specs, err := budgetDomains(scale, total)
+		if err != nil {
+			return nil, err
+		}
+		s, err := sim.New(cfg, specs)
+		if err != nil {
+			return nil, err
+		}
+		res, err := s.Run()
+		if err != nil {
+			return nil, err
+		}
+		v := res.Domains[0]
+		out = append(out, BudgetResult{
+			BudgetBits:     budget,
+			LeakedBits:     v.Leakage.TotalBits,
+			Frozen:         v.Leakage.Frozen,
+			VictimIPC:      v.IPC,
+			VisibleActions: v.Leakage.Visible,
+		})
+	}
+	return out, nil
+}
+
+func budgetDomains(scale float64, total uint64) ([]sim.DomainSpec, error) {
+	phaseLen := uint64(float64(3_000_000) * scale)
+	if phaseLen < 15_000 {
+		phaseLen = 15_000
+	}
+	bursty, burstyParams, err := workload.BurstyWorkload(31, 6, phaseLen)
+	if err != nil {
+		return nil, err
+	}
+	specs := []sim.DomainSpec{{
+		Name:   "victim",
+		Stream: isa.NewLimited(bursty, total),
+		CPU:    burstyParams.CPUParams(),
+	}}
+	for _, name := range []string{"imagick_0", "xz_0", "deepsjeng_0"} {
+		p, err := workload.SPECByName(name)
+		if err != nil {
+			return nil, err
+		}
+		g, err := workload.NewGenerator(p)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, sim.DomainSpec{
+			Name:   name,
+			Stream: isa.NewLimited(g, total),
+			CPU:    p.CPUParams(),
+		})
+	}
+	return specs, nil
+}

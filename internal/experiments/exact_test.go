@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"untangle/internal/isa"
+	"untangle/internal/partition"
+	"untangle/internal/workload"
+)
+
+func exactConfig(kind partition.Kind, annotated bool, victim func(uint64) isa.Stream) ExactConfig {
+	scheme := partition.DefaultScheme(kind)
+	scheme.Annotated = annotated
+	return ExactConfig{
+		Scheme:             scheme,
+		Scale:              0.003,
+		Secrets:            []uint64{0, 1, 2, 3},
+		Victim:             victim,
+		PublicInstructions: 600_000,
+		TimeQuantum:        time.Duration(float64(time.Microsecond)),
+	}
+}
+
+// figure1aVictim treats the secret's low bit as the Figure 1a gate.
+func figure1aVictim(secret uint64) isa.Stream {
+	return workload.Figure1a(secret&1 == 1, true)
+}
+
+// figure1cVictim delays by secret-many spin blocks before the public
+// traversal.
+func figure1cVictim(secret uint64) isa.Stream {
+	return workload.Figure1c(secret != 0, true, 100_000*secret)
+}
+
+func TestExactValidation(t *testing.T) {
+	if _, err := ExactLeakage(ExactConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := ExactLeakage(ExactConfig{Secrets: []uint64{1}}); err == nil {
+		t.Error("missing victim accepted")
+	}
+}
+
+func TestExactUntangleActionLeakageIsZero(t *testing.T) {
+	// The paper's headline security theorem, verified by exhaustive
+	// enumeration: annotated Untangle has EXACTLY zero action leakage for
+	// Figure 1a across all secrets.
+	res, err := ExactLeakage(exactConfig(partition.Untangle, true, figure1aVictim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Action != 0 {
+		t.Errorf("exact action leakage = %v bits, want 0", res.Action)
+	}
+	// And the runtime accountant's charge covers the exact total leakage.
+	if res.ChargedBits < res.Total {
+		t.Errorf("accountant charged %v bits but exact leakage is %v", res.ChargedBits, res.Total)
+	}
+}
+
+func TestExactFigure1cIsPureSchedulingLeakage(t *testing.T) {
+	res, err := ExactLeakage(exactConfig(partition.Untangle, true, figure1cVictim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Action != 0 {
+		t.Errorf("action leakage = %v, want 0 (the traversal is public)", res.Action)
+	}
+	if res.Scheduling <= 0 {
+		t.Error("Figure 1c should exhibit scheduling leakage (timing varies with the secret)")
+	}
+	if res.ChargedBits < res.Total {
+		t.Errorf("accountant charged %v < exact %v", res.ChargedBits, res.Total)
+	}
+	// Four distinct delays -> up to four distinct traces.
+	if res.TraceCount < 2 {
+		t.Errorf("trace count = %d; the secret delay should produce distinct timings", res.TraceCount)
+	}
+}
+
+func TestExactUnannotatedLeaksActions(t *testing.T) {
+	res, err := ExactLeakage(exactConfig(partition.Untangle, false, figure1aVictim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Action <= 0 {
+		t.Error("unannotated Untangle should show action leakage for Figure 1a")
+	}
+	// With the binary gate and a uniform 4-value secret (two even, two
+	// odd), the action entropy is at most 1 bit.
+	if res.Action > 1+1e-9 {
+		t.Errorf("action leakage = %v bits, expected at most 1 for a binary gate", res.Action)
+	}
+}
+
+func TestExactTimeSchemeLeaksActions(t *testing.T) {
+	res, err := ExactLeakage(exactConfig(partition.TimeBased, false, figure1aVictim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Action <= 0 {
+		t.Error("Time baseline should show action leakage for Figure 1a")
+	}
+}
+
+func TestExactDecompositionIdentity(t *testing.T) {
+	res, err := ExactLeakage(exactConfig(partition.Untangle, true, figure1cVictim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := res.Total - (res.Action + res.Scheduling); diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("decomposition identity violated: %v != %v + %v", res.Total, res.Action, res.Scheduling)
+	}
+}

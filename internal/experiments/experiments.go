@@ -1,0 +1,473 @@
+// Package experiments contains the evaluation harness: every table and
+// figure of the paper's evaluation (Section 9 and Appendix B) maps to a
+// function here, parameterized by a scale factor so the same code drives
+// quick tests, the benchmark suite, and full-fidelity runs.
+//
+//	Figure 10, 12-17  ->  RunMix / MixResult
+//	Figure 11         ->  SensitivityStudy
+//	Table 6           ->  Table6 (over RunMix results)
+//	Section 9 active-attacker paragraph -> RunMix with WorstCaseAccounting
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"untangle/internal/isa"
+	"untangle/internal/partition"
+	"untangle/internal/sim"
+	"untangle/internal/stats"
+	"untangle/internal/workload"
+)
+
+// Full-scale workload construction constants (Section 8): loop 1M crypto
+// instructions + 10M SPEC instructions until the SPEC part reaches 500M
+// (so 550M total per workload).
+const (
+	fullCryptoPhase = 1_000_000
+	fullSPECPhase   = 10_000_000
+	fullTotal       = 550_000_000
+)
+
+// Options tweaks a mix run.
+type Options struct {
+	// Scale shrinks instruction counts and time constants together
+	// (DESIGN.md "Scaling"); 1.0 is the paper's full fidelity.
+	Scale float64
+	// Kinds selects the schemes to run; nil means all four of Table 4.
+	Kinds []partition.Kind
+	// WorstCaseAccounting disables the Section 5.3.4 Maintain optimization
+	// (the active-attacker accounting of Section 9).
+	WorstCaseAccounting bool
+	// Annotated disables the Section 5.2 annotations when false. Default
+	// (zero Options) means annotated; use the explicit field below.
+	DisableAnnotations bool
+	// Budget is the per-domain leakage budget in bits (0 = unlimited; the
+	// paper's evaluation runs unlimited and measures).
+	Budget float64
+	// WayPartitioned switches the LLC to whole-way granularity (the
+	// granularity ablation; the paper's evaluation uses set partitioning).
+	WayPartitioned bool
+	// Secret perturbs the crypto benchmarks' secret-dependent patterns.
+	Secret uint64
+	// SimSeed drives the schemes' random action delays (default 1).
+	SimSeed uint64
+}
+
+func (o Options) kinds() []partition.Kind {
+	if len(o.Kinds) > 0 {
+		return o.Kinds
+	}
+	return []partition.Kind{partition.Static, partition.TimeBased, partition.Untangle, partition.Shared}
+}
+
+func (o Options) scale() float64 {
+	if o.Scale <= 0 || o.Scale > 1 {
+		return 1
+	}
+	return o.Scale
+}
+
+// BuildDomains constructs the 8 domain specs for a mix at a scale.
+func BuildDomains(mix workload.Mix, scale float64, secret uint64) ([]sim.DomainSpec, error) {
+	specs := make([]sim.DomainSpec, 0, len(mix.Pairs))
+	for _, pair := range mix.Pairs {
+		cryptoPhase := scaleCount(fullCryptoPhase, scale)
+		specPhase := scaleCount(fullSPECPhase, scale)
+		total := scaleCount(fullTotal, scale)
+		stream, err := pair.PairStream(cryptoPhase, specPhase, total, secret)
+		if err != nil {
+			return nil, err
+		}
+		// Pressure stream: same behaviour, endless, distinct seed so it does
+		// not replay the measured stream verbatim.
+		specP, err := workload.SPECByName(pair.SPEC)
+		if err != nil {
+			return nil, err
+		}
+		pressureParams := specP
+		pressureParams.Seed += 0xA5A5
+		pressure, err := workload.NewGenerator(pressureParams)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, sim.DomainSpec{
+			Name:     pair.String(),
+			Stream:   stream,
+			Pressure: pressure,
+			CPU:      specP.CPUParams(),
+		})
+	}
+	return specs, nil
+}
+
+func scaleCount(n uint64, scale float64) uint64 {
+	s := uint64(float64(n) * scale)
+	if s < 1000 {
+		s = 1000
+	}
+	return s
+}
+
+// MixResult holds one mix's results across schemes.
+type MixResult struct {
+	Mix       workload.Mix
+	Scale     float64
+	PerScheme map[partition.Kind]*sim.Result
+}
+
+// RunMix runs one mix under the selected schemes. The schemes are fully
+// independent simulations and run concurrently.
+func RunMix(mix workload.Mix, opts Options) (*MixResult, error) {
+	res := &MixResult{Mix: mix, Scale: opts.scale(), PerScheme: map[partition.Kind]*sim.Result{}}
+	kinds := opts.kinds()
+	results := make([]*sim.Result, len(kinds))
+	errs := make([]error, len(kinds))
+	var wg sync.WaitGroup
+	for i, kind := range kinds {
+		wg.Add(1)
+		go func(i int, kind partition.Kind) {
+			defer wg.Done()
+			scheme := partition.DefaultScheme(kind)
+			scheme.Annotated = !opts.DisableAnnotations
+			cfg := sim.Scaled(scheme, res.Scale)
+			cfg.OptimizeMaintain = !opts.WorstCaseAccounting
+			cfg.Budget = opts.Budget
+			if opts.WayPartitioned {
+				cfg.WayPartitioned = true
+				cfg.Sizes = cfg.WaySizes()
+			}
+			if opts.SimSeed != 0 {
+				cfg.Seed = opts.SimSeed
+			}
+			specs, err := BuildDomains(mix, res.Scale, opts.Secret)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			s, err := sim.New(cfg, specs)
+			if err != nil {
+				errs[i] = fmt.Errorf("mix %d, %v: %w", mix.ID, kind, err)
+				return
+			}
+			r, err := s.Run()
+			if err != nil {
+				errs[i] = fmt.Errorf("mix %d, %v: %w", mix.ID, kind, err)
+				return
+			}
+			results[i] = r
+		}(i, kind)
+	}
+	wg.Wait()
+	for i, kind := range kinds {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		res.PerScheme[kind] = results[i]
+	}
+	return res, nil
+}
+
+// Replication aggregates one metric over repeated runs with different
+// random-delay seeds, reporting its spread — the stability check behind the
+// single-seed numbers in EXPERIMENTS.md.
+type Replication struct {
+	Seeds                []uint64
+	SpeedupMean          float64
+	SpeedupMin           float64
+	SpeedupMax           float64
+	LeakPerAssessMean    float64
+	LeakPerAssessMin     float64
+	LeakPerAssessMax     float64
+	ActionSequencesMatch bool
+}
+
+// Replicate runs the mix under Untangle (plus the Static baseline) once per
+// seed and summarizes the spread. It also checks the central determinism
+// property across seeds: the random delay perturbs only WHEN actions apply,
+// so the action sequences must be identical for every seed.
+func Replicate(mix workload.Mix, opts Options, seeds []uint64) (Replication, error) {
+	if len(seeds) == 0 {
+		seeds = []uint64{1, 2, 3}
+	}
+	rep := Replication{Seeds: seeds, ActionSequencesMatch: true}
+	var speeds, leaks []float64
+	var firstActions [][]int64
+	for _, seed := range seeds {
+		o := opts
+		o.SimSeed = seed
+		o.Kinds = []partition.Kind{partition.Static, partition.Untangle}
+		res, err := RunMix(mix, o)
+		if err != nil {
+			return rep, err
+		}
+		sp, err := res.SystemSpeedup(partition.Untangle)
+		if err != nil {
+			return rep, err
+		}
+		speeds = append(speeds, sp)
+		leak, err := res.LeakagePerAssessment(partition.Untangle)
+		if err != nil {
+			return rep, err
+		}
+		leaks = append(leaks, stats.Mean(leak))
+		actions := make([][]int64, len(res.PerScheme[partition.Untangle].Domains))
+		for i, d := range res.PerScheme[partition.Untangle].Domains {
+			actions[i] = d.Trace.ActionSizes()
+		}
+		if firstActions == nil {
+			firstActions = actions
+		} else {
+			for i := range actions {
+				if !equalInt64(actions[i], firstActions[i]) {
+					rep.ActionSequencesMatch = false
+				}
+			}
+		}
+	}
+	rep.SpeedupMean = stats.Mean(speeds)
+	rep.SpeedupMin = stats.Quantile(speeds, 0)
+	rep.SpeedupMax = stats.Quantile(speeds, 1)
+	rep.LeakPerAssessMean = stats.Mean(leaks)
+	rep.LeakPerAssessMin = stats.Quantile(leaks, 0)
+	rep.LeakPerAssessMax = stats.Quantile(leaks, 1)
+	return rep, nil
+}
+
+func equalInt64(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// NormalizedIPC returns per-workload IPC under kind divided by Static
+// (the bottom charts of Figures 10 and 12-17). It requires Static in the
+// result set.
+func (m *MixResult) NormalizedIPC(kind partition.Kind) ([]float64, error) {
+	base, ok := m.PerScheme[partition.Static]
+	if !ok {
+		return nil, fmt.Errorf("experiments: Static baseline missing")
+	}
+	r, ok := m.PerScheme[kind]
+	if !ok {
+		return nil, fmt.Errorf("experiments: %v results missing", kind)
+	}
+	out := make([]float64, len(r.Domains))
+	for i := range r.Domains {
+		if base.Domains[i].IPC <= 0 {
+			return nil, fmt.Errorf("experiments: zero Static IPC for %s", base.Domains[i].Name)
+		}
+		out[i] = r.Domains[i].IPC / base.Domains[i].IPC
+	}
+	return out, nil
+}
+
+// SystemSpeedup returns the geometric-mean normalized IPC (the "system-wide
+// speedup" of Section 9).
+func (m *MixResult) SystemSpeedup(kind partition.Kind) (float64, error) {
+	norm, err := m.NormalizedIPC(kind)
+	if err != nil {
+		return 0, err
+	}
+	return stats.GeoMean(norm), nil
+}
+
+// LeakagePerAssessment returns each workload's average leakage per
+// assessment under kind (the middle charts).
+func (m *MixResult) LeakagePerAssessment(kind partition.Kind) ([]float64, error) {
+	r, ok := m.PerScheme[kind]
+	if !ok {
+		return nil, fmt.Errorf("experiments: %v results missing", kind)
+	}
+	out := make([]float64, len(r.Domains))
+	for i, d := range r.Domains {
+		out[i] = d.Leakage.PerAssessment()
+	}
+	return out, nil
+}
+
+// TotalLeakage returns each workload's total leakage in bits under kind.
+func (m *MixResult) TotalLeakage(kind partition.Kind) ([]float64, error) {
+	r, ok := m.PerScheme[kind]
+	if !ok {
+		return nil, fmt.Errorf("experiments: %v results missing", kind)
+	}
+	out := make([]float64, len(r.Domains))
+	for i, d := range r.Domains {
+		out[i] = d.Leakage.TotalBits
+	}
+	return out, nil
+}
+
+// PartitionSummaries returns the five-number partition-size summaries (the
+// top charts) for each workload under kind.
+func (m *MixResult) PartitionSummaries(kind partition.Kind) ([]stats.Summary, error) {
+	r, ok := m.PerScheme[kind]
+	if !ok {
+		return nil, fmt.Errorf("experiments: %v results missing", kind)
+	}
+	out := make([]stats.Summary, len(r.Domains))
+	for i, d := range r.Domains {
+		out[i] = stats.SummarizeInt64(d.PartitionSamples)
+	}
+	return out, nil
+}
+
+// MaintainFraction returns the overall fraction of assessments that were
+// Maintains under kind (Section 9 reports ~90% for Untangle).
+func (m *MixResult) MaintainFraction(kind partition.Kind) (float64, error) {
+	r, ok := m.PerScheme[kind]
+	if !ok {
+		return 0, fmt.Errorf("experiments: %v results missing", kind)
+	}
+	var assess, visible int
+	for _, d := range r.Domains {
+		assess += d.Leakage.Assessments
+		visible += d.Leakage.Visible
+	}
+	if assess == 0 {
+		return 0, nil
+	}
+	return 1 - float64(visible)/float64(assess), nil
+}
+
+// Table6Row summarizes one mix for Table 6.
+type Table6Row struct {
+	MixID                  int
+	TimeAvgPerAssessment   float64
+	TimeAvgTotal           float64
+	UntangleAvgPerAssess   float64
+	UntangleAvgTotal       float64
+	UntangleMaintainFrac   float64
+	ReductionPerAssessment float64 // 1 - Untangle/Time
+}
+
+// Table6 computes the Table 6 summary for a mix result (requires Time and
+// Untangle runs).
+func (m *MixResult) Table6() (Table6Row, error) {
+	timePer, err := m.LeakagePerAssessment(partition.TimeBased)
+	if err != nil {
+		return Table6Row{}, err
+	}
+	timeTot, _ := m.TotalLeakage(partition.TimeBased)
+	unPer, err := m.LeakagePerAssessment(partition.Untangle)
+	if err != nil {
+		return Table6Row{}, err
+	}
+	unTot, _ := m.TotalLeakage(partition.Untangle)
+	mf, _ := m.MaintainFraction(partition.Untangle)
+	row := Table6Row{
+		MixID:                m.Mix.ID,
+		TimeAvgPerAssessment: stats.Mean(timePer),
+		TimeAvgTotal:         stats.Mean(timeTot),
+		UntangleAvgPerAssess: stats.Mean(unPer),
+		UntangleAvgTotal:     stats.Mean(unTot),
+		UntangleMaintainFrac: mf,
+	}
+	if row.TimeAvgPerAssessment > 0 {
+		row.ReductionPerAssessment = 1 - row.UntangleAvgPerAssess/row.TimeAvgPerAssessment
+	}
+	return row, nil
+}
+
+// SensitivityResult is one row of the Figure 11 study.
+type SensitivityResult struct {
+	Name string
+	// Sizes and NormIPC give the normalized-IPC curve (IPC at each
+	// supported size divided by IPC at 8MB).
+	Sizes    []int64
+	NormIPC  []float64
+	Adequate int64
+	// Sensitive is true when the adequate LLC size exceeds the 2MB Static
+	// partition (Section 8's classification).
+	Sensitive bool
+}
+
+// Sensitivity runs the Figure 11 study for one benchmark: IPC with every
+// supported partition size, normalized to the 8MB maximum. instructions is
+// the measured slice length; an equally long warmup precedes it so the
+// partition reaches steady state before measurement (the paper's SimPoint
+// slices are long enough that warmup is negligible; at reduced scale it is
+// not). For classification-stable results use at least ~1.5M instructions.
+func Sensitivity(name string, instructions uint64) (SensitivityResult, error) {
+	p, err := workload.SPECByName(name)
+	if err != nil {
+		return SensitivityResult{}, err
+	}
+	sizes := sim.DefaultConfig(partition.DefaultScheme(partition.Static)).Sizes
+	res := SensitivityResult{Name: name, Sizes: sizes}
+	ipcs := make([]float64, len(sizes))
+	for i, size := range sizes {
+		scheme := partition.DefaultScheme(partition.Static)
+		scheme.StartSize = size
+		cfg := sim.DefaultConfig(scheme)
+		cfg.Warmup = 0
+		cfg.WarmupInstructions = instructions
+		cfg.SampleEvery = 100 * time.Microsecond
+		gen, err := workload.NewGenerator(p)
+		if err != nil {
+			return SensitivityResult{}, err
+		}
+		s, err := sim.New(cfg, []sim.DomainSpec{{
+			Name:   name,
+			Stream: isa.NewLimited(gen, 2*instructions),
+			CPU:    p.CPUParams(),
+		}})
+		if err != nil {
+			return SensitivityResult{}, err
+		}
+		r, err := s.Run()
+		if err != nil {
+			return SensitivityResult{}, err
+		}
+		ipcs[i] = r.Domains[0].IPC
+	}
+	maxIPC := ipcs[len(ipcs)-1]
+	res.NormIPC = make([]float64, len(sizes))
+	res.Adequate = sizes[len(sizes)-1]
+	for i := range sizes {
+		res.NormIPC[i] = ipcs[i] / maxIPC
+	}
+	for i := range sizes {
+		if res.NormIPC[i] >= 0.9 {
+			res.Adequate = sizes[i]
+			break
+		}
+	}
+	res.Sensitive = res.Adequate > 2<<20
+	return res, nil
+}
+
+// SensitivityStudy runs Sensitivity for all 36 benchmarks.
+func SensitivityStudy(instructions uint64) ([]SensitivityResult, error) {
+	var out []SensitivityResult
+	for _, name := range workload.SortedSPECNames() {
+		r, err := Sensitivity(name, instructions)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// TotalLLCDemand sums the adequate LLC sizes of a mix's SPEC members given a
+// sensitivity study (the "Total LLC demand" figure captions).
+func TotalLLCDemand(mix workload.Mix, study []SensitivityResult) int64 {
+	bySize := map[string]int64{}
+	for _, r := range study {
+		bySize[r.Name] = r.Adequate
+	}
+	var total int64
+	for _, p := range mix.Pairs {
+		total += bySize[p.SPEC]
+	}
+	return total
+}

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"time"
+
+	"untangle/internal/partition"
+	"untangle/internal/sim"
+	"untangle/internal/stats"
+	"untangle/internal/workload"
+)
+
+// DelayPoint is one point of the Mechanism 2 end-to-end sweep: wider random
+// delays lower the charged leakage without touching the action sequence.
+type DelayPoint struct {
+	// Multiplier scales the default delay width.
+	Multiplier float64
+	// DelayNs is the effective width in simulated nanoseconds.
+	DelayNs int64
+	// BitsPerAssessment is the average Untangle charge.
+	BitsPerAssessment float64
+	// Speedup is the geometric-mean IPC over Static.
+	Speedup float64
+}
+
+// DelaySweep runs a mix under Untangle at several random-delay widths.
+func DelaySweep(mix workload.Mix, scale float64, multipliers []float64) ([]DelayPoint, error) {
+	if len(multipliers) == 0 {
+		multipliers = []float64{0.25, 1, 4}
+	}
+	baseCfg := sim.Scaled(partition.DefaultScheme(partition.Static), scale)
+	baseSpecs, err := BuildDomains(mix, scale, 0)
+	if err != nil {
+		return nil, err
+	}
+	baseSim, err := sim.New(baseCfg, baseSpecs)
+	if err != nil {
+		return nil, err
+	}
+	base, err := baseSim.Run()
+	if err != nil {
+		return nil, err
+	}
+	var out []DelayPoint
+	for _, m := range multipliers {
+		cfg := sim.Scaled(partition.DefaultScheme(partition.Untangle), scale)
+		cfg.Scheme.DelayWidth = time.Duration(float64(cfg.Scheme.DelayWidth) * m)
+		specs, err := BuildDomains(mix, scale, 0)
+		if err != nil {
+			return nil, err
+		}
+		s, err := sim.New(cfg, specs)
+		if err != nil {
+			return nil, err
+		}
+		res, err := s.Run()
+		if err != nil {
+			return nil, err
+		}
+		p := DelayPoint{Multiplier: m, DelayNs: cfg.Scheme.DelayWidth.Nanoseconds()}
+		norm := make([]float64, len(res.Domains))
+		var bits float64
+		var assessments int
+		for i, d := range res.Domains {
+			norm[i] = d.IPC / base.Domains[i].IPC
+			bits += d.Leakage.TotalBits
+			assessments += d.Leakage.Assessments
+		}
+		p.Speedup = stats.GeoMean(norm)
+		if assessments > 0 {
+			p.BitsPerAssessment = bits / float64(assessments)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// CooldownPoint is one point of the Section 5.3.2 trade-off: "the longer the
+// cooldown time is, the lower the leakage rate is, and the slower the
+// program execution is."
+type CooldownPoint struct {
+	// Multiplier scales the default Tc (and the progress quantum with it,
+	// keeping N = w*Tc aligned as Section 5.3.2 prescribes).
+	Multiplier float64
+	// CooldownNs is the effective Tc at this point, in nanoseconds of
+	// simulated time.
+	CooldownNs int64
+	// Speedup is the geometric-mean IPC over Static.
+	Speedup float64
+	// BitsPerAssessment is the average Untangle charge.
+	BitsPerAssessment float64
+	// BitsPerSecond is total leakage divided by simulated time — the
+	// leakage RATE the cooldown actually controls.
+	BitsPerSecond float64
+}
+
+// CooldownSweep runs a mix under Untangle at several cooldown multipliers.
+// The progress quantum scales with the cooldown so the schedule stays
+// consistent (N tied to w*Tc); the baseline Static run is shared.
+func CooldownSweep(mix workload.Mix, scale float64, multipliers []float64) ([]CooldownPoint, error) {
+	if len(multipliers) == 0 {
+		multipliers = []float64{0.5, 1, 2, 4}
+	}
+	// Shared Static baseline.
+	baseCfg := sim.Scaled(partition.DefaultScheme(partition.Static), scale)
+	baseSpecs, err := BuildDomains(mix, scale, 0)
+	if err != nil {
+		return nil, err
+	}
+	baseSim, err := sim.New(baseCfg, baseSpecs)
+	if err != nil {
+		return nil, err
+	}
+	base, err := baseSim.Run()
+	if err != nil {
+		return nil, err
+	}
+
+	var out []CooldownPoint
+	for _, m := range multipliers {
+		cfg := sim.Scaled(partition.DefaultScheme(partition.Untangle), scale)
+		cfg.Scheme.Cooldown = time.Duration(float64(cfg.Scheme.Cooldown) * m)
+		cfg.Scheme.DelayWidth = time.Duration(float64(cfg.Scheme.DelayWidth) * m)
+		cfg.Scheme.ProgressN = uint64(float64(cfg.Scheme.ProgressN) * m)
+		if cfg.Scheme.ProgressN == 0 {
+			cfg.Scheme.ProgressN = 1
+		}
+		specs, err := BuildDomains(mix, scale, 0)
+		if err != nil {
+			return nil, err
+		}
+		s, err := sim.New(cfg, specs)
+		if err != nil {
+			return nil, err
+		}
+		res, err := s.Run()
+		if err != nil {
+			return nil, err
+		}
+		point := CooldownPoint{Multiplier: m, CooldownNs: cfg.Scheme.Cooldown.Nanoseconds()}
+		norm := make([]float64, len(res.Domains))
+		var totalBits float64
+		var assessments int
+		for i, d := range res.Domains {
+			norm[i] = d.IPC / base.Domains[i].IPC
+			totalBits += d.Leakage.TotalBits
+			assessments += d.Leakage.Assessments
+		}
+		point.Speedup = stats.GeoMean(norm)
+		if assessments > 0 {
+			point.BitsPerAssessment = totalBits / float64(assessments)
+		}
+		if res.Duration > 0 {
+			point.BitsPerSecond = totalBits / res.Duration.Seconds() / float64(len(res.Domains))
+		}
+		out = append(out, point)
+	}
+	return out, nil
+}

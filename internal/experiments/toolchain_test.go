@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"untangle/internal/isa"
+	"untangle/internal/lang"
+	"untangle/internal/partition"
+)
+
+// The capstone integration test: victims written in the mini-language, with
+// NO hand-placed annotations — the static taint analysis derives them — run
+// through the full pipeline (interpreter -> simulator -> schemes ->
+// accountant), and the exhaustively-measured leakage obeys the paper's
+// guarantees.
+
+func langVictim(t *testing.T, build func(secret uint64) *lang.Program) func(uint64) isa.Stream {
+	t.Helper()
+	return func(secret uint64) isa.Stream {
+		e, err := lang.NewExec(build(secret), map[string]int64{"secret": int64(secret)}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+}
+
+func toolchainConfig(kind partition.Kind, annotated bool, victim func(uint64) isa.Stream) ExactConfig {
+	scheme := partition.DefaultScheme(kind)
+	scheme.Annotated = annotated
+	return ExactConfig{
+		Scheme:             scheme,
+		Scale:              0.003,
+		Secrets:            []uint64{0, 1, 2, 3},
+		Victim:             victim,
+		PublicInstructions: 400_000,
+		TimeQuantum:        time.Microsecond,
+	}
+}
+
+func TestToolchainFigure1aZeroActionLeakage(t *testing.T) {
+	victim := langVictim(t, func(uint64) *lang.Program {
+		// 2MB traversal gated on the secret's low bit, then public work.
+		return lang.Figure1aProgram(32768, 40000)
+	})
+	res, err := ExactLeakage(toolchainConfig(partition.Untangle, true, victim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Action != 0 {
+		t.Errorf("analysis-derived annotations left %v bits of action leakage", res.Action)
+	}
+	if res.ChargedBits < res.Total {
+		t.Errorf("accountant charge %v below exact leakage %v", res.ChargedBits, res.Total)
+	}
+}
+
+func TestToolchainFigure1aLeaksWithoutAnnotationSupport(t *testing.T) {
+	victim := langVictim(t, func(uint64) *lang.Program {
+		return lang.Figure1aProgram(32768, 40000)
+	})
+	res, err := ExactLeakage(toolchainConfig(partition.Untangle, false, victim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Action <= 0 {
+		t.Error("ignoring the derived annotations should reintroduce action leakage")
+	}
+}
+
+func TestToolchainAESLikeVictim(t *testing.T) {
+	// The canonical crypto victim: secret-indexed table lookups. The
+	// analysis taints them; under annotated Untangle the key must not
+	// influence the action sequence.
+	victim := func(secret uint64) isa.Stream {
+		prog := lang.AESLikeProgram(2048)
+		e, err := lang.NewExec(prog, map[string]int64{"key": int64(secret * 37)}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	cfg := toolchainConfig(partition.Untangle, true, victim)
+	cfg.PublicInstructions = 60_000
+	res, err := ExactLeakage(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Action != 0 {
+		t.Errorf("AES-like victim leaked %v action bits under annotated Untangle", res.Action)
+	}
+}
+
+func TestToolchainModExpZeroActionLeakage(t *testing.T) {
+	// The RSA square-and-multiply victim: 4 enumerable exponents, the taint
+	// analysis derives everything, and annotated Untangle's action sequence
+	// carries zero bits about the exponent.
+	victim := func(secret uint64) isa.Stream {
+		e, err := lang.NewExec(lang.ModExpProgram(64),
+			map[string]int64{"exp": int64(secret*0x9E37 + 0xB5), "base": 7}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	cfg := toolchainConfig(partition.Untangle, true, victim)
+	cfg.PublicInstructions = 20_000
+	res, err := ExactLeakage(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Action != 0 {
+		t.Errorf("modexp leaked %v action bits under annotated Untangle", res.Action)
+	}
+	if res.ChargedBits < res.Total {
+		t.Errorf("charge %v below exact %v", res.ChargedBits, res.Total)
+	}
+}

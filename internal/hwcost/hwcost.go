@@ -1,0 +1,152 @@
+// Package hwcost estimates the hardware budget of the Section 7
+// implementation sketch: the shadow-tag monitor arrays, the precomputed
+// leakage-rate table, and the per-domain bookkeeping registers. The paper
+// does not present a full implementation ("the focus and the novelty of
+// this paper is in the Untangle framework"); this package quantifies the
+// sketch so the storage overhead claims can be sanity-checked.
+package hwcost
+
+import (
+	"fmt"
+
+	"untangle/internal/cache"
+)
+
+// MonitorConfig describes one domain's utilization monitor.
+type MonitorConfig struct {
+	// Sizes are the candidate partition sizes in bytes.
+	Sizes []int64
+	// Ways is the simulated associativity.
+	Ways int
+	// SampleLog2 is the set-sampling factor (Section 7's "selectively
+	// simulates memory accesses to only certain cache sets").
+	SampleLog2 uint
+	// TagBits is the stored tag width per shadow entry. 0 picks a default
+	// of 24 bits (40-bit physical line address minus ~16 index bits).
+	TagBits int
+	// CounterBits is the width of each per-size hit counter; 0 picks 32.
+	CounterBits int
+	// Buckets is the window subdivision count; 0 picks 8.
+	Buckets int
+}
+
+// MonitorCost is the per-domain monitor budget.
+type MonitorCost struct {
+	// ShadowEntries is the total number of shadow-tag entries across all
+	// candidate sizes.
+	ShadowEntries int64
+	// TagBits is the SRAM spent on tags.
+	TagBits int64
+	// CounterBits is the SRAM spent on windowed hit counters.
+	CounterBits int64
+	// TotalKiB is the whole monitor in KiB.
+	TotalKiB float64
+}
+
+// Monitor computes the cost of one domain's monitor.
+func Monitor(cfg MonitorConfig) (MonitorCost, error) {
+	if len(cfg.Sizes) == 0 || cfg.Ways <= 0 {
+		return MonitorCost{}, fmt.Errorf("hwcost: incomplete monitor config")
+	}
+	tagBits := cfg.TagBits
+	if tagBits <= 0 {
+		tagBits = 24
+	}
+	counterBits := cfg.CounterBits
+	if counterBits <= 0 {
+		counterBits = 32
+	}
+	buckets := cfg.Buckets
+	if buckets <= 0 {
+		buckets = 8
+	}
+	var c MonitorCost
+	for _, size := range cfg.Sizes {
+		lines := size / cache.LineBytes >> cfg.SampleLog2
+		if min := int64(cfg.Ways * 4); lines < min {
+			lines = min
+		}
+		c.ShadowEntries += lines
+	}
+	// One valid bit plus the tag per entry; LRU state is log2(ways) bits
+	// per entry, approximated as 4 bits for 16-way.
+	c.TagBits = c.ShadowEntries * int64(tagBits+1+4)
+	c.CounterBits = int64(len(cfg.Sizes)) * int64(buckets) * int64(counterBits)
+	c.TotalKiB = float64(c.TagBits+c.CounterBits) / 8 / 1024
+	return c, nil
+}
+
+// TableCost is the Section 7 leakage-rate table budget.
+type TableCost struct {
+	Entries   int
+	TotalBits int64
+}
+
+// RateTable sizes the precomputed Rmax table: one fixed-point rate per
+// consecutive-Maintain count. entryBits 0 picks 32 (a 16.16 fixed-point
+// bits-per-resize value is ample).
+func RateTable(maxMaintains, entryBits int) TableCost {
+	if entryBits <= 0 {
+		entryBits = 32
+	}
+	n := maxMaintains + 1
+	if n < 1 {
+		n = 1
+	}
+	return TableCost{Entries: n, TotalBits: int64(n) * int64(entryBits)}
+}
+
+// DomainState is the per-domain bookkeeping of the scheme itself.
+type DomainState struct {
+	// Bits of architectural state per domain: progress counter, cooldown
+	// deadline, accumulated-leakage register, Maintain-run counter,
+	// pending-action latch, and the current-size register.
+	Bits int64
+}
+
+// PerDomainState estimates the non-monitor registers.
+func PerDomainState() DomainState {
+	const (
+		progressCounter = 32 // retired public instructions toward N
+		deadline        = 48 // cycle timestamp for the cooldown
+		leakageAcc      = 32 // fixed-point accumulated bits
+		maintainRun     = 8
+		pending         = 8 + 48 // size index + apply timestamp
+		current         = 8
+	)
+	return DomainState{Bits: progressCounter + deadline + leakageAcc + maintainRun + pending + current}
+}
+
+// System sums the budget for a whole machine.
+type SystemCost struct {
+	Domains      int
+	MonitorKiB   float64
+	TableBits    int64
+	StateBits    int64
+	TotalKiB     float64
+	PercentOfLLC float64
+}
+
+// System computes the machine-level total against an LLC capacity.
+func System(domains int, mon MonitorConfig, maxMaintains int, llcBytes int64) (SystemCost, error) {
+	if domains <= 0 {
+		return SystemCost{}, fmt.Errorf("hwcost: %d domains", domains)
+	}
+	mc, err := Monitor(mon)
+	if err != nil {
+		return SystemCost{}, err
+	}
+	tbl := RateTable(maxMaintains, 0)
+	st := PerDomainState()
+	out := SystemCost{
+		Domains:    domains,
+		MonitorKiB: mc.TotalKiB * float64(domains),
+		TableBits:  tbl.TotalBits,
+		StateBits:  st.Bits * int64(domains),
+	}
+	out.TotalKiB = out.MonitorKiB + float64(out.TableBits+out.StateBits)/8/1024
+	if llcBytes > 0 {
+		out.PercentOfLLC = out.TotalKiB * 1024 / float64(llcBytes) * 100
+	}
+	return out, nil
+}

@@ -1,0 +1,80 @@
+package hwcost
+
+import (
+	"testing"
+
+	"untangle/internal/monitor"
+)
+
+func paperMonitor() MonitorConfig {
+	return MonitorConfig{
+		Sizes:      monitor.DefaultSizes(),
+		Ways:       16,
+		SampleLog2: 5, // 1/32 set sampling, UMON's usual ratio
+	}
+}
+
+func TestMonitorCostReasonable(t *testing.T) {
+	c, err := Monitor(paperMonitor())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Candidate sizes sum to ~24.9MB of simulated cache; at 1/32 sampling
+	// that is ~12.4k entries.
+	if c.ShadowEntries < 10_000 || c.ShadowEntries > 16_000 {
+		t.Errorf("shadow entries = %d, want ~12k", c.ShadowEntries)
+	}
+	// A per-domain monitor must stay tiny next to the 16MB LLC: well under
+	// 100 KiB.
+	if c.TotalKiB <= 0 || c.TotalKiB > 100 {
+		t.Errorf("monitor = %.1f KiB", c.TotalKiB)
+	}
+	if c.CounterBits != 9*8*32 {
+		t.Errorf("counter bits = %d", c.CounterBits)
+	}
+}
+
+func TestMonitorValidation(t *testing.T) {
+	if _, err := Monitor(MonitorConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+}
+
+func TestMonitorSamplingReducesCost(t *testing.T) {
+	full := paperMonitor()
+	full.SampleLog2 = 0
+	sampled := paperMonitor()
+	cFull, _ := Monitor(full)
+	cSampled, _ := Monitor(sampled)
+	if cSampled.TagBits*16 > cFull.TagBits {
+		t.Errorf("1/32 sampling saved too little: %d vs %d tag bits", cSampled.TagBits, cFull.TagBits)
+	}
+}
+
+func TestRateTable(t *testing.T) {
+	tbl := RateTable(16, 0)
+	if tbl.Entries != 17 || tbl.TotalBits != 17*32 {
+		t.Errorf("table = %+v", tbl)
+	}
+	if RateTable(-1, 16).Entries != 1 {
+		t.Error("negative capacity not clamped")
+	}
+}
+
+func TestSystemBudgetSmallFractionOfLLC(t *testing.T) {
+	// The headline sanity check: the whole mechanism for 8 domains costs a
+	// fraction of a percent of the 16MB LLC it protects.
+	sys, err := System(8, paperMonitor(), 16, 16<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.PercentOfLLC <= 0 || sys.PercentOfLLC > 3 {
+		t.Errorf("overhead = %.2f%% of the LLC", sys.PercentOfLLC)
+	}
+	if sys.TotalKiB <= sys.MonitorKiB/2 {
+		t.Errorf("totals inconsistent: %+v", sys)
+	}
+	if _, err := System(0, paperMonitor(), 16, 16<<20); err == nil {
+		t.Error("zero domains accepted")
+	}
+}

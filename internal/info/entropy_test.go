@@ -1,0 +1,277 @@
+package info
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-9
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestEntropyUniform(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 9, 16, 1000} {
+		got := NewUniform(n).Entropy()
+		want := math.Log2(float64(n))
+		if !almostEqual(got, want, eps) {
+			t.Errorf("H(uniform %d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestEntropyPointMass(t *testing.T) {
+	for _, n := range []int{1, 3, 10} {
+		if h := NewPoint(n, n-1).Entropy(); h != 0 {
+			t.Errorf("H(point mass over %d) = %v, want 0", n, h)
+		}
+	}
+}
+
+func TestEntropyPaperExampleSection51(t *testing.T) {
+	// Figure 3: two equally likely action sequences leak H(S) = 1 bit.
+	if h := Entropy([]float64{0.5, 0.5}); !almostEqual(h, 1, eps) {
+		t.Errorf("H = %v, want 1", h)
+	}
+}
+
+func TestEntropySection33Example(t *testing.T) {
+	// Section 3.3: 1000 binary assessments, all traces equally likely,
+	// leak log2(2^1000) = 1000 bits. We verify the per-assessment value.
+	perAssessment := NewUniform(2).Entropy()
+	if total := perAssessment * 1000; !almostEqual(total, 1000, eps) {
+		t.Errorf("total = %v, want 1000", total)
+	}
+	// The Time scheme of the evaluation supports 9 actions: log2(9) = 3.17.
+	if h := NewUniform(9).Entropy(); !almostEqual(h, math.Log2(9), eps) {
+		t.Errorf("H(9 actions) = %v, want log2 9", h)
+	}
+}
+
+func TestEntropyOfCounts(t *testing.T) {
+	if h := EntropyOfCounts([]int{1, 1, 1, 1}); !almostEqual(h, 2, eps) {
+		t.Errorf("H = %v, want 2", h)
+	}
+	if h := EntropyOfCounts([]int{5, 0, 0}); h != 0 {
+		t.Errorf("H = %v, want 0", h)
+	}
+	if h := EntropyOfCounts(nil); h != 0 {
+		t.Errorf("H(nil) = %v, want 0", h)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Dist{0.25, 0.75}).Validate(); err != nil {
+		t.Errorf("valid dist rejected: %v", err)
+	}
+	if err := (Dist{0.5, 0.6}).Validate(); err == nil {
+		t.Error("over-unit dist accepted")
+	}
+	if err := (Dist{-0.1, 1.1}).Validate(); err == nil {
+		t.Error("negative dist accepted")
+	}
+	if err := (Dist{math.NaN(), 1}).Validate(); err == nil {
+		t.Error("NaN dist accepted")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	d := Dist{2, 2, 4}.Normalize()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(d[2], 0.5, eps) {
+		t.Errorf("d[2] = %v, want 0.5", d[2])
+	}
+	z := Dist{0, 0}.Normalize()
+	if z[0] != 0 || z[1] != 0 {
+		t.Error("normalizing zero vector should be a no-op")
+	}
+}
+
+func TestJointMarginalsAndChainRule(t *testing.T) {
+	j := Joint{
+		{0.125, 0.0625, 0.03125, 0.03125},
+		{0.0625, 0.125, 0.03125, 0.03125},
+		{0.0625, 0.0625, 0.0625, 0.0625},
+		{0.25, 0, 0, 0},
+	}
+	if err := j.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Cover & Thomas example: H(X) = 7/4, H(Y) = 2, H(X|Y) = 11/8.
+	if h := j.MarginalX().Entropy(); !almostEqual(h, 2, eps) {
+		t.Errorf("H(X) = %v, want 2", h)
+	}
+	if h := j.MarginalY().Entropy(); !almostEqual(h, 1.75, eps) {
+		t.Errorf("H(Y) = %v, want 7/4", h)
+	}
+	if h := j.ConditionalYGivenX(); !almostEqual(h, 11.0/8, eps) {
+		t.Errorf("H(Y|X) = %v, want 11/8", h)
+	}
+	// Chain rule: H(X,Y) = H(X) + H(Y|X).
+	if !almostEqual(j.Entropy(), j.MarginalX().Entropy()+j.ConditionalYGivenX(), eps) {
+		t.Error("chain rule violated")
+	}
+	// I(X;Y) = H(Y) - H(Y|X) = 7/4 - 11/8 = 3/8.
+	if mi := j.MutualInformation(); !almostEqual(mi, 0.375, eps) {
+		t.Errorf("I(X;Y) = %v, want 3/8", mi)
+	}
+}
+
+func TestMutualInformationIndependent(t *testing.T) {
+	px := Dist{0.3, 0.7}
+	py := Dist{0.2, 0.5, 0.3}
+	j := NewJoint(2, 3)
+	for x := range px {
+		for y := range py {
+			j[x][y] = px[x] * py[y]
+		}
+	}
+	if mi := j.MutualInformation(); !almostEqual(mi, 0, 1e-12) {
+		t.Errorf("I = %v for independent variables, want 0", mi)
+	}
+}
+
+func TestJointFromConditional(t *testing.T) {
+	px := Dist{0.5, 0.5}
+	kernel := []Dist{{1, 0}, {0.5, 0.5}}
+	j, err := JointFromConditional(px, kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(j[1][1], 0.25, eps) {
+		t.Errorf("j[1][1] = %v, want 0.25", j[1][1])
+	}
+	if _, err := JointFromConditional(px, kernel[:1]); err == nil {
+		t.Error("mismatched kernel accepted")
+	}
+	if _, err := JointFromConditional(px, []Dist{{1, 0}, {1}}); err == nil {
+		t.Error("ragged kernel accepted")
+	}
+}
+
+func TestKLDivergence(t *testing.T) {
+	p := Dist{0.5, 0.5}
+	if d := KLDivergence(p, p); !almostEqual(d, 0, eps) {
+		t.Errorf("D(p||p) = %v, want 0", d)
+	}
+	if d := KLDivergence(Dist{1, 0}, Dist{0, 1}); !math.IsInf(d, 1) {
+		t.Errorf("D = %v, want +Inf", d)
+	}
+	if d := KLDivergence(Dist{1}, Dist{0.5, 0.5}); !math.IsInf(d, 1) {
+		t.Errorf("mismatched lengths: D = %v, want +Inf", d)
+	}
+}
+
+// randomDist builds a reproducible random distribution from fuzz input.
+func randomDist(r *rand.Rand, n int) Dist {
+	d := make(Dist, n)
+	for i := range d {
+		d[i] = r.Float64()
+	}
+	return d.Normalize()
+}
+
+func TestPropertyEntropyBounds(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%32) + 1
+		d := randomDist(rand.New(rand.NewSource(seed)), n)
+		h := d.Entropy()
+		return h >= -eps && h <= math.Log2(float64(n))+eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyUniformMaximizesEntropy(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%32) + 2
+		d := randomDist(rand.New(rand.NewSource(seed)), n)
+		return d.Entropy() <= NewUniform(n).Entropy()+eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyChainRule(t *testing.T) {
+	// H(X,Y) = H(X) + H(Y|X) for arbitrary joints (Eq. 5.2 relies on this).
+	f := func(seed int64, nxRaw, nyRaw uint8) bool {
+		nx, ny := int(nxRaw%8)+1, int(nyRaw%8)+1
+		r := rand.New(rand.NewSource(seed))
+		j := NewJoint(nx, ny)
+		sum := 0.0
+		for x := 0; x < nx; x++ {
+			for y := 0; y < ny; y++ {
+				j[x][y] = r.Float64()
+				sum += j[x][y]
+			}
+		}
+		for x := 0; x < nx; x++ {
+			for y := 0; y < ny; y++ {
+				j[x][y] /= sum
+			}
+		}
+		lhs := j.Entropy()
+		rhs := j.MarginalX().Entropy() + j.ConditionalYGivenX()
+		return almostEqual(lhs, rhs, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyMutualInformationSymmetricNonNegative(t *testing.T) {
+	f := func(seed int64, nxRaw, nyRaw uint8) bool {
+		nx, ny := int(nxRaw%8)+1, int(nyRaw%8)+1
+		r := rand.New(rand.NewSource(seed))
+		j := NewJoint(nx, ny)
+		sum := 0.0
+		for x := 0; x < nx; x++ {
+			for y := 0; y < ny; y++ {
+				j[x][y] = r.Float64()
+				sum += j[x][y]
+			}
+		}
+		for x := 0; x < nx; x++ {
+			for y := 0; y < ny; y++ {
+				j[x][y] /= sum
+			}
+		}
+		mi := j.MutualInformation()
+		// Transpose for symmetry check.
+		jt := NewJoint(ny, nx)
+		for x := 0; x < nx; x++ {
+			for y := 0; y < ny; y++ {
+				jt[y][x] = j[x][y]
+			}
+		}
+		return mi >= 0 && almostEqual(mi, jt.MutualInformation(), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyKLNonNegative(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%16) + 1
+		r := rand.New(rand.NewSource(seed))
+		p := randomDist(r, n)
+		q := randomDist(r, n)
+		for i := range q { // keep q strictly positive so KL is finite
+			q[i] = (q[i] + 1e-6)
+		}
+		q.Normalize()
+		return KLDivergence(p, q) >= -eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,165 @@
+package isa
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Trace file format: a compact binary encoding of an Op stream, so users can
+// drive the simulator with recorded instruction traces (from a binary
+// instrumentation tool, another simulator, or a previous run) instead of the
+// synthetic generators.
+//
+// Layout: an 8-byte magic/version header, then one record per op:
+//
+//	flags  uint8
+//	nonMem uvarint
+//	addr   uvarint (delta-from-previous, zig-zag) — present only for memory ops
+//
+// Delta encoding keeps sequential and strided traces small (1-3 bytes per
+// access for typical streams).
+
+var traceMagic = [8]byte{'U', 'N', 'T', 'G', 'T', 'R', '0', '1'}
+
+// ErrBadTrace reports a malformed trace file.
+var ErrBadTrace = errors.New("isa: malformed trace file")
+
+// TraceWriter streams ops to an io.Writer in the trace file format.
+type TraceWriter struct {
+	w        *bufio.Writer
+	prevAddr uint64
+	started  bool
+	count    uint64
+}
+
+// NewTraceWriter writes the header and returns a writer.
+func NewTraceWriter(w io.Writer) (*TraceWriter, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return nil, err
+	}
+	return &TraceWriter{w: bw}, nil
+}
+
+// zigzag encodes a signed delta as unsigned.
+func zigzag(v int64) uint64 { return uint64((v << 1) ^ (v >> 63)) }
+
+// unzigzag reverses zigzag.
+func unzigzag(v uint64) int64 { return int64(v>>1) ^ -int64(v&1) }
+
+// WriteOp appends one op.
+func (t *TraceWriter) WriteOp(op Op) error {
+	var buf [1 + 2*binary.MaxVarintLen64]byte
+	buf[0] = byte(op.Flags)
+	n := 1
+	n += binary.PutUvarint(buf[n:], uint64(op.NonMem))
+	if op.IsMem() {
+		delta := int64(op.Addr) - int64(t.prevAddr)
+		n += binary.PutUvarint(buf[n:], zigzag(delta))
+		t.prevAddr = op.Addr
+	}
+	t.count++
+	_, err := t.w.Write(buf[:n])
+	return err
+}
+
+// WriteStream drains a stream into the trace, up to maxOps ops (0 = until
+// the stream ends). It returns the number of ops written.
+func (t *TraceWriter) WriteStream(s Stream, maxOps uint64) (uint64, error) {
+	buf := make([]Op, 4096)
+	var written uint64
+	for maxOps == 0 || written < maxOps {
+		want := len(buf)
+		if maxOps > 0 && maxOps-written < uint64(want) {
+			want = int(maxOps - written)
+		}
+		n := s.Fill(buf[:want])
+		if n == 0 {
+			break
+		}
+		for _, op := range buf[:n] {
+			if err := t.WriteOp(op); err != nil {
+				return written, err
+			}
+			written++
+		}
+	}
+	return written, nil
+}
+
+// Flush flushes buffered records; call before closing the underlying writer.
+func (t *TraceWriter) Flush() error { return t.w.Flush() }
+
+// Count returns the ops written so far.
+func (t *TraceWriter) Count() uint64 { return t.count }
+
+// TraceReader replays a trace file as a Stream.
+type TraceReader struct {
+	r        *bufio.Reader
+	prevAddr uint64
+	err      error
+	done     bool
+}
+
+// NewTraceReader validates the header and returns a reader.
+func NewTraceReader(r io.Reader) (*TraceReader, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	if magic != traceMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadTrace)
+	}
+	return &TraceReader{r: br}, nil
+}
+
+// Err returns the first decoding error encountered, if any (a cleanly
+// terminated trace leaves Err nil).
+func (t *TraceReader) Err() error { return t.err }
+
+// Fill implements Stream.
+func (t *TraceReader) Fill(buf []Op) int {
+	if t.done {
+		return 0
+	}
+	for i := range buf {
+		flagByte, err := t.r.ReadByte()
+		if err != nil {
+			t.done = true
+			if err != io.EOF {
+				t.err = fmt.Errorf("%w: %v", ErrBadTrace, err)
+			}
+			return i
+		}
+		op := Op{Flags: Flags(flagByte)}
+		nonMem, err := binary.ReadUvarint(t.r)
+		if err != nil {
+			t.done = true
+			t.err = fmt.Errorf("%w: truncated record", ErrBadTrace)
+			return i
+		}
+		if nonMem > 0xFFFFFFFF {
+			t.done = true
+			t.err = fmt.Errorf("%w: oversized non-mem run", ErrBadTrace)
+			return i
+		}
+		op.NonMem = uint32(nonMem)
+		if op.IsMem() {
+			zz, err := binary.ReadUvarint(t.r)
+			if err != nil {
+				t.done = true
+				t.err = fmt.Errorf("%w: truncated address", ErrBadTrace)
+				return i
+			}
+			addr := int64(t.prevAddr) + unzigzag(zz)
+			op.Addr = uint64(addr)
+			t.prevAddr = op.Addr
+		}
+		buf[i] = op
+	}
+	return len(buf)
+}

@@ -1,0 +1,145 @@
+package isa
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewTraceWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &seqStream{}
+	written, err := w.WriteStream(src, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if written != 10_000 {
+		t.Fatalf("wrote %d ops", written)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewTraceReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(r, 333, 1<<20)
+	want := collect(&seqStream{}, 333, 10_000)
+	if len(got) != len(want) {
+		t.Fatalf("read %d ops, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("op %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+}
+
+func TestTraceCompactness(t *testing.T) {
+	// Sequential traces must encode in a few bytes per op.
+	var buf bytes.Buffer
+	w, _ := NewTraceWriter(&buf)
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		if err := w.WriteOp(Op{Flags: FlagMem, Addr: uint64(i) * 64, NonMem: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Flush()
+	if perOp := float64(buf.Len()) / n; perOp > 4.1 {
+		t.Errorf("sequential trace costs %.1f bytes/op, want <= ~4", perOp)
+	}
+	if w.Count() != n {
+		t.Errorf("count = %d", w.Count())
+	}
+}
+
+func TestTraceBadInputs(t *testing.T) {
+	if _, err := NewTraceReader(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := NewTraceReader(bytes.NewReader([]byte("NOTATRACE"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Truncated mid-record: Fill returns what it has and records the error.
+	var buf bytes.Buffer
+	w, _ := NewTraceWriter(&buf)
+	w.WriteOp(Op{Flags: FlagMem, Addr: 1 << 40})
+	w.Flush()
+	data := buf.Bytes()
+	r, err := NewTraceReader(bytes.NewReader(data[:len(data)-2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]Op, 4)
+	if n := r.Fill(out); n != 0 {
+		t.Errorf("truncated record produced %d ops", n)
+	}
+	if r.Err() == nil {
+		t.Error("truncated record not reported")
+	}
+}
+
+func TestTraceZigzag(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 63, -64, 1 << 40, -(1 << 40)} {
+		if got := unzigzag(zigzag(v)); got != v {
+			t.Errorf("zigzag round trip %d -> %d", v, got)
+		}
+	}
+}
+
+func TestPropertyTraceRoundTripArbitraryOps(t *testing.T) {
+	f := func(seed int64, count uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(count%500) + 1
+		ops := make([]Op, n)
+		for i := range ops {
+			ops[i] = Op{
+				Flags:  Flags(r.Intn(32)),
+				NonMem: uint32(r.Intn(1000)),
+			}
+			if ops[i].IsMem() {
+				ops[i].Addr = uint64(r.Int63())
+			} else {
+				ops[i].Flags &^= FlagWrite
+				ops[i].Addr = 0
+			}
+		}
+		var buf bytes.Buffer
+		w, err := NewTraceWriter(&buf)
+		if err != nil {
+			return false
+		}
+		for _, op := range ops {
+			if w.WriteOp(op) != nil {
+				return false
+			}
+		}
+		w.Flush()
+		rd, err := NewTraceReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return false
+		}
+		got := collect(rd, 17, 1<<20)
+		if len(got) != n || rd.Err() != nil {
+			return false
+		}
+		for i := range got {
+			if got[i] != ops[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,245 @@
+// Package lang provides the annotation toolchain the paper assumes exists
+// (Sections 2.1, 4 and 6.5): a small imperative language for writing victim
+// programs, a sound taint-tracking static analysis that finds instructions
+// with secret-dependent resource usage and secret-dependent control flow
+// (standing in for CacheAudit/CaSym-style analyses), and an interpreter that
+// compiles a program with concrete inputs into an annotated retired
+// instruction stream (isa.Op) ready for the simulator.
+//
+// The language is deliberately tiny — scalars, byte arrays, arithmetic,
+// counted loops, conditionals, and a spin statement for Section 6.1's
+// timing-dependent regions — but expressive enough to write the paper's
+// Figure 1 snippets literally (see the examples in lang_test.go and
+// figures.go).
+package lang
+
+import "fmt"
+
+// Expr is an integer expression.
+type Expr interface {
+	exprNode()
+	String() string
+}
+
+// Const is an integer literal.
+type Const struct{ Value int64 }
+
+// Var references a scalar variable or parameter.
+type Var struct{ Name string }
+
+// BinOp applies an arithmetic or comparison operator.
+type BinOp struct {
+	Op   Op
+	L, R Expr
+}
+
+// Op enumerates the binary operators.
+type Op int
+
+// Binary operators.
+const (
+	Add Op = iota
+	Sub
+	Mul
+	Div
+	Mod
+	Lt
+	Eq
+	And
+	Xor
+	Shr
+)
+
+func (Const) exprNode() {}
+func (Var) exprNode()   {}
+func (BinOp) exprNode() {}
+
+// String implements fmt.Stringer.
+func (c Const) String() string { return fmt.Sprint(c.Value) }
+
+// String implements fmt.Stringer.
+func (v Var) String() string { return v.Name }
+
+// String implements fmt.Stringer.
+func (b BinOp) String() string {
+	ops := map[Op]string{Add: "+", Sub: "-", Mul: "*", Div: "/", Mod: "%", Lt: "<", Eq: "==", And: "&", Xor: "^", Shr: ">>"}
+	return fmt.Sprintf("(%s %s %s)", b.L, ops[b.Op], b.R)
+}
+
+// Stmt is a statement.
+type Stmt interface {
+	stmtNode()
+}
+
+// Assign sets a scalar: Dst = Expr.
+type Assign struct {
+	Dst  string
+	Expr Expr
+}
+
+// Load reads Array[Index] into Dst (one memory access).
+type Load struct {
+	Dst   string
+	Array string
+	Index Expr
+}
+
+// Store writes Val to Array[Index] (one memory access).
+type Store struct {
+	Array string
+	Index Expr
+	Val   Expr
+}
+
+// If branches on Cond != 0.
+type If struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// For runs Body with Var = From .. To-1 (counted loop).
+type For struct {
+	Var      string
+	From, To Expr
+	Body     []Stmt
+}
+
+// Spin retires Count plain instructions — the Section 6.1 timing-dependent
+// construct (a sleep/spin whose length the program controls).
+type Spin struct {
+	Count Expr
+}
+
+func (Assign) stmtNode() {}
+func (Load) stmtNode()   {}
+func (Store) stmtNode()  {}
+func (If) stmtNode()     {}
+func (For) stmtNode()    {}
+func (Spin) stmtNode()   {}
+
+// ArrayDecl declares a byte-addressable array of ElemBytes-sized elements.
+type ArrayDecl struct {
+	Name      string
+	Elems     int64
+	ElemBytes int64
+}
+
+// ParamDecl declares an integer input parameter; Secret parameters are the
+// taint sources (Section 2.1: "secret data are annotated as taint sources").
+type ParamDecl struct {
+	Name   string
+	Secret bool
+}
+
+// Program is a complete victim program.
+type Program struct {
+	Arrays []ArrayDecl
+	Params []ParamDecl
+	Body   []Stmt
+}
+
+// Validate checks declarations and references.
+func (p *Program) Validate() error {
+	arrays := map[string]ArrayDecl{}
+	for _, a := range p.Arrays {
+		if a.Name == "" || a.Elems <= 0 || a.ElemBytes <= 0 {
+			return fmt.Errorf("lang: bad array declaration %+v", a)
+		}
+		if _, dup := arrays[a.Name]; dup {
+			return fmt.Errorf("lang: duplicate array %q", a.Name)
+		}
+		arrays[a.Name] = a
+	}
+	scope := map[string]bool{}
+	for _, prm := range p.Params {
+		if prm.Name == "" {
+			return fmt.Errorf("lang: unnamed parameter")
+		}
+		if scope[prm.Name] {
+			return fmt.Errorf("lang: duplicate parameter %q", prm.Name)
+		}
+		scope[prm.Name] = true
+	}
+	return validateStmts(p.Body, arrays, scope)
+}
+
+func validateStmts(body []Stmt, arrays map[string]ArrayDecl, scope map[string]bool) error {
+	defined := func(name string) { scope[name] = true }
+	for _, s := range body {
+		switch st := s.(type) {
+		case Assign:
+			if err := validateExpr(st.Expr, scope); err != nil {
+				return err
+			}
+			defined(st.Dst)
+		case Load:
+			if _, ok := arrays[st.Array]; !ok {
+				return fmt.Errorf("lang: load from undeclared array %q", st.Array)
+			}
+			if err := validateExpr(st.Index, scope); err != nil {
+				return err
+			}
+			defined(st.Dst)
+		case Store:
+			if _, ok := arrays[st.Array]; !ok {
+				return fmt.Errorf("lang: store to undeclared array %q", st.Array)
+			}
+			if err := validateExpr(st.Index, scope); err != nil {
+				return err
+			}
+			if err := validateExpr(st.Val, scope); err != nil {
+				return err
+			}
+		case If:
+			if err := validateExpr(st.Cond, scope); err != nil {
+				return err
+			}
+			if err := validateStmts(st.Then, arrays, scope); err != nil {
+				return err
+			}
+			if err := validateStmts(st.Else, arrays, scope); err != nil {
+				return err
+			}
+		case For:
+			if err := validateExpr(st.From, scope); err != nil {
+				return err
+			}
+			if err := validateExpr(st.To, scope); err != nil {
+				return err
+			}
+			defined(st.Var)
+			if err := validateStmts(st.Body, arrays, scope); err != nil {
+				return err
+			}
+		case Spin:
+			if err := validateExpr(st.Count, scope); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("lang: unknown statement %T", s)
+		}
+	}
+	return nil
+}
+
+func validateExpr(e Expr, scope map[string]bool) error {
+	switch ex := e.(type) {
+	case Const:
+		return nil
+	case Var:
+		if !scope[ex.Name] {
+			return fmt.Errorf("lang: undefined variable %q", ex.Name)
+		}
+		return nil
+	case BinOp:
+		if err := validateExpr(ex.L, scope); err != nil {
+			return err
+		}
+		return validateExpr(ex.R, scope)
+	case nil:
+		return fmt.Errorf("lang: nil expression")
+	default:
+		return fmt.Errorf("lang: unknown expression %T", e)
+	}
+}

@@ -1,0 +1,289 @@
+package lang
+
+import (
+	"fmt"
+
+	"untangle/internal/isa"
+)
+
+// The interpreter: executes a program with concrete inputs and emits the
+// retired instruction stream, carrying the annotations derived by the static
+// analysis. Each statement costs a few plain retired instructions (the
+// "computation" around the memory access) so the emitted streams have
+// realistic instruction-to-access ratios.
+
+// Cost model: retired plain instructions charged per construct.
+const (
+	costAssign = 2
+	costAddr   = 2 // address computation before a load/store
+	costBranch = 2
+	costLoopIt = 3 // induction-variable update + compare + branch
+)
+
+// arrayBase spaces program arrays in the synthetic address space.
+const arrayBase = 0x4_0000_0000
+const arrayStride = 0x0_4000_0000
+
+// Exec is a compiled program instance: a program, its analysis, and
+// concrete input values, ready to stream ops.
+type Exec struct {
+	prog     *Program
+	analysis *Analysis
+	inputs   map[string]int64
+
+	arrays map[string]arrayInfo
+	// pending ops buffered between Fill calls.
+	pend []isa.Op
+	off  int
+	done bool
+	// iteration guard against runaway loops.
+	budget int64
+}
+
+type arrayInfo struct {
+	base      uint64
+	elems     int64
+	elemBytes int64
+	decl      ArrayDecl
+}
+
+// NewExec validates, analyzes, and instantiates a program. inputs must
+// provide a value for every parameter. maxInstructions bounds execution
+// (the interpreter refuses to run away; 0 means a 100M-instruction cap).
+func NewExec(p *Program, inputs map[string]int64, maxInstructions int64) (*Exec, error) {
+	analysis, err := Analyze(p)
+	if err != nil {
+		return nil, err
+	}
+	for _, prm := range p.Params {
+		if _, ok := inputs[prm.Name]; !ok {
+			return nil, fmt.Errorf("lang: missing input %q", prm.Name)
+		}
+	}
+	if maxInstructions <= 0 {
+		maxInstructions = 100_000_000
+	}
+	e := &Exec{
+		prog:     p,
+		analysis: analysis,
+		inputs:   inputs,
+		arrays:   map[string]arrayInfo{},
+		budget:   maxInstructions,
+	}
+	for i, a := range p.Arrays {
+		e.arrays[a.Name] = arrayInfo{
+			base:      arrayBase + uint64(i)*arrayStride,
+			elems:     a.Elems,
+			elemBytes: a.ElemBytes,
+			decl:      a,
+		}
+	}
+	// Run the whole program eagerly; victim programs here are small by
+	// construction (the budget guards against bugs), and eager execution
+	// keeps Fill trivially deterministic.
+	env := map[string]int64{}
+	for k, v := range inputs {
+		env[k] = v
+	}
+	if err := e.run(p.Body, env, Public); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Analysis exposes the static analysis results.
+func (e *Exec) Analysis() *Analysis { return e.analysis }
+
+// emit appends an op, charging the instruction budget.
+func (e *Exec) emit(op isa.Op) error {
+	e.budget -= int64(op.Instructions())
+	if e.budget < 0 {
+		return fmt.Errorf("lang: instruction budget exhausted (runaway loop?)")
+	}
+	e.pend = append(e.pend, op)
+	return nil
+}
+
+// flags builds the annotation flags for a memory access.
+func (e *Exec) memFlags(ctrl Taint, addrTaint Taint, write bool) isa.Flags {
+	f := isa.FlagMem
+	if write {
+		f |= isa.FlagWrite
+	}
+	// Section 5.2: annotate accesses that are data- OR control-dependent on
+	// secrets (usage exclusion); annotate control-dependent instructions
+	// for progress exclusion.
+	if addrTaint || ctrl {
+		f |= isa.FlagSecretUse
+	}
+	if ctrl {
+		f |= isa.FlagSecretProgress
+	}
+	return f
+}
+
+func (e *Exec) plainFlags(ctrl Taint) isa.Flags {
+	if ctrl {
+		return isa.FlagSecretProgress
+	}
+	return 0
+}
+
+// run interprets a statement list under the given control taint.
+func (e *Exec) run(body []Stmt, env map[string]int64, ctrl Taint) error {
+	for _, s := range body {
+		switch st := s.(type) {
+		case Assign:
+			env[st.Dst] = e.eval(st.Expr, env)
+			if err := e.emit(isa.Op{NonMem: costAssign, Flags: e.plainFlags(ctrl)}); err != nil {
+				return err
+			}
+		case Load:
+			idx := e.eval(st.Index, env)
+			info := e.arrays[st.Array]
+			addr, err := e.elemAddr(info, idx, st.Array)
+			if err != nil {
+				return err
+			}
+			taint := e.analysis.exprTaint(st.Index).join(e.analysis.ArrayTaint[st.Array])
+			op := isa.Op{NonMem: costAddr, Addr: addr, Flags: e.memFlags(ctrl, taint, false)}
+			if err := e.emit(op); err != nil {
+				return err
+			}
+			// The loaded value: model as the element index mixed with the
+			// array identity (deterministic, data-dependent).
+			env[st.Dst] = idx ^ int64(info.base>>20)
+		case Store:
+			idx := e.eval(st.Index, env)
+			info := e.arrays[st.Array]
+			addr, err := e.elemAddr(info, idx, st.Array)
+			if err != nil {
+				return err
+			}
+			taint := e.analysis.exprTaint(st.Index).join(e.analysis.exprTaint(st.Val))
+			op := isa.Op{NonMem: costAddr, Addr: addr, Flags: e.memFlags(ctrl, taint, true)}
+			if err := e.emit(op); err != nil {
+				return err
+			}
+		case If:
+			inner := e.analysis.controlTaint(ctrl, st.Cond)
+			if err := e.emit(isa.Op{NonMem: costBranch, Flags: e.plainFlags(ctrl)}); err != nil {
+				return err
+			}
+			branch := st.Else
+			if e.eval(st.Cond, env) != 0 {
+				branch = st.Then
+			}
+			if err := e.run(branch, env, inner); err != nil {
+				return err
+			}
+		case For:
+			inner := e.analysis.controlTaint(ctrl, st.From, st.To)
+			from, to := e.eval(st.From, env), e.eval(st.To, env)
+			for i := from; i < to; i++ {
+				env[st.Var] = i
+				if err := e.emit(isa.Op{NonMem: costLoopIt, Flags: e.plainFlags(inner)}); err != nil {
+					return err
+				}
+				if err := e.run(st.Body, env, inner); err != nil {
+					return err
+				}
+			}
+		case Spin:
+			n := e.eval(st.Count, env)
+			inner := e.analysis.controlTaint(ctrl, st.Count)
+			f := e.plainFlags(ctrl)
+			if inner {
+				// A spin whose duration depends on a secret is exactly the
+				// Section 6.1 timing-dependent region.
+				f = isa.FlagTimingDep
+			}
+			for n > 0 {
+				chunk := n
+				if chunk > 1<<20 {
+					chunk = 1 << 20
+				}
+				if err := e.emit(isa.Op{NonMem: uint32(chunk), Flags: f}); err != nil {
+					return err
+				}
+				n -= chunk
+			}
+		}
+	}
+	return nil
+}
+
+func (e *Exec) elemAddr(info arrayInfo, idx int64, name string) (uint64, error) {
+	if info.elems == 0 {
+		return 0, fmt.Errorf("lang: unknown array %q", name)
+	}
+	idx %= info.elems
+	if idx < 0 {
+		idx += info.elems
+	}
+	return info.base + uint64(idx)*uint64(info.elemBytes), nil
+}
+
+// eval computes an expression value.
+func (e *Exec) eval(expr Expr, env map[string]int64) int64 {
+	switch ex := expr.(type) {
+	case Const:
+		return ex.Value
+	case Var:
+		return env[ex.Name]
+	case BinOp:
+		l, r := e.eval(ex.L, env), e.eval(ex.R, env)
+		switch ex.Op {
+		case Add:
+			return l + r
+		case Sub:
+			return l - r
+		case Mul:
+			return l * r
+		case Div:
+			if r == 0 {
+				return 0
+			}
+			return l / r
+		case Mod:
+			if r == 0 {
+				return 0
+			}
+			return l % r
+		case Lt:
+			if l < r {
+				return 1
+			}
+			return 0
+		case Eq:
+			if l == r {
+				return 1
+			}
+			return 0
+		case And:
+			return l & r
+		case Xor:
+			return l ^ r
+		case Shr:
+			if r < 0 || r > 63 {
+				return 0
+			}
+			return int64(uint64(l) >> uint(r))
+		}
+	}
+	return 0
+}
+
+// Fill implements isa.Stream, replaying the eagerly executed op list.
+func (e *Exec) Fill(buf []isa.Op) int {
+	n := copy(buf, e.pend[e.off:])
+	e.off += n
+	return n
+}
+
+// Ops returns the total emitted op count.
+func (e *Exec) Ops() int { return len(e.pend) }
+
+// Reset rewinds the stream to the beginning (the execution is already
+// materialized, so replay is free).
+func (e *Exec) Reset() { e.off = 0 }

@@ -1,0 +1,159 @@
+package lang
+
+// The three Figure 1 snippets, written literally in the language. The taint
+// analysis derives the paper's annotations automatically — no hand-placed
+// flags — and the interpreter emits the corresponding annotated streams.
+
+// Figure1aProgram is Figure 1a:
+//
+//	if (secret)
+//	    for r in 0..3: for i in 0..N: access(&arr[i])
+//
+// followed by a public workload phase (a loop over a small public array) so
+// the schemes keep assessing after the secret-dependent part. The traversal
+// runs three passes so the array is *reused* — a hit-counting utilization
+// metric only registers demand for data that is re-accessed, which is what
+// lets the snippet "increase the cache utilization and cause a partition
+// expansion" when the annotations are not honoured.
+func Figure1aProgram(arrayElems, publicIters int64) *Program {
+	return &Program{
+		Arrays: []ArrayDecl{
+			{Name: "arr", Elems: arrayElems, ElemBytes: 64},
+			{Name: "pub", Elems: 1024, ElemBytes: 64},
+		},
+		Params: []ParamDecl{{Name: "secret", Secret: true}},
+		Body: []Stmt{
+			If{
+				Cond: Var{"secret"},
+				Then: []Stmt{
+					For{Var: "r", From: Const{0}, To: Const{3}, Body: []Stmt{
+						For{Var: "i", From: Const{0}, To: Const{arrayElems}, Body: []Stmt{
+							Load{Dst: "x", Array: "arr", Index: Var{"i"}},
+						}},
+					}},
+				},
+			},
+			publicPhase(publicIters),
+		},
+	}
+}
+
+// Figure1bProgram is Figure 1b:
+//
+//	for i in 0..N: access(&arr[i*secret])
+func Figure1bProgram(arrayElems, publicIters int64) *Program {
+	return &Program{
+		Arrays: []ArrayDecl{
+			{Name: "arr", Elems: arrayElems, ElemBytes: 64},
+			{Name: "pub", Elems: 1024, ElemBytes: 64},
+		},
+		Params: []ParamDecl{{Name: "secret", Secret: true}},
+		Body: []Stmt{
+			For{Var: "i", From: Const{0}, To: Const{arrayElems}, Body: []Stmt{
+				Load{Dst: "x", Array: "arr", Index: BinOp{Op: Mul, L: Var{"i"}, R: Var{"secret"}}},
+			}},
+			publicPhase(publicIters),
+		},
+	}
+}
+
+// Figure1cProgram is Figure 1c:
+//
+//	if (secret) usleep(...)       // modelled as a spin
+//	for i in 0..N: access(&arr[i])
+//
+// The traversal is public; only its start time depends on the secret.
+func Figure1cProgram(arrayElems, spinInstructions, publicIters int64) *Program {
+	return &Program{
+		Arrays: []ArrayDecl{
+			{Name: "arr", Elems: arrayElems, ElemBytes: 64},
+			{Name: "pub", Elems: 1024, ElemBytes: 64},
+		},
+		Params: []ParamDecl{{Name: "secret", Secret: true}},
+		Body: []Stmt{
+			If{
+				Cond: Var{"secret"},
+				Then: []Stmt{Spin{Count: Const{spinInstructions}}},
+			},
+			For{Var: "i", From: Const{0}, To: Const{arrayElems}, Body: []Stmt{
+				Load{Dst: "x", Array: "arr", Index: Var{"i"}},
+			}},
+			publicPhase(publicIters),
+		},
+	}
+}
+
+// publicPhase is a small public working loop.
+func publicPhase(iters int64) Stmt {
+	return For{Var: "j", From: Const{0}, To: Const{iters}, Body: []Stmt{
+		Load{Dst: "y", Array: "pub", Index: BinOp{Op: Mod, L: BinOp{Op: Mul, L: Var{"j"}, R: Const{37}}, R: Const{1024}}},
+		Store{Array: "pub", Index: BinOp{Op: Mod, L: Var{"j"}, R: Const{1024}}, Val: Var{"y"}},
+	}}
+}
+
+// ModExpProgram models square-and-multiply modular exponentiation with a
+// secret exponent — the classic RSA timing/cache victim behind Table 5's
+// RSA-2048/RSA-4096 benchmarks. Each exponent bit controls whether the
+// multiply step (with its table accesses) executes:
+//
+//	for i in 0..bits:
+//	    result = square(result)          // always
+//	    if (exp >> i) & 1:
+//	        result = result * base       // only for 1-bits  <- the leak
+//
+// The taint analysis marks the multiply branch control-dependent on the
+// secret, so under annotated Untangle the action sequence is identical for
+// every exponent; without annotations the per-bit demand swings leak the
+// key, bit by bit.
+func ModExpProgram(bits int64) *Program {
+	return &Program{
+		Arrays: []ArrayDecl{
+			{Name: "square_tbl", Elems: 512, ElemBytes: 64},
+			{Name: "mult_tbl", Elems: 512, ElemBytes: 64},
+		},
+		Params: []ParamDecl{{Name: "exp", Secret: true}, {Name: "base"}},
+		Body: []Stmt{
+			Assign{Dst: "result", Expr: Const{1}},
+			For{Var: "i", From: Const{0}, To: Const{bits}, Body: []Stmt{
+				// Squaring: public control flow, result-dependent lookups.
+				// result is secret-tainted after the first secret-gated
+				// multiply, so these become usage-excluded too (soundly).
+				Load{Dst: "sq", Array: "square_tbl", Index: BinOp{Op: Mod, L: Var{"result"}, R: Const{512}}},
+				Assign{Dst: "result", Expr: BinOp{Op: Xor, L: Var{"sq"}, R: Var{"result"}}},
+				// The multiply, gated on the secret exponent bit.
+				If{
+					Cond: BinOp{Op: And, L: BinOp{Op: Shr, L: Var{"exp"}, R: Var{"i"}}, R: Const{1}},
+					Then: []Stmt{
+						Load{Dst: "m", Array: "mult_tbl", Index: BinOp{Op: Mod, L: BinOp{Op: Add, L: Var{"result"}, R: Var{"base"}}, R: Const{512}}},
+						Assign{Dst: "result", Expr: BinOp{Op: Xor, L: Var{"m"}, R: Var{"result"}}},
+					},
+				},
+			}},
+		},
+	}
+}
+
+// AESLikeProgram models a table-driven cipher round: secret-indexed
+// T-table lookups over a public payload — the canonical cache-side-channel
+// victim the paper's analyses (CacheAudit, CaSym) target.
+func AESLikeProgram(payloadBlocks int64) *Program {
+	return &Program{
+		Arrays: []ArrayDecl{
+			{Name: "ttable", Elems: 256, ElemBytes: 64},
+			{Name: "payload", Elems: payloadBlocks, ElemBytes: 64},
+		},
+		Params: []ParamDecl{
+			{Name: "key", Secret: true},
+		},
+		Body: []Stmt{
+			For{Var: "b", From: Const{0}, To: Const{payloadBlocks}, Body: []Stmt{
+				Load{Dst: "pt", Array: "payload", Index: Var{"b"}},
+				// idx = (pt ^ key) & 0xFF, approximated with arithmetic the
+				// language has: (pt + key) % 256.
+				Assign{Dst: "idx", Expr: BinOp{Op: Mod, L: BinOp{Op: Add, L: Var{"pt"}, R: Var{"key"}}, R: Const{256}}},
+				Load{Dst: "t", Array: "ttable", Index: Var{"idx"}},
+				Store{Array: "payload", Index: Var{"b"}, Val: Var{"t"}},
+			}},
+		},
+	}
+}

@@ -1,0 +1,495 @@
+package lang
+
+import (
+	"testing"
+
+	"untangle/internal/isa"
+)
+
+func mustExec(t *testing.T, p *Program, inputs map[string]int64) *Exec {
+	t.Helper()
+	e, err := NewExec(p, inputs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func drain(e *Exec) []isa.Op {
+	var out []isa.Op
+	buf := make([]isa.Op, 256)
+	for {
+		n := e.Fill(buf)
+		if n == 0 {
+			return out
+		}
+		out = append(out, buf[:n]...)
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	cases := []*Program{
+		{Arrays: []ArrayDecl{{Name: "", Elems: 4, ElemBytes: 8}}},
+		{Arrays: []ArrayDecl{{Name: "a", Elems: 4, ElemBytes: 8}, {Name: "a", Elems: 4, ElemBytes: 8}}},
+		{Params: []ParamDecl{{Name: "x"}, {Name: "x"}}},
+		{Body: []Stmt{Load{Dst: "v", Array: "nope", Index: Const{0}}}},
+		{Body: []Stmt{Assign{Dst: "v", Expr: Var{"undefined"}}}},
+		{Body: []Stmt{Assign{Dst: "v", Expr: nil}}},
+	}
+	for i, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	ok := Figure1aProgram(100, 10)
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid program rejected: %v", err)
+	}
+}
+
+func TestExprString(t *testing.T) {
+	e := BinOp{Op: Add, L: Var{"x"}, R: Const{3}}
+	if got := e.String(); got != "(x + 3)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestTaintDataFlow(t *testing.T) {
+	p := &Program{
+		Params: []ParamDecl{{Name: "s", Secret: true}, {Name: "p"}},
+		Body: []Stmt{
+			Assign{Dst: "a", Expr: BinOp{Op: Add, L: Var{"p"}, R: Const{1}}}, // public
+			Assign{Dst: "b", Expr: BinOp{Op: Mul, L: Var{"s"}, R: Const{2}}}, // secret
+			Assign{Dst: "c", Expr: BinOp{Op: Add, L: Var{"a"}, R: Var{"b"}}}, // secret via b
+		},
+	}
+	a, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.VarTaint["a"] {
+		t.Error("public-derived variable tainted")
+	}
+	if !a.VarTaint["b"] || !a.VarTaint["c"] {
+		t.Error("secret data flow not propagated")
+	}
+}
+
+func TestTaintControlFlow(t *testing.T) {
+	p := &Program{
+		Params: []ParamDecl{{Name: "s", Secret: true}},
+		Body: []Stmt{
+			If{Cond: Var{"s"}, Then: []Stmt{
+				Assign{Dst: "x", Expr: Const{1}}, // assigned under secret control
+			}},
+		},
+	}
+	a, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.VarTaint["x"] {
+		t.Error("implicit flow through secret branch not caught")
+	}
+}
+
+func TestTaintThroughArrays(t *testing.T) {
+	p := &Program{
+		Arrays: []ArrayDecl{{Name: "a", Elems: 16, ElemBytes: 8}},
+		Params: []ParamDecl{{Name: "s", Secret: true}},
+		Body: []Stmt{
+			Store{Array: "a", Index: Const{0}, Val: Var{"s"}}, // taints the array
+			Load{Dst: "x", Array: "a", Index: Const{1}},       // x tainted via array
+		},
+	}
+	a, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.ArrayTaint["a"] || !a.VarTaint["x"] {
+		t.Error("array taint not propagated")
+	}
+}
+
+func TestTaintFixpointLoop(t *testing.T) {
+	// x starts public, becomes tainted through a loop-carried dependency.
+	p := &Program{
+		Arrays: []ArrayDecl{{Name: "a", Elems: 16, ElemBytes: 8}},
+		Params: []ParamDecl{{Name: "s", Secret: true}},
+		Body: []Stmt{
+			Assign{Dst: "x", Expr: Const{0}},
+			For{Var: "i", From: Const{0}, To: Const{4}, Body: []Stmt{
+				Store{Array: "a", Index: Var{"x"}, Val: Var{"s"}},
+				Load{Dst: "x", Array: "a", Index: Var{"i"}},
+			}},
+		},
+	}
+	a, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.VarTaint["x"] {
+		t.Error("loop-carried taint not reached by the fixpoint")
+	}
+}
+
+func TestExecMissingInput(t *testing.T) {
+	if _, err := NewExec(Figure1aProgram(10, 10), map[string]int64{}, 0); err == nil {
+		t.Error("missing input accepted")
+	}
+}
+
+func TestExecBudgetGuard(t *testing.T) {
+	p := Figure1aProgram(1<<20, 1<<20)
+	if _, err := NewExec(p, map[string]int64{"secret": 1}, 1000); err == nil {
+		t.Error("budget exhaustion not reported")
+	}
+}
+
+func TestFigure1aAnnotationsDerived(t *testing.T) {
+	// The analysis must annotate the secret-gated traversal with both
+	// usage AND progress exclusion, and leave the public phase clean —
+	// without any hand-placed flags.
+	e := mustExec(t, Figure1aProgram(512, 256), map[string]int64{"secret": 1})
+	ops := drain(e)
+	var secretMem, publicMem int
+	for _, op := range ops {
+		if !op.IsMem() {
+			continue
+		}
+		if op.SecretUse() {
+			if !op.SecretProgress() {
+				t.Fatal("control-dependent access lacks progress exclusion")
+			}
+			secretMem++
+		} else {
+			publicMem++
+		}
+	}
+	if secretMem != 3*512 {
+		t.Errorf("secret accesses = %d, want 1536 (three traversal passes)", secretMem)
+	}
+	if publicMem != 2*256 {
+		t.Errorf("public accesses = %d, want 512 (the public phase)", publicMem)
+	}
+	// With secret=0 the traversal vanishes entirely.
+	e0 := mustExec(t, Figure1aProgram(512, 256), map[string]int64{"secret": 0})
+	for _, op := range drain(e0) {
+		if op.IsMem() && op.SecretUse() {
+			t.Fatal("secret=0 run emitted annotated accesses")
+		}
+	}
+}
+
+func TestFigure1bAnnotationsDataOnly(t *testing.T) {
+	// Figure 1b's accesses are data-dependent (usage-excluded) but NOT
+	// control-dependent: the loop itself is public, so the instructions
+	// still count toward progress.
+	e := mustExec(t, Figure1bProgram(256, 128), map[string]int64{"secret": 3})
+	sawDataOnly := false
+	for _, op := range drain(e) {
+		if op.IsMem() && op.SecretUse() && !op.SecretProgress() {
+			sawDataOnly = true
+		}
+	}
+	if !sawDataOnly {
+		t.Error("no data-tainted, progress-counted accesses found")
+	}
+}
+
+func TestFigure1cSpinBecomesTimingDep(t *testing.T) {
+	e := mustExec(t, Figure1cProgram(256, 50_000, 128), map[string]int64{"secret": 1})
+	var spin uint64
+	for _, op := range drain(e) {
+		if op.Flags&isa.FlagTimingDep != 0 {
+			spin += uint64(op.NonMem)
+		}
+		if op.IsMem() && op.Addr >= arrayBase && op.SecretUse() {
+			t.Fatal("the public traversal was annotated secret")
+		}
+	}
+	if spin != 50_000 {
+		t.Errorf("timing-dep spin = %d instructions, want 50000", spin)
+	}
+}
+
+func TestPublicSequenceIdenticalAcrossSecretsFigure1a(t *testing.T) {
+	// The property the whole framework rests on: the PUBLIC subsequence of
+	// the emitted stream is identical for every secret value.
+	public := func(secret int64) []isa.Op {
+		e := mustExec(t, Figure1aProgram(512, 256), map[string]int64{"secret": secret})
+		var out []isa.Op
+		for _, op := range drain(e) {
+			if !op.SecretProgress() {
+				out = append(out, op)
+			}
+		}
+		return out
+	}
+	a, b := public(0), public(1)
+	if len(a) != len(b) {
+		t.Fatalf("public lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("public op %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestAESLikeProgramTaint(t *testing.T) {
+	e := mustExec(t, AESLikeProgram(64), map[string]int64{"key": 0x5A})
+	var ttableSecret, payloadLoads, payloadSecretLoads, payloadSecretStores int
+	for _, op := range drain(e) {
+		if !op.IsMem() {
+			continue
+		}
+		switch {
+		case op.Addr >= arrayBase && op.Addr < arrayBase+arrayStride: // ttable
+			if op.SecretUse() {
+				ttableSecret++
+			}
+		default: // payload
+			if op.IsWrite() {
+				if op.SecretUse() {
+					payloadSecretStores++
+				}
+			} else {
+				payloadLoads++
+				if op.SecretUse() {
+					payloadSecretLoads++
+				}
+			}
+		}
+	}
+	if ttableSecret != 64 {
+		t.Errorf("secret-indexed T-table lookups = %d, want 64", ttableSecret)
+	}
+	if payloadLoads != 64 {
+		t.Errorf("payload loads = %d, want 64", payloadLoads)
+	}
+	// The cipher writes key-derived ciphertext back into the payload, so
+	// the sound analysis must taint the array and hence every payload load
+	// and store (the may-taint over-approximation the paper's conservative
+	// annotation strategy expects).
+	if payloadSecretLoads != 64 || payloadSecretStores != 64 {
+		t.Errorf("payload taint: %d/64 loads, %d/64 stores marked secret",
+			payloadSecretLoads, payloadSecretStores)
+	}
+}
+
+func TestExecDeterministicAndResettable(t *testing.T) {
+	e := mustExec(t, AESLikeProgram(32), map[string]int64{"key": 7})
+	a := drain(e)
+	e.Reset()
+	b := drain(e)
+	if len(a) != len(b) || len(a) != e.Ops() {
+		t.Fatalf("replay lengths: %d vs %d vs %d", len(a), len(b), e.Ops())
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("replay differs")
+		}
+	}
+}
+
+func TestEvalOperators(t *testing.T) {
+	e := mustExec(t, &Program{Params: []ParamDecl{{Name: "p"}}}, map[string]int64{"p": 10})
+	env := map[string]int64{"x": 7, "y": 2}
+	cases := []struct {
+		expr Expr
+		want int64
+	}{
+		{BinOp{Op: Add, L: Var{"x"}, R: Var{"y"}}, 9},
+		{BinOp{Op: Sub, L: Var{"x"}, R: Var{"y"}}, 5},
+		{BinOp{Op: Mul, L: Var{"x"}, R: Var{"y"}}, 14},
+		{BinOp{Op: Div, L: Var{"x"}, R: Var{"y"}}, 3},
+		{BinOp{Op: Div, L: Var{"x"}, R: Const{0}}, 0},
+		{BinOp{Op: Mod, L: Var{"x"}, R: Var{"y"}}, 1},
+		{BinOp{Op: Mod, L: Var{"x"}, R: Const{0}}, 0},
+		{BinOp{Op: Lt, L: Var{"y"}, R: Var{"x"}}, 1},
+		{BinOp{Op: Lt, L: Var{"x"}, R: Var{"y"}}, 0},
+		{BinOp{Op: Eq, L: Var{"x"}, R: Const{7}}, 1},
+		{BinOp{Op: And, L: Var{"x"}, R: Const{3}}, 3},
+	}
+	for i, c := range cases {
+		if got := e.eval(c.expr, env); got != c.want {
+			t.Errorf("case %d: %v = %d, want %d", i, c.expr, got, c.want)
+		}
+	}
+}
+
+func TestAnalysisAccessor(t *testing.T) {
+	e := mustExec(t, AESLikeProgram(8), map[string]int64{"key": 1})
+	if e.Analysis() == nil || !e.Analysis().VarTaint["idx"] {
+		t.Error("Analysis() accessor broken")
+	}
+}
+
+func TestElemAddrWrapsNegativeAndOverflow(t *testing.T) {
+	p := &Program{
+		Arrays: []ArrayDecl{{Name: "a", Elems: 8, ElemBytes: 64}},
+		Params: []ParamDecl{{Name: "n"}},
+		Body: []Stmt{
+			Load{Dst: "x", Array: "a", Index: BinOp{Op: Sub, L: Const{0}, R: Const{3}}}, // -3
+			Load{Dst: "y", Array: "a", Index: Const{100}},                               // wraps
+		},
+	}
+	e := mustExec(t, p, map[string]int64{"n": 0})
+	ops := drain(e)
+	var mems []isa.Op
+	for _, op := range ops {
+		if op.IsMem() {
+			mems = append(mems, op)
+		}
+	}
+	if len(mems) != 2 {
+		t.Fatalf("%d accesses", len(mems))
+	}
+	// -3 mod 8 = 5; 100 mod 8 = 4.
+	if (mems[0].Addr-arrayBase)/64 != 5 {
+		t.Errorf("negative index mapped to line %d", (mems[0].Addr-arrayBase)/64)
+	}
+	if (mems[1].Addr-arrayBase)/64 != 4 {
+		t.Errorf("overflow index mapped to line %d", (mems[1].Addr-arrayBase)/64)
+	}
+}
+
+func TestValidateRejectsNilStatementAndBadFor(t *testing.T) {
+	bad := &Program{Body: []Stmt{nil}}
+	if err := bad.Validate(); err == nil {
+		t.Error("nil statement accepted")
+	}
+	bad = &Program{Body: []Stmt{For{Var: "i", From: Var{"missing"}, To: Const{3}}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("for with undefined bound accepted")
+	}
+	bad = &Program{Body: []Stmt{If{Cond: Var{"missing"}}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("if with undefined cond accepted")
+	}
+	bad = &Program{Body: []Stmt{Spin{Count: Var{"missing"}}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("spin with undefined count accepted")
+	}
+	bad = &Program{
+		Arrays: []ArrayDecl{{Name: "a", Elems: 4, ElemBytes: 8}},
+		Body:   []Stmt{Store{Array: "a", Index: Const{0}, Val: Var{"missing"}}},
+	}
+	if err := bad.Validate(); err == nil {
+		t.Error("store with undefined value accepted")
+	}
+}
+
+func TestIfElseBranchTaken(t *testing.T) {
+	p := &Program{
+		Arrays: []ArrayDecl{{Name: "a", Elems: 8, ElemBytes: 64}},
+		Params: []ParamDecl{{Name: "c"}},
+		Body: []Stmt{
+			If{Cond: Var{"c"},
+				Then: []Stmt{Load{Dst: "x", Array: "a", Index: Const{1}}},
+				Else: []Stmt{Load{Dst: "x", Array: "a", Index: Const{2}}},
+			},
+		},
+	}
+	line := func(c int64) uint64 {
+		e := mustExec(t, p, map[string]int64{"c": c})
+		for _, op := range drain(e) {
+			if op.IsMem() {
+				return (op.Addr - arrayBase) / 64
+			}
+		}
+		return 999
+	}
+	if line(1) != 1 || line(0) != 2 {
+		t.Errorf("branches: then->%d else->%d", line(1), line(0))
+	}
+}
+
+func TestXorShrOperators(t *testing.T) {
+	e := mustExec(t, &Program{Params: []ParamDecl{{Name: "p"}}}, map[string]int64{"p": 0})
+	env := map[string]int64{"x": 0b1100, "y": 0b1010}
+	if got := e.eval(BinOp{Op: Xor, L: Var{"x"}, R: Var{"y"}}, env); got != 0b0110 {
+		t.Errorf("xor = %b", got)
+	}
+	if got := e.eval(BinOp{Op: Shr, L: Var{"x"}, R: Const{2}}, env); got != 0b11 {
+		t.Errorf("shr = %b", got)
+	}
+	if got := e.eval(BinOp{Op: Shr, L: Var{"x"}, R: Const{99}}, env); got != 0 {
+		t.Errorf("oversized shift = %d", got)
+	}
+}
+
+func TestParseXorShr(t *testing.T) {
+	prog, err := Parse(`
+param a
+let b = a ^ 3
+let c = a >> 2
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Body[0].(Assign).Expr.(BinOp).Op != Xor {
+		t.Error("^ not parsed as Xor")
+	}
+	if prog.Body[1].(Assign).Expr.(BinOp).Op != Shr {
+		t.Error(">> not parsed as Shr")
+	}
+}
+
+func TestModExpAnnotations(t *testing.T) {
+	prog := ModExpProgram(16)
+	a, err := Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// result becomes secret (the multiply assigns under secret control),
+	// and both tables' lookups end up usage-excluded.
+	if !a.VarTaint["result"] {
+		t.Error("result not tainted")
+	}
+	e := mustExec(t, prog, map[string]int64{"exp": 0b1011001, "base": 7})
+	var multLoads, progExcluded int
+	for _, op := range drain(e) {
+		if op.IsMem() && op.SecretProgress() {
+			multLoads++
+		}
+		if !op.IsMem() && op.SecretProgress() {
+			progExcluded++
+		}
+	}
+	// exp has 4 one-bits within 16 iterations: exactly 4 multiply loads
+	// under secret control.
+	if multLoads != 4 {
+		t.Errorf("control-dependent multiply loads = %d, want 4", multLoads)
+	}
+	if progExcluded == 0 {
+		t.Error("no progress-excluded plain instructions in the multiply branch")
+	}
+}
+
+func TestModExpPublicSequenceIdenticalAcrossExponents(t *testing.T) {
+	public := func(exp int64) []isa.Op {
+		e := mustExec(t, ModExpProgram(32), map[string]int64{"exp": exp, "base": 5})
+		var out []isa.Op
+		for _, op := range drain(e) {
+			if !op.SecretProgress() {
+				// Usage-excluded-but-progress-counted ops still execute;
+				// compare only their non-address shape, since the (excluded)
+				// addresses legitimately depend on the tainted result value.
+				op.Addr = 0
+				out = append(out, op)
+			}
+		}
+		return out
+	}
+	a, b := public(0), public(0xFFFF)
+	if len(a) != len(b) {
+		t.Fatalf("public op counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("public op %d differs", i)
+		}
+	}
+}

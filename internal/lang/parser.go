@@ -1,0 +1,482 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Text syntax for the language, so victim programs can live in files and be
+// fed to the cmd/annotate toolchain:
+//
+//	array  arr[65536]          # 64-byte elements by default
+//	array  tbl[256]x8          # 8-byte elements
+//	secret key                 # secret parameter (taint source)
+//	param  n                   # public parameter
+//
+//	if key % 2 {
+//	    for i in 0..65536 {
+//	        load x = arr[i]
+//	    }
+//	}
+//	for j in 0..n {
+//	    load y = tbl[(x + key) % 256]
+//	    store arr[j % 65536] = y
+//	}
+//	spin 1000000
+//
+// Expressions use + - * / % < == & ^ >> with the usual precedence and
+// parentheses. '#' starts a comment. Newlines or ';' terminate statements.
+
+// Parse builds a Program from source text.
+func Parse(src string) (*Program, error) {
+	p := &parser{lex: newLexer(src)}
+	prog, err := p.parseProgram()
+	if err != nil {
+		return nil, err
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustParse panics on error; for tests and embedded programs.
+func MustParse(src string) *Program {
+	prog, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+// --- lexer -----------------------------------------------------------------
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokNewline
+	tokIdent
+	tokNumber
+	tokPunct // single/double char punctuation and operators
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+func newLexer(src string) *lexer {
+	l := &lexer{src: src, line: 1}
+	l.run()
+	return l
+}
+
+func (l *lexer) emit(kind tokKind, text string) {
+	l.toks = append(l.toks, token{kind: kind, text: text, line: l.line})
+}
+
+func (l *lexer) run() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '#':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '\n' || c == ';':
+			l.emit(tokNewline, string(c))
+			if c == '\n' {
+				l.line++
+			}
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case unicode.IsDigit(rune(c)):
+			start := l.pos
+			for l.pos < len(l.src) && (unicode.IsDigit(rune(l.src[l.pos])) || l.src[l.pos] == '_') {
+				l.pos++
+			}
+			l.emit(tokNumber, strings.ReplaceAll(l.src[start:l.pos], "_", ""))
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := l.pos
+			for l.pos < len(l.src) && (unicode.IsLetter(rune(l.src[l.pos])) || unicode.IsDigit(rune(l.src[l.pos])) || l.src[l.pos] == '_') {
+				l.pos++
+			}
+			l.emit(tokIdent, l.src[start:l.pos])
+		case strings.HasPrefix(l.src[l.pos:], "==") || strings.HasPrefix(l.src[l.pos:], "..") || strings.HasPrefix(l.src[l.pos:], ">>"):
+			l.emit(tokPunct, l.src[l.pos:l.pos+2])
+			l.pos += 2
+		case strings.ContainsRune("+-*/%<&^(){}[]=", rune(c)):
+			l.emit(tokPunct, string(c))
+			l.pos++
+		default:
+			l.emit(tokPunct, string(c)) // surfaced as a parse error later
+			l.pos++
+		}
+	}
+	l.emit(tokEOF, "")
+}
+
+// --- parser ----------------------------------------------------------------
+
+type parser struct {
+	lex *lexer
+	pos int
+}
+
+func (p *parser) peek() token { return p.lex.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.lex.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) skipNewlines() {
+	for p.peek().kind == tokNewline {
+		p.next()
+	}
+}
+
+func (p *parser) errf(t token, format string, args ...any) error {
+	return fmt.Errorf("lang: line %d: %s", t.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectPunct(s string) error {
+	t := p.next()
+	if t.kind != tokPunct || t.text != s {
+		return p.errf(t, "expected %q, found %q", s, t.text)
+	}
+	return nil
+}
+
+func (p *parser) parseProgram() (*Program, error) {
+	prog := &Program{}
+	for {
+		p.skipNewlines()
+		t := p.peek()
+		if t.kind == tokEOF {
+			return prog, nil
+		}
+		switch {
+		case t.kind == tokIdent && t.text == "array":
+			p.next()
+			decl, err := p.parseArrayDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Arrays = append(prog.Arrays, decl)
+		case t.kind == tokIdent && (t.text == "param" || t.text == "secret"):
+			p.next()
+			name := p.next()
+			if name.kind != tokIdent {
+				return nil, p.errf(name, "expected parameter name")
+			}
+			prog.Params = append(prog.Params, ParamDecl{Name: name.text, Secret: t.text == "secret"})
+		default:
+			stmt, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			prog.Body = append(prog.Body, stmt)
+		}
+	}
+}
+
+func (p *parser) parseArrayDecl() (ArrayDecl, error) {
+	name := p.next()
+	if name.kind != tokIdent {
+		return ArrayDecl{}, p.errf(name, "expected array name")
+	}
+	if err := p.expectPunct("["); err != nil {
+		return ArrayDecl{}, err
+	}
+	sizeTok := p.next()
+	if sizeTok.kind != tokNumber {
+		return ArrayDecl{}, p.errf(sizeTok, "expected array length")
+	}
+	elems, err := strconv.ParseInt(sizeTok.text, 10, 64)
+	if err != nil {
+		return ArrayDecl{}, p.errf(sizeTok, "bad length: %v", err)
+	}
+	if err := p.expectPunct("]"); err != nil {
+		return ArrayDecl{}, err
+	}
+	// Optional element size: the lexer folds "x8" into one identifier, so
+	// accept an ident of the form x<digits> here.
+	elemBytes := int64(64)
+	if t := p.peek(); t.kind == tokIdent && len(t.text) > 1 && t.text[0] == 'x' {
+		if sz, err := strconv.ParseInt(t.text[1:], 10, 64); err == nil {
+			p.next()
+			elemBytes = sz
+		}
+	}
+	return ArrayDecl{Name: name.text, Elems: elems, ElemBytes: elemBytes}, nil
+}
+
+func (p *parser) parseBlock() ([]Stmt, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	var body []Stmt
+	for {
+		p.skipNewlines()
+		if t := p.peek(); t.kind == tokPunct && t.text == "}" {
+			p.next()
+			return body, nil
+		}
+		if p.peek().kind == tokEOF {
+			return nil, p.errf(p.peek(), "unterminated block")
+		}
+		stmt, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, stmt)
+	}
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return nil, p.errf(t, "expected statement, found %q", t.text)
+	}
+	switch t.text {
+	case "let":
+		name := p.next()
+		if name.kind != tokIdent {
+			return nil, p.errf(name, "expected variable name")
+		}
+		if err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		expr, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return Assign{Dst: name.text, Expr: expr}, nil
+	case "load":
+		dst := p.next()
+		if dst.kind != tokIdent {
+			return nil, p.errf(dst, "expected destination variable")
+		}
+		if err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		arr := p.next()
+		if arr.kind != tokIdent {
+			return nil, p.errf(arr, "expected array name")
+		}
+		if err := p.expectPunct("["); err != nil {
+			return nil, err
+		}
+		idx, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+		return Load{Dst: dst.text, Array: arr.text, Index: idx}, nil
+	case "store":
+		arr := p.next()
+		if arr.kind != tokIdent {
+			return nil, p.errf(arr, "expected array name")
+		}
+		if err := p.expectPunct("["); err != nil {
+			return nil, err
+		}
+		idx, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return Store{Array: arr.text, Index: idx, Val: val}, nil
+	case "if":
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		thenBody, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		var elseBody []Stmt
+		p.skipNewlines()
+		if e := p.peek(); e.kind == tokIdent && e.text == "else" {
+			p.next()
+			elseBody, err = p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return If{Cond: cond, Then: thenBody, Else: elseBody}, nil
+	case "for":
+		v := p.next()
+		if v.kind != tokIdent {
+			return nil, p.errf(v, "expected loop variable")
+		}
+		in := p.next()
+		if in.kind != tokIdent || in.text != "in" {
+			return nil, p.errf(in, "expected 'in'")
+		}
+		from, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(".."); err != nil {
+			return nil, err
+		}
+		to, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return For{Var: v.text, From: from, To: to, Body: body}, nil
+	case "spin":
+		count, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return Spin{Count: count}, nil
+	default:
+		return nil, p.errf(t, "unknown statement %q", t.text)
+	}
+}
+
+// Expression grammar with precedence:
+//
+//	cmp  := add ( ('<' | '==') add )*
+//	add  := mul ( ('+' | '-' | '&') mul )*
+//	mul  := atom ( ('*' | '/' | '%') atom )*
+//	atom := number | ident | '(' cmp ')'
+func (p *parser) parseExpr() (Expr, error) { return p.parseCmp() }
+
+func (p *parser) parseCmp() (Expr, error) {
+	left, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokPunct || (t.text != "<" && t.text != "==") {
+			return left, nil
+		}
+		p.next()
+		right, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		op := Lt
+		if t.text == "==" {
+			op = Eq
+		}
+		left = BinOp{Op: op, L: left, R: right}
+	}
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	left, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokPunct || (t.text != "+" && t.text != "-" && t.text != "&" && t.text != "^" && t.text != ">>") {
+			return left, nil
+		}
+		p.next()
+		right, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		op := Add
+		switch t.text {
+		case "-":
+			op = Sub
+		case "&":
+			op = And
+		case "^":
+			op = Xor
+		case ">>":
+			op = Shr
+		}
+		left = BinOp{Op: op, L: left, R: right}
+	}
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	left, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokPunct || (t.text != "*" && t.text != "/" && t.text != "%") {
+			return left, nil
+		}
+		p.next()
+		right, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		op := Mul
+		switch t.text {
+		case "/":
+			op = Div
+		case "%":
+			op = Mod
+		}
+		left = BinOp{Op: op, L: left, R: right}
+	}
+}
+
+func (p *parser) parseAtom() (Expr, error) {
+	t := p.next()
+	switch {
+	case t.kind == tokNumber:
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf(t, "bad number: %v", err)
+		}
+		return Const{Value: v}, nil
+	case t.kind == tokIdent:
+		return Var{Name: t.text}, nil
+	case t.kind == tokPunct && t.text == "(":
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, p.errf(t, "expected expression, found %q", t.text)
+	}
+}

@@ -1,0 +1,140 @@
+package lang
+
+import "fmt"
+
+// The static taint analysis of Section 2.1: secret parameters are taint
+// sources; taint propagates through data flow (expressions, loads from
+// secret-written arrays) and control flow (everything inside a branch or
+// loop whose condition/bounds are tainted is control-dependent on the
+// secret). The analysis is a fixpoint over a two-point lattice per variable
+// and per array, iterated until stable, and is sound in the usual
+// may-taint sense: it over-approximates, never under-approximates, which is
+// exactly the conservatism the paper's annotations require.
+//
+// Its outputs map directly onto the paper's two annotation kinds
+// (Section 5.2):
+//
+//   - a Load/Store whose address is data-tainted or that executes under
+//     tainted control gets FlagSecretUse (excluded from the utilization
+//     metric), and
+//   - any statement under tainted control gets FlagSecretProgress (excluded
+//     from execution-progress counting).
+//
+// Spin statements under tainted control additionally model Section 6.1's
+// timing-dependent regions and get FlagTimingDep.
+
+// Taint is the two-point lattice.
+type Taint bool
+
+// Lattice points.
+const (
+	Public Taint = false
+	Secret Taint = true
+)
+
+func (t Taint) join(other Taint) Taint { return t || other }
+
+// Analysis is the result of the static pass.
+type Analysis struct {
+	// VarTaint is the final (post-fixpoint) taint of each scalar.
+	VarTaint map[string]Taint
+	// ArrayTaint marks arrays that may hold secret-derived data.
+	ArrayTaint map[string]Taint
+	// stmt-level results are attached during Annotate (see exec.go); the
+	// analysis itself is flow-insensitive over variables but tracks control
+	// taint per lexical region.
+}
+
+// Analyze runs the fixpoint taint analysis.
+func Analyze(p *Program) (*Analysis, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	a := &Analysis{
+		VarTaint:   map[string]Taint{},
+		ArrayTaint: map[string]Taint{},
+	}
+	for _, prm := range p.Params {
+		a.VarTaint[prm.Name] = Taint(prm.Secret)
+	}
+	// Iterate to a fixpoint: loops can feed taint around cycles
+	// (x = arr[x] style), and array taint can flow back into scalars.
+	for iter := 0; iter < 1000; iter++ {
+		if !a.pass(p.Body, Public) {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("lang: taint analysis did not converge")
+}
+
+// pass propagates taint through one traversal; ctrl is the control taint of
+// the enclosing region. It reports whether anything changed.
+func (a *Analysis) pass(body []Stmt, ctrl Taint) bool {
+	changed := false
+	setVar := func(name string, t Taint) {
+		if t.join(ctrl) && !a.VarTaint[name] {
+			a.VarTaint[name] = Secret
+			changed = true
+		}
+	}
+	setArr := func(name string, t Taint) {
+		if t.join(ctrl) && !a.ArrayTaint[name] {
+			a.ArrayTaint[name] = Secret
+			changed = true
+		}
+	}
+	for _, s := range body {
+		switch st := s.(type) {
+		case Assign:
+			setVar(st.Dst, a.exprTaint(st.Expr))
+		case Load:
+			// The loaded value is tainted if the index is (the value read
+			// depends on which element) or the array may hold secrets.
+			setVar(st.Dst, a.exprTaint(st.Index).join(a.ArrayTaint[st.Array]))
+		case Store:
+			// A secret-indexed store taints the array contents too: later
+			// loads cannot be proven clean (sound over-approximation).
+			setArr(st.Array, a.exprTaint(st.Val).join(a.exprTaint(st.Index)))
+		case If:
+			inner := ctrl.join(a.exprTaint(st.Cond))
+			if a.pass(st.Then, inner) {
+				changed = true
+			}
+			if a.pass(st.Else, inner) {
+				changed = true
+			}
+		case For:
+			inner := ctrl.join(a.exprTaint(st.From)).join(a.exprTaint(st.To))
+			if a.pass(st.Body, inner) {
+				changed = true
+			}
+		case Spin:
+			// No data effects.
+		}
+	}
+	return changed
+}
+
+// exprTaint evaluates an expression's taint under the current state.
+func (a *Analysis) exprTaint(e Expr) Taint {
+	switch ex := e.(type) {
+	case Const:
+		return Public
+	case Var:
+		return a.VarTaint[ex.Name]
+	case BinOp:
+		return a.exprTaint(ex.L).join(a.exprTaint(ex.R))
+	default:
+		return Secret // unknown nodes are conservatively secret
+	}
+}
+
+// ControlTaintOf computes the control taint of a condition/bounds pair at
+// annotation time (used by the interpreter; identical logic to pass).
+func (a *Analysis) controlTaint(ctrl Taint, exprs ...Expr) Taint {
+	t := ctrl
+	for _, e := range exprs {
+		t = t.join(a.exprTaint(e))
+	}
+	return t
+}

@@ -1,0 +1,243 @@
+// Package mrc computes miss-rate curves with Mattson's stack-distance
+// algorithm: a single pass over an access stream yields, for every cache
+// size at once, the hit rate a fully-associative LRU cache of that size
+// would achieve (the inclusion property of stack algorithms).
+//
+// In this repository the curves serve two purposes:
+//
+//   - validating the UMON-style monitor (its sampled set-associative shadow
+//     tags approximate exactly these curves; the tests check the
+//     approximation), and
+//   - profiling workload generators and recorded traces (cmd/tracegen) so
+//     users can see a victim's LLC demand curve before simulating it.
+//
+// The implementation uses an order-statistics tree over the LRU stack, so a
+// pass over n accesses with u distinct lines costs O(n log u).
+package mrc
+
+import (
+	"fmt"
+	"sort"
+
+	"untangle/internal/cache"
+	"untangle/internal/isa"
+)
+
+// Profile accumulates a stack-distance histogram.
+type Profile struct {
+	// hist[d] counts accesses with stack distance d (0 = re-access of the
+	// most recently used line); distances beyond the tracked maximum and
+	// cold misses land in misses.
+	hist []uint64
+	// cold counts first-touch accesses (infinite distance).
+	cold uint64
+	// total counts all observed accesses.
+	total uint64
+
+	tree *ostree
+	pos  map[uint64]uint64 // lineAddr -> current key in the tree
+	next uint64            // decreasing key counter (newest = smallest)
+}
+
+// NewProfile tracks distances up to maxLines (the largest cache size of
+// interest, in lines).
+func NewProfile(maxLines int) (*Profile, error) {
+	if maxLines <= 0 {
+		return nil, fmt.Errorf("mrc: maxLines = %d", maxLines)
+	}
+	return &Profile{
+		hist: make([]uint64, maxLines),
+		tree: newOstree(),
+		pos:  map[uint64]uint64{},
+		next: ^uint64(0),
+	}, nil
+}
+
+// Observe records one access to the line containing addr.
+func (p *Profile) Observe(addr uint64) {
+	line := addr / cache.LineBytes
+	p.total++
+	if key, ok := p.pos[line]; ok {
+		// Stack distance = number of keys smaller than this one (lines
+		// accessed more recently).
+		d := p.tree.rankBefore(key)
+		if d < uint64(len(p.hist)) {
+			p.hist[d]++
+		} else {
+			p.cold++ // beyond the tracked range: counts as a miss everywhere
+		}
+		p.tree.delete(key)
+	} else {
+		p.cold++
+	}
+	key := p.next
+	p.next--
+	p.tree.insert(key)
+	p.pos[line] = key
+}
+
+// ObserveStream drains a stream through the profile, observing public memory
+// accesses only (the monitor's view); it returns the number observed.
+func (p *Profile) ObserveStream(s isa.Stream, maxOps uint64) uint64 {
+	buf := make([]isa.Op, 4096)
+	var n uint64
+	for maxOps == 0 || n < maxOps {
+		c := s.Fill(buf)
+		if c == 0 {
+			break
+		}
+		for _, op := range buf[:c] {
+			if op.IsMem() && !op.SecretUse() {
+				p.Observe(op.Addr)
+				n++
+				if maxOps > 0 && n >= maxOps {
+					break
+				}
+			}
+		}
+	}
+	return n
+}
+
+// Total returns the number of observed accesses.
+func (p *Profile) Total() uint64 { return p.total }
+
+// Distinct returns the number of distinct lines seen.
+func (p *Profile) Distinct() int { return len(p.pos) }
+
+// HitRate returns the exact hit rate of a fully-associative LRU cache with
+// the given capacity in lines (the inclusion property makes this a prefix
+// sum of the histogram).
+func (p *Profile) HitRate(lines int) float64 {
+	if p.total == 0 {
+		return 0
+	}
+	if lines > len(p.hist) {
+		lines = len(p.hist)
+	}
+	var hits uint64
+	for d := 0; d < lines; d++ {
+		hits += p.hist[d]
+	}
+	return float64(hits) / float64(p.total)
+}
+
+// Curve returns hit rates for a list of capacities in bytes.
+func (p *Profile) Curve(sizes []int64) []float64 {
+	out := make([]float64, len(sizes))
+	for i, s := range sizes {
+		out[i] = p.HitRate(int(s / cache.LineBytes))
+	}
+	return out
+}
+
+// --- order-statistics tree ---------------------------------------------
+//
+// A simple treap keyed by uint64 with subtree sizes, supporting insert,
+// delete, and rank queries. Priorities come from a deterministic hash of the
+// key, which keeps runs reproducible.
+
+type node struct {
+	key         uint64
+	prio        uint64
+	size        int
+	left, right *node
+}
+
+type ostree struct{ root *node }
+
+func newOstree() *ostree { return &ostree{} }
+
+func prioOf(key uint64) uint64 {
+	h := key * 0x9E3779B97F4A7C15
+	h ^= h >> 29
+	h *= 0xBF58476D1CE4E5B9
+	return h ^ (h >> 32)
+}
+
+func size(n *node) int {
+	if n == nil {
+		return 0
+	}
+	return n.size
+}
+
+func (n *node) update() { n.size = 1 + size(n.left) + size(n.right) }
+
+// split divides the tree into keys < k and keys >= k.
+func split(n *node, k uint64) (l, r *node) {
+	if n == nil {
+		return nil, nil
+	}
+	if n.key < k {
+		n.right, r = split(n.right, k)
+		n.update()
+		return n, r
+	}
+	l, n.left = split(n.left, k)
+	n.update()
+	return l, n
+}
+
+func merge(l, r *node) *node {
+	switch {
+	case l == nil:
+		return r
+	case r == nil:
+		return l
+	case l.prio > r.prio:
+		l.right = merge(l.right, r)
+		l.update()
+		return l
+	default:
+		r.left = merge(l, r.left)
+		r.update()
+		return r
+	}
+}
+
+func (t *ostree) insert(key uint64) {
+	l, r := split(t.root, key)
+	n := &node{key: key, prio: prioOf(key), size: 1}
+	t.root = merge(merge(l, n), r)
+}
+
+func (t *ostree) delete(key uint64) {
+	l, r := split(t.root, key)
+	_, r = split(r, key+1)
+	t.root = merge(l, r)
+}
+
+// rankBefore returns the number of keys strictly smaller than key.
+func (t *ostree) rankBefore(key uint64) uint64 {
+	var rank uint64
+	n := t.root
+	for n != nil {
+		if key <= n.key {
+			n = n.left
+		} else {
+			rank += uint64(size(n.left)) + 1
+			n = n.right
+		}
+	}
+	return rank
+}
+
+// sortedKeys returns all keys in order (tests only).
+func (t *ostree) sortedKeys() []uint64 {
+	var out []uint64
+	var walk func(*node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		walk(n.left)
+		out = append(out, n.key)
+		walk(n.right)
+	}
+	walk(t.root)
+	if !sort.SliceIsSorted(out, func(i, j int) bool { return out[i] < out[j] }) {
+		panic("mrc: tree invariant violated")
+	}
+	return out
+}

@@ -1,0 +1,246 @@
+package mrc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"untangle/internal/cache"
+	"untangle/internal/isa"
+	"untangle/internal/monitor"
+	"untangle/internal/workload"
+)
+
+func TestNewProfileValidation(t *testing.T) {
+	if _, err := NewProfile(0); err == nil {
+		t.Error("zero maxLines accepted")
+	}
+}
+
+func TestCyclicScanCliff(t *testing.T) {
+	// A cyclic scan over W lines under LRU: 0% hits below W, 100% at W
+	// (after the first pass). The stack-distance histogram captures the
+	// cliff exactly.
+	p, err := NewProfile(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const w = 100
+	for pass := 0; pass < 50; pass++ {
+		for i := 0; i < w; i++ {
+			p.Observe(uint64(i) * cache.LineBytes)
+		}
+	}
+	if hr := p.HitRate(w - 1); hr != 0 {
+		t.Errorf("hit rate below the working set = %v, want 0", hr)
+	}
+	// At capacity w: every access after the first pass hits.
+	want := float64(49*w) / float64(50*w)
+	if hr := p.HitRate(w); math.Abs(hr-want) > 1e-12 {
+		t.Errorf("hit rate at the working set = %v, want %v", hr, want)
+	}
+	if p.Distinct() != w {
+		t.Errorf("distinct = %d", p.Distinct())
+	}
+}
+
+func TestHotLoopHitsAtTinySize(t *testing.T) {
+	p, _ := NewProfile(1024)
+	for i := 0; i < 10000; i++ {
+		p.Observe(uint64(i%2) * cache.LineBytes)
+	}
+	if hr := p.HitRate(2); hr < 0.999 {
+		t.Errorf("two-line loop at 2-line cache: hit rate %v", hr)
+	}
+	if hr := p.HitRate(1); hr > 0.001 {
+		t.Errorf("alternating pair at 1-line cache: hit rate %v, want ~0", hr)
+	}
+}
+
+func TestMonotoneInclusionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		p, _ := NewProfile(512)
+		r := rand.New(rand.NewSource(seed))
+		for i := 0; i < 5000; i++ {
+			p.Observe(uint64(r.Intn(600)) * cache.LineBytes)
+		}
+		prev := 0.0
+		for lines := 1; lines <= 512; lines *= 2 {
+			hr := p.HitRate(lines)
+			if hr < prev-1e-12 {
+				return false
+			}
+			prev = hr
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAgainstFullyAssociativeGroundTruth(t *testing.T) {
+	// The profile's hit rate at capacity C must match a real C-line
+	// fully-associative LRU cache run over the same stream.
+	const lines = 64
+	p, _ := NewProfile(4096)
+	// One set with `lines` ways = a fully associative LRU cache. Use a
+	// single-set geometry: sets = 1 requires size = ways*64.
+	fa := cache.MustNew(cache.Config{SizeBytes: lines * cache.LineBytes, Ways: lines})
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 30000; i++ {
+		addr := uint64(r.Intn(200)) * cache.LineBytes
+		p.Observe(addr)
+		fa.Access(addr, false)
+	}
+	got := p.HitRate(lines)
+	want := fa.Stats().HitRate()
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("stack-distance hit rate %v != fully-associative LRU %v", got, want)
+	}
+}
+
+func TestCurveMatchesMonitorShape(t *testing.T) {
+	// The UMON monitor approximates these curves with sampled
+	// set-associative shadows; across the supported sizes the two must
+	// agree on the SHAPE (same saturation point within one size step).
+	params, err := workload.SPECByName("deepsjeng_0") // 320kB cold set
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkStream := func() isa.Stream {
+		g, err := workload.NewGenerator(params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	p, _ := NewProfile((16 << 20) / cache.LineBytes)
+	p.ObserveStream(mkStream(), 200_000)
+
+	mon, err := monitor.New(monitor.Config{
+		Sizes: monitor.DefaultSizes(), Ways: 16, Window: 200_000, SampleLog2: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := mkStream()
+	buf := make([]isa.Op, 4096)
+	var seen uint64
+	for seen < 200_000 {
+		n := s.Fill(buf)
+		for _, op := range buf[:n] {
+			if op.IsMem() {
+				mon.Observe(op.Addr, op.IsWrite())
+				seen++
+			}
+		}
+	}
+	exact := p.Curve(monitor.DefaultSizes())
+	approx := mon.Utilities()
+	// Find each curve's saturation index (first size reaching 95% of max).
+	sat := func(vals []float64) int {
+		max := vals[len(vals)-1]
+		for i, v := range vals {
+			if v >= 0.95*max {
+				return i
+			}
+		}
+		return len(vals) - 1
+	}
+	approxVals := make([]float64, len(approx))
+	for i, u := range approx {
+		approxVals[i] = u.Hits
+	}
+	if a, b := sat(exact), sat(approxVals); a-b > 1 || b-a > 1 {
+		t.Errorf("saturation points disagree: exact %d vs monitor %d\nexact %v\nmonitor %v",
+			a, b, exact, approxVals)
+	}
+}
+
+func TestObserveStreamSkipsSecretAccesses(t *testing.T) {
+	params, err := workload.CryptoByName("AES-128") // fully secret
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := workload.NewGenerator(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := NewProfile(1024)
+	if n := p.ObserveStream(isa.NewLimited(g, 50_000), 0); n != 0 {
+		t.Errorf("observed %d secret accesses, want 0", n)
+	}
+}
+
+func TestTreeInvariants(t *testing.T) {
+	tr := newOstree()
+	keys := []uint64{5, 1, 9, 3, 7}
+	for _, k := range keys {
+		tr.insert(k)
+	}
+	if got := tr.rankBefore(5); got != 2 {
+		t.Errorf("rankBefore(5) = %d, want 2", got)
+	}
+	if got := tr.rankBefore(0); got != 0 {
+		t.Errorf("rankBefore(0) = %d", got)
+	}
+	if got := tr.rankBefore(100); got != 5 {
+		t.Errorf("rankBefore(100) = %d", got)
+	}
+	tr.delete(3)
+	tr.delete(9)
+	if got := len(tr.sortedKeys()); got != 3 {
+		t.Errorf("size after deletes = %d", got)
+	}
+	if got := tr.rankBefore(100); got != 3 {
+		t.Errorf("rankBefore after deletes = %d", got)
+	}
+}
+
+func TestPropertyTreeMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := newOstree()
+		ref := map[uint64]bool{}
+		for i := 0; i < 300; i++ {
+			k := uint64(r.Intn(100))
+			if ref[k] {
+				tr.delete(k)
+				delete(ref, k)
+			} else {
+				tr.insert(k)
+				ref[k] = true
+			}
+			// Check a random rank query against the reference.
+			q := uint64(r.Intn(110))
+			var want uint64
+			for rk := range ref {
+				if rk < q {
+					want++
+				}
+			}
+			if tr.rankBefore(q) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkObserve(b *testing.B) {
+	p, _ := NewProfile((16 << 20) / cache.LineBytes)
+	r := rand.New(rand.NewSource(1))
+	addrs := make([]uint64, 1<<16)
+	for i := range addrs {
+		addrs[i] = uint64(r.Intn(1<<18)) * cache.LineBytes
+	}
+	b.ResetTimer()
+	for i := 0; b.Loop(); i++ {
+		p.Observe(addrs[i&(1<<16-1)])
+	}
+}

@@ -1,0 +1,346 @@
+// Package partition implements the dynamic partitioning machinery of the
+// evaluation (Sections 3.1, 7 and 8): the supported resizing actions, the
+// UMON-style lookahead allocator that picks partition sizes to maximize
+// global LLC hits, and the four scheme configurations of Table 4.
+package partition
+
+import (
+	"fmt"
+	"time"
+)
+
+// Kind identifies one of the Table 4 schemes.
+type Kind int
+
+const (
+	// Static fixes each domain at StartSize for the whole run.
+	Static Kind = iota
+	// TimeBased assesses resizing at a fixed wall-clock interval, like the
+	// prior schemes of Table 1.
+	TimeBased
+	// Untangle assesses resizing every ProgressN retired public
+	// instructions with a cooldown and a random action delay (Section 5).
+	Untangle
+	// Shared disables partitioning: all domains share the whole LLC.
+	Shared
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Static:
+		return "Static"
+	case TimeBased:
+		return "Time"
+	case Untangle:
+		return "Untangle"
+	case Shared:
+		return "Shared"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// SchemeConfig fully describes a partitioning scheme instance.
+type SchemeConfig struct {
+	Kind Kind
+	// StartSize is every domain's initial partition (Table 4: 2MB).
+	StartSize int64
+	// Interval is the TimeBased assessment period (Table 4: 1 ms).
+	Interval time.Duration
+	// ProgressN is Untangle's progress quantum: a resizing assessment every
+	// ProgressN retired public instructions (Table 4: 8M).
+	ProgressN uint64
+	// Cooldown is Untangle's minimum wall-clock gap between assessments,
+	// Tc (Table 4: 1 ms).
+	Cooldown time.Duration
+	// DelayWidth is the width of Untangle's uniform random action delay
+	// (Section 8: U[0, 1ms)).
+	DelayWidth time.Duration
+	// Annotated controls whether Untangle honors the Section 5.2
+	// annotations (secret accesses excluded from the metric, secret
+	// control flow excluded from progress). Disabling it is the ablation
+	// that reintroduces action leakage.
+	Annotated bool
+	// MaintainFraction is the action-heuristic hysteresis: an assessment
+	// keeps the current size unless the globally-optimal size improves the
+	// domain's monitored hits by more than this fraction of the monitor
+	// window. It applies identically to TimeBased and Untangle so the two
+	// schemes differ only in metric timing and schedule, as in the paper.
+	MaintainFraction float64
+}
+
+// DefaultScheme returns the Table 4 configuration for a kind.
+func DefaultScheme(kind Kind) SchemeConfig {
+	return SchemeConfig{
+		Kind:             kind,
+		StartSize:        2 << 20,
+		Interval:         time.Millisecond,
+		ProgressN:        8_000_000,
+		Cooldown:         time.Millisecond,
+		DelayWidth:       time.Millisecond,
+		Annotated:        true,
+		MaintainFraction: 0.02,
+	}
+}
+
+// Validate reports configuration errors.
+func (c SchemeConfig) Validate() error {
+	if c.StartSize <= 0 {
+		return fmt.Errorf("partition: start size %d", c.StartSize)
+	}
+	switch c.Kind {
+	case TimeBased:
+		if c.Interval <= 0 {
+			return fmt.Errorf("partition: Time scheme needs a positive interval")
+		}
+	case Untangle:
+		if c.ProgressN == 0 {
+			return fmt.Errorf("partition: Untangle needs a progress quantum")
+		}
+		if c.Cooldown < 0 || c.DelayWidth < 0 {
+			return fmt.Errorf("partition: negative cooldown or delay")
+		}
+	case Static, Shared:
+	default:
+		return fmt.Errorf("partition: unknown kind %d", c.Kind)
+	}
+	if c.MaintainFraction < 0 || c.MaintainFraction >= 1 {
+		return fmt.Errorf("partition: MaintainFraction %v", c.MaintainFraction)
+	}
+	return nil
+}
+
+// Dynamic reports whether the scheme performs resizing assessments.
+func (c SchemeConfig) Dynamic() bool { return c.Kind == TimeBased || c.Kind == Untangle }
+
+// Assessment records one resizing assessment: the decided action (the next
+// partition size), whether it is attacker-visible (size changed), and its
+// timing. A resizing trace is the per-domain sequence of assessments.
+type Assessment struct {
+	// Domain is the assessed security domain.
+	Domain int
+	// At is when the assessment was made.
+	At time.Duration
+	// ApplyAt is when the decided action takes effect (assessment time plus
+	// Untangle's random delay; equal to At for TimeBased).
+	ApplyAt time.Duration
+	// Prev and Size are the partition sizes before and after.
+	Prev, Size int64
+	// Visible reports whether the attacker can observe the action
+	// (Size != Prev; Maintain is invisible, Section 5.3.4).
+	Visible bool
+}
+
+// Trace is a resizing trace: the ordered assessments of one domain.
+type Trace []Assessment
+
+// VisibleCount returns how many actions changed the partition size.
+func (t Trace) VisibleCount() int {
+	n := 0
+	for _, a := range t {
+		if a.Visible {
+			n++
+		}
+	}
+	return n
+}
+
+// MaintainFraction returns the fraction of assessments that kept the size.
+func (t Trace) MaintainFraction() float64 {
+	if len(t) == 0 {
+		return 0
+	}
+	return 1 - float64(t.VisibleCount())/float64(len(t))
+}
+
+// ActionSizes returns just the action sequence (the sizes chosen), the
+// paper's S variable.
+func (t Trace) ActionSizes() []int64 {
+	out := make([]int64, len(t))
+	for i, a := range t {
+		out[i] = a.Size
+	}
+	return out
+}
+
+// Allocator assigns partition sizes to domains to maximize total monitored
+// hits, subject to the LLC capacity — the UMON policy of Section 7 ("picks
+// the size for each domain that maximizes the number of LLC hits across all
+// domains"), implemented with the standard lookahead algorithm.
+type Allocator struct {
+	// Sizes are the supported partition sizes, strictly increasing.
+	Sizes []int64
+	// Capacity is the total LLC size (Table 3: 16MB).
+	Capacity int64
+}
+
+// NewAllocator validates and returns an allocator.
+func NewAllocator(sizes []int64, capacity int64) (*Allocator, error) {
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("partition: no sizes")
+	}
+	for i, s := range sizes {
+		if s <= 0 || (i > 0 && s <= sizes[i-1]) {
+			return nil, fmt.Errorf("partition: sizes must be positive and increasing")
+		}
+	}
+	if capacity < sizes[0] {
+		return nil, fmt.Errorf("partition: capacity %d below minimum size %d", capacity, sizes[0])
+	}
+	return &Allocator{Sizes: append([]int64(nil), sizes...), Capacity: capacity}, nil
+}
+
+// sizeIndex returns the index of size in Sizes, or -1.
+func (a *Allocator) sizeIndex(size int64) int {
+	for i, s := range a.Sizes {
+		if s == size {
+			return i
+		}
+	}
+	return -1
+}
+
+// FloorSize returns the largest supported size <= limit, or the minimum
+// supported size if none fits.
+func (a *Allocator) FloorSize(limit int64) int64 {
+	best := a.Sizes[0]
+	for _, s := range a.Sizes {
+		if s <= limit {
+			best = s
+		}
+	}
+	return best
+}
+
+// GlobalAllocate computes the hit-maximizing size assignment for all
+// domains. utilities[d][i] is domain d's monitored hits at Sizes[i]
+// (monitor.Utility.Hits order). The result always sums to at most Capacity
+// and gives every domain at least the minimum size.
+//
+// The algorithm is UMON's lookahead: starting from minimum sizes, repeatedly
+// grant the expansion with the highest marginal hits per byte, where each
+// candidate expansion may jump several sizes ahead (this handles non-convex
+// utility curves). Ties resolve to the lower domain index, keeping the
+// allocation deterministic.
+func (a *Allocator) GlobalAllocate(utilities [][]float64) []int64 {
+	n := len(utilities)
+	alloc := make([]int, n) // size indices
+	remaining := a.Capacity - int64(n)*a.Sizes[0]
+	if remaining < 0 {
+		// Capacity cannot even give everyone the minimum; everyone gets it
+		// anyway (the caller configured an over-small LLC — clamp).
+		remaining = 0
+	}
+	for {
+		bestDomain, bestTarget := -1, -1
+		bestDensity := 0.0
+		for d := 0; d < n; d++ {
+			cur := alloc[d]
+			curHits := utilityAt(utilities[d], cur)
+			for t := cur + 1; t < len(a.Sizes); t++ {
+				extra := a.Sizes[t] - a.Sizes[cur]
+				if extra > remaining {
+					break
+				}
+				gain := utilityAt(utilities[d], t) - curHits
+				if gain <= 0 {
+					continue
+				}
+				density := gain / float64(extra)
+				if density > bestDensity+1e-12 {
+					bestDensity, bestDomain, bestTarget = density, d, t
+				}
+			}
+		}
+		if bestDomain < 0 {
+			break
+		}
+		remaining -= a.Sizes[bestTarget] - a.Sizes[alloc[bestDomain]]
+		alloc[bestDomain] = bestTarget
+	}
+	out := make([]int64, n)
+	for d, i := range alloc {
+		out[d] = a.Sizes[i]
+	}
+	return out
+}
+
+func utilityAt(u []float64, i int) float64 {
+	if i < len(u) {
+		return u[i]
+	}
+	if len(u) == 0 {
+		return 0
+	}
+	return u[len(u)-1]
+}
+
+// Decide picks domain d's next size at an assessment, following the Section
+// 7 heuristic under the instantaneous capacity constraint:
+//
+//  1. compute the global hit-maximizing allocation from everyone's current
+//     monitored utilities,
+//  2. clamp d's target to what is actually free right now (other domains
+//     keep their current sizes until their own assessments),
+//  3. apply hysteresis: keep the current size unless the move changes the
+//     domain's hits by more than maintainDelta.
+//
+// current holds every domain's current size; utilities is as in
+// GlobalAllocate; windowAccesses is the monitor window length used to scale
+// the hysteresis threshold.
+func (a *Allocator) Decide(d int, current []int64, utilities [][]float64, maintainFraction float64, windowAccesses float64) int64 {
+	target := a.GlobalAllocate(utilities)[d]
+	// Capacity actually available to d right now.
+	var others int64
+	for i, s := range current {
+		if i != d {
+			others += s
+		}
+	}
+	free := a.Capacity - others
+	if target > free {
+		target = a.FloorSize(free)
+	}
+	cur := current[d]
+	if target == cur {
+		return cur
+	}
+	// Hysteresis applies to expansions only: claiming more cache must be
+	// justified by a hit gain above the threshold, or the domain maintains.
+	// Shrinks demanded by the global allocation always comply — giving up
+	// capacity the domain barely uses is exactly how space reaches needier
+	// domains (and how the paper's LLC-insensitive workloads end up with
+	// partitions below the 2MB Static size).
+	if target > cur {
+		ci, ti := a.sizeIndex(cur), a.sizeIndex(target)
+		if ci >= 0 && ti >= 0 {
+			gain := utilityAt(utilities[d], ti) - utilityAt(utilities[d], ci)
+			if gain < maintainFraction*windowAccesses {
+				return cur
+			}
+		}
+	}
+	return target
+}
+
+// DecideAll performs a simultaneous assessment of every domain (the
+// TimeBased schedule): shrinking decisions are applied first so that the
+// freed capacity is visible to growing decisions, and the result never
+// exceeds Capacity.
+func (a *Allocator) DecideAll(current []int64, utilities [][]float64, maintainFraction float64, windowAccesses float64) []int64 {
+	next := append([]int64(nil), current...)
+	// Pass 1: shrinks.
+	for d := range next {
+		if s := a.Decide(d, next, utilities, maintainFraction, windowAccesses); s < next[d] {
+			next[d] = s
+		}
+	}
+	// Pass 2: grows, against the capacity freed by pass 1.
+	for d := range next {
+		if s := a.Decide(d, next, utilities, maintainFraction, windowAccesses); s > next[d] {
+			next[d] = s
+		}
+	}
+	return next
+}

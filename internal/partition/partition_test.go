@@ -1,0 +1,366 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"untangle/internal/monitor"
+)
+
+func testAllocator(t *testing.T) *Allocator {
+	t.Helper()
+	a, err := NewAllocator(monitor.DefaultSizes(), 16<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// saturating builds a utility curve that rises linearly until the working
+// set fits and is flat afterwards: hits(size) = rate * min(size, ws).
+func saturating(sizes []int64, ws int64, rate float64) []float64 {
+	u := make([]float64, len(sizes))
+	for i, s := range sizes {
+		if s > ws {
+			s = ws
+		}
+		u[i] = rate * float64(s) / float64(1<<20)
+	}
+	return u
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{Static: "Static", TimeBased: "Time", Untangle: "Untangle", Shared: "Shared", Kind(7): "Kind(7)"} {
+		if got := k.String(); got != want {
+			t.Errorf("%d -> %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestDefaultSchemesValidate(t *testing.T) {
+	for _, k := range []Kind{Static, TimeBased, Untangle, Shared} {
+		cfg := DefaultScheme(k)
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%v: %v", k, err)
+		}
+		if cfg.StartSize != 2<<20 {
+			t.Errorf("%v: start size %d, want 2MB (Table 4)", k, cfg.StartSize)
+		}
+	}
+	if !DefaultScheme(TimeBased).Dynamic() || !DefaultScheme(Untangle).Dynamic() {
+		t.Error("dynamic schemes misreported")
+	}
+	if DefaultScheme(Static).Dynamic() || DefaultScheme(Shared).Dynamic() {
+		t.Error("static schemes misreported")
+	}
+}
+
+func TestSchemeValidateErrors(t *testing.T) {
+	bad := DefaultScheme(TimeBased)
+	bad.Interval = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero interval accepted")
+	}
+	bad = DefaultScheme(Untangle)
+	bad.ProgressN = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero progress quantum accepted")
+	}
+	bad = DefaultScheme(Untangle)
+	bad.Cooldown = -time.Second
+	if err := bad.Validate(); err == nil {
+		t.Error("negative cooldown accepted")
+	}
+	bad = DefaultScheme(Static)
+	bad.StartSize = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero start size accepted")
+	}
+	bad = DefaultScheme(Static)
+	bad.MaintainFraction = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Error("bad hysteresis accepted")
+	}
+	bad = DefaultScheme(Static)
+	bad.Kind = Kind(42)
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestNewAllocatorValidation(t *testing.T) {
+	if _, err := NewAllocator(nil, 16<<20); err == nil {
+		t.Error("empty sizes accepted")
+	}
+	if _, err := NewAllocator([]int64{2, 1}, 16<<20); err == nil {
+		t.Error("decreasing sizes accepted")
+	}
+	if _, err := NewAllocator([]int64{1 << 20}, 1); err == nil {
+		t.Error("capacity below minimum accepted")
+	}
+}
+
+func TestFloorSize(t *testing.T) {
+	a := testAllocator(t)
+	if got := a.FloorSize(5 << 20); got != 4<<20 {
+		t.Errorf("FloorSize(5MB) = %d, want 4MB", got)
+	}
+	if got := a.FloorSize(1); got != 128<<10 {
+		t.Errorf("FloorSize(1) = %d, want minimum", got)
+	}
+	if got := a.FloorSize(8 << 20); got != 8<<20 {
+		t.Errorf("FloorSize(8MB) = %d, want 8MB", got)
+	}
+}
+
+func TestGlobalAllocateRespectsCapacity(t *testing.T) {
+	a := testAllocator(t)
+	// Eight greedy domains that all want 8MB.
+	utilities := make([][]float64, 8)
+	for d := range utilities {
+		utilities[d] = saturating(a.Sizes, 8<<20, 1000)
+	}
+	alloc := a.GlobalAllocate(utilities)
+	var sum int64
+	for _, s := range alloc {
+		if s < a.Sizes[0] {
+			t.Errorf("allocation %d below minimum", s)
+		}
+		sum += s
+	}
+	if sum > a.Capacity {
+		t.Errorf("allocated %d > capacity %d", sum, a.Capacity)
+	}
+}
+
+func TestGlobalAllocateFavorsNeedyDomains(t *testing.T) {
+	a := testAllocator(t)
+	utilities := [][]float64{
+		saturating(a.Sizes, 6<<20, 1000),   // needs 6MB
+		saturating(a.Sizes, 128<<10, 1000), // saturates at 128kB
+		saturating(a.Sizes, 256<<10, 1000),
+		saturating(a.Sizes, 512<<10, 1000),
+	}
+	alloc := a.GlobalAllocate(utilities)
+	if alloc[0] < 6<<20 {
+		t.Errorf("needy domain got %d, want >= 6MB", alloc[0])
+	}
+	if alloc[1] > 256<<10 {
+		t.Errorf("saturated domain got %d, want ~128kB", alloc[1])
+	}
+}
+
+func TestGlobalAllocateOvercommitted(t *testing.T) {
+	a := testAllocator(t)
+	// Total demand 8x6MB = 48MB >> 16MB: the allocator must still fit.
+	utilities := make([][]float64, 8)
+	for d := range utilities {
+		utilities[d] = saturating(a.Sizes, 6<<20, 1000)
+	}
+	alloc := a.GlobalAllocate(utilities)
+	var sum int64
+	for _, s := range alloc {
+		sum += s
+	}
+	if sum > a.Capacity {
+		t.Errorf("allocated %d > capacity", sum)
+	}
+}
+
+func TestGlobalAllocateDeterministic(t *testing.T) {
+	a := testAllocator(t)
+	r := rand.New(rand.NewSource(3))
+	utilities := make([][]float64, 8)
+	for d := range utilities {
+		utilities[d] = saturating(a.Sizes, int64(r.Intn(8)+1)<<20, float64(r.Intn(1000)+1))
+	}
+	x := a.GlobalAllocate(utilities)
+	y := a.GlobalAllocate(utilities)
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatal("allocation not deterministic")
+		}
+	}
+}
+
+func TestDecideMaintainsAtGlobalOptimum(t *testing.T) {
+	a := testAllocator(t)
+	// Both domains already hold their globally-optimal sizes: Maintain.
+	utilities := [][]float64{
+		saturating(a.Sizes, 4<<20, 1000),
+		saturating(a.Sizes, 4<<20, 1000),
+	}
+	current := []int64{4 << 20, 4 << 20}
+	for d := range current {
+		if got := a.Decide(d, current, utilities, 0.02, 1e6); got != 4<<20 {
+			t.Errorf("domain %d: Decide = %d, want Maintain at 4MB", d, got)
+		}
+	}
+}
+
+func TestDecideMaintainsOnMarginalExpansion(t *testing.T) {
+	a := testAllocator(t)
+	// The global optimum is a hair above current, but the hit gain is below
+	// the hysteresis threshold: maintain rather than leak a visible action.
+	utilities := [][]float64{
+		saturating(a.Sizes, 256<<10, 100),
+		saturating(a.Sizes, 128<<10, 1),
+	}
+	current := []int64{128 << 10, 128 << 10}
+	// Gain from 128kB->256kB is 100*(0.25-0.125) = 12.5 hits; with a window
+	// of 1e6 and threshold 2%, that is far below 20000: Maintain.
+	if got := a.Decide(0, current, utilities, 0.02, 1e6); got != 128<<10 {
+		t.Errorf("Decide = %d, want Maintain at 128kB", got)
+	}
+	// With hysteresis off it expands.
+	if got := a.Decide(0, current, utilities, 0, 1e6); got != 256<<10 {
+		t.Errorf("Decide = %d, want 256kB without hysteresis", got)
+	}
+}
+
+func TestDecideShrinksSaturatedDomain(t *testing.T) {
+	a := testAllocator(t)
+	// A domain saturated at 128kB holding 2MB must give the space back
+	// even though its own hit loss is zero.
+	utilities := [][]float64{
+		saturating(a.Sizes, 128<<10, 100),
+		saturating(a.Sizes, 8<<20, 1000),
+	}
+	current := []int64{2 << 20, 2 << 20}
+	if got := a.Decide(0, current, utilities, 0.02, 1e6); got != 128<<10 {
+		t.Errorf("Decide = %d, want shrink to 128kB", got)
+	}
+}
+
+func TestDecideExpandsWhenDemandGrows(t *testing.T) {
+	a := testAllocator(t)
+	utilities := [][]float64{
+		saturating(a.Sizes, 6<<20, 1000),
+		saturating(a.Sizes, 128<<10, 10),
+	}
+	current := []int64{2 << 20, 2 << 20}
+	got := a.Decide(0, current, utilities, 0.02, 1000)
+	if got <= 2<<20 {
+		t.Errorf("Decide = %d, want expansion beyond 2MB", got)
+	}
+}
+
+func TestDecideClampsToFreeCapacity(t *testing.T) {
+	a := testAllocator(t)
+	utilities := [][]float64{
+		saturating(a.Sizes, 8<<20, 1000),
+		saturating(a.Sizes, 128<<10, 1),
+	}
+	// Other domain is hogging 14MB; only 2MB total is available to d=0.
+	current := []int64{1 << 20, 14 << 20}
+	got := a.Decide(0, current, utilities, 0, 1000)
+	if got > 2<<20 {
+		t.Errorf("Decide = %d, exceeds free capacity", got)
+	}
+}
+
+func TestDecideShrinksWhenOthersNeedSpace(t *testing.T) {
+	a := testAllocator(t)
+	utilities := [][]float64{
+		saturating(a.Sizes, 128<<10, 10), // tiny demand, holds 8MB
+		saturating(a.Sizes, 8<<20, 5000), // huge demand
+		saturating(a.Sizes, 6<<20, 5000), // huge demand
+		saturating(a.Sizes, 128<<10, 10),
+	}
+	current := []int64{8 << 20, 2 << 20, 2 << 20, 2 << 20}
+	got := a.Decide(0, current, utilities, 0.02, 1e4)
+	if got >= 8<<20 {
+		t.Errorf("Decide = %d, want shrink from 8MB", got)
+	}
+}
+
+func TestDecideAllNeverExceedsCapacity(t *testing.T) {
+	a := testAllocator(t)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		utilities := make([][]float64, 8)
+		current := make([]int64, 8)
+		var sum int64
+		for d := range utilities {
+			utilities[d] = saturating(a.Sizes, int64(r.Intn(64)+1)<<17, float64(r.Intn(5000)))
+			current[d] = a.Sizes[r.Intn(4)] // small current sizes keep the start feasible
+			sum += current[d]
+		}
+		if sum > a.Capacity {
+			return true // skip infeasible starting points
+		}
+		next := a.DecideAll(current, utilities, 0.02, 1e5)
+		var total int64
+		for _, s := range next {
+			if a.sizeIndex(s) < 0 {
+				return false
+			}
+			total += s
+		}
+		return total <= a.Capacity
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecideAllShrinksBeforeGrowing(t *testing.T) {
+	a := testAllocator(t)
+	utilities := [][]float64{
+		saturating(a.Sizes, 128<<10, 1),  // should give space back
+		saturating(a.Sizes, 8<<20, 5000), // should claim it
+	}
+	current := []int64{8 << 20, 8 << 20}
+	next := a.DecideAll(current, utilities, 0.02, 1e4)
+	if next[0] >= 8<<20 {
+		t.Errorf("domain 0 kept %d, want shrink", next[0])
+	}
+	if next[1] != 8<<20 {
+		t.Errorf("domain 1 got %d, want to keep 8MB", next[1])
+	}
+}
+
+func TestTraceStats(t *testing.T) {
+	tr := Trace{
+		{Size: 2 << 20, Prev: 2 << 20, Visible: false},
+		{Size: 4 << 20, Prev: 2 << 20, Visible: true},
+		{Size: 4 << 20, Prev: 4 << 20, Visible: false},
+		{Size: 4 << 20, Prev: 4 << 20, Visible: false},
+	}
+	if got := tr.VisibleCount(); got != 1 {
+		t.Errorf("visible = %d, want 1", got)
+	}
+	if got := tr.MaintainFraction(); got != 0.75 {
+		t.Errorf("maintain fraction = %v, want 0.75", got)
+	}
+	sizes := tr.ActionSizes()
+	if len(sizes) != 4 || sizes[1] != 4<<20 {
+		t.Errorf("action sizes = %v", sizes)
+	}
+	if (Trace{}).MaintainFraction() != 0 {
+		t.Error("empty trace should report 0")
+	}
+}
+
+func TestPropertyGlobalAllocateMonotoneUtilityGetsMore(t *testing.T) {
+	a := testAllocator(t)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		// Two domains with identical curve shapes but different rates: the
+		// higher-rate domain must get at least as much cache.
+		low := float64(r.Intn(100) + 1)
+		high := low * float64(r.Intn(5)+2)
+		ws := int64(r.Intn(6)+1) << 20
+		utilities := [][]float64{
+			saturating(a.Sizes, ws, high),
+			saturating(a.Sizes, ws, low),
+		}
+		alloc := a.GlobalAllocate(utilities)
+		return alloc[0] >= alloc[1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,118 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Sparkline renders a numeric series as a compact one-line chart using
+// block characters, scaled to the series' own min/max. It draws the
+// partition-size and IPC timelines in the CLI tools.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	span := hi - lo
+	var b strings.Builder
+	for _, v := range values {
+		idx := 0
+		if span > 0 {
+			idx = int((v - lo) / span * float64(len(levels)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(levels) {
+			idx = len(levels) - 1
+		}
+		b.WriteRune(levels[idx])
+	}
+	return b.String()
+}
+
+// SparklineInt64 converts and renders integer samples.
+func SparklineInt64(values []int64) string {
+	f := make([]float64, len(values))
+	for i, v := range values {
+		f[i] = float64(v)
+	}
+	return Sparkline(f)
+}
+
+// Downsample reduces a series to at most n points by averaging buckets,
+// keeping sparklines terminal-width-sized.
+func Downsample(values []float64, n int) []float64 {
+	if n <= 0 || len(values) <= n {
+		return values
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		lo := i * len(values) / n
+		hi := (i + 1) * len(values) / n
+		if hi <= lo {
+			hi = lo + 1
+		}
+		sum := 0.0
+		for _, v := range values[lo:hi] {
+			sum += v
+		}
+		out[i] = sum / float64(hi-lo)
+	}
+	return out
+}
+
+// Bars renders a labelled horizontal bar chart in plain text, used by the
+// CLI tools to echo the figures' visual structure. Values are scaled so the
+// largest bar spans width characters; a reference line (e.g. the Static
+// baseline at 1.0) is marked with '|' when it falls inside a bar's span.
+func Bars(labels []string, values []float64, width int, reference float64) string {
+	if len(labels) != len(values) || len(labels) == 0 {
+		return ""
+	}
+	if width <= 0 {
+		width = 40
+	}
+	maxVal := values[0]
+	labelW := len(labels[0])
+	for i := range values {
+		if values[i] > maxVal {
+			maxVal = values[i]
+		}
+		if len(labels[i]) > labelW {
+			labelW = len(labels[i])
+		}
+	}
+	if maxVal <= 0 {
+		maxVal = 1
+	}
+	refCol := -1
+	if reference > 0 && reference <= maxVal {
+		refCol = int(reference / maxVal * float64(width))
+		if refCol >= width {
+			refCol = width - 1
+		}
+	}
+	var b strings.Builder
+	for i := range labels {
+		n := int(values[i] / maxVal * float64(width))
+		if n < 0 {
+			n = 0
+		}
+		row := []byte(strings.Repeat("#", n) + strings.Repeat(" ", width-n))
+		if refCol >= 0 {
+			row[refCol] = '|'
+		}
+		fmt.Fprintf(&b, "  %-*s %s %0.2f\n", labelW, labels[i], string(row), values[i])
+	}
+	return b.String()
+}

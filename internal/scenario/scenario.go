@@ -1,0 +1,314 @@
+// Package scenario loads experiment definitions from JSON files and builds
+// runnable simulations from them. A scenario combines any mixture of domain
+// sources — named synthetic benchmarks, crypto+SPEC pairs, recorded binary
+// traces, and victim programs in the mini-language — with a scheme
+// configuration, so custom experiments need no Go code.
+//
+// Example:
+//
+//	{
+//	  "scheme": "untangle",
+//	  "scale": 0.005,
+//	  "domains": [
+//	    {"name": "victim", "program": {"file": "victim.unt", "inputs": {"key": 90}},
+//	     "instructions": 1000000},
+//	    {"name": "neighbour", "benchmark": "mcf_0", "instructions": 2000000},
+//	    {"name": "recorded", "trace": "mcf.trace"},
+//	    {"name": "paired", "pair": {"spec": "gcc_2", "crypto": "AES-128"},
+//	     "instructions": 2000000}
+//	  ]
+//	}
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"untangle/internal/core"
+	"untangle/internal/cpu"
+	"untangle/internal/isa"
+	"untangle/internal/lang"
+	"untangle/internal/partition"
+	"untangle/internal/sim"
+	"untangle/internal/workload"
+)
+
+// Scenario is the top-level definition.
+type Scenario struct {
+	// Scheme is one of "static", "time", "untangle", "shared".
+	Scheme string `json:"scheme"`
+	// Scale is the usual scale factor (default 0.01).
+	Scale float64 `json:"scale"`
+	// BudgetBits is the per-domain leakage budget (0 = unlimited).
+	BudgetBits float64 `json:"budget_bits"`
+	// WorstCase disables the Maintain optimization.
+	WorstCase bool `json:"worst_case"`
+	// NoAnnotations disables annotation support (the ablation).
+	NoAnnotations bool `json:"no_annotations"`
+	// WayPartitioned switches to whole-way granularity.
+	WayPartitioned bool `json:"way_partitioned"`
+	// MemBandwidth models a finite shared DRAM bandwidth (bytes/second).
+	MemBandwidth float64 `json:"mem_bandwidth_bytes_per_sec"`
+	// Tiered enables the Section 6.4 security lattice using each domain's
+	// Tier field.
+	Tiered bool `json:"tiered,omitempty"`
+	// Domains lists the security domains (1-8).
+	Domains []Domain `json:"domains"`
+
+	// dir resolves relative file references.
+	dir string
+}
+
+// Domain is one security domain; exactly one source field must be set.
+type Domain struct {
+	Name string `json:"name"`
+	// Benchmark names a synthetic SPEC-like or crypto benchmark.
+	Benchmark string `json:"benchmark,omitempty"`
+	// Pair builds the paper's crypto+SPEC interleaved workload.
+	Pair *PairSource `json:"pair,omitempty"`
+	// Trace replays a recorded binary trace file.
+	Trace string `json:"trace,omitempty"`
+	// Program executes a mini-language victim.
+	Program *ProgramSource `json:"program,omitempty"`
+	// Instructions bounds the measured stream (required except for traces,
+	// which end on their own).
+	Instructions uint64 `json:"instructions,omitempty"`
+	// Tier is the domain's Section 6.4 security tier; meaningful only when
+	// the scenario sets "tiered": true.
+	Tier int `json:"tier,omitempty"`
+	// CPU optionally overrides the timing model.
+	CPU *CPUOverride `json:"cpu,omitempty"`
+}
+
+// PairSource mirrors workload.Pair.
+type PairSource struct {
+	SPEC   string `json:"spec"`
+	Crypto string `json:"crypto"`
+	Secret uint64 `json:"secret,omitempty"`
+}
+
+// ProgramSource points at a .unt file with its inputs.
+type ProgramSource struct {
+	File   string           `json:"file"`
+	Inputs map[string]int64 `json:"inputs,omitempty"`
+}
+
+// CPUOverride tweaks the per-workload timing parameters.
+type CPUOverride struct {
+	MLP     float64 `json:"mlp,omitempty"`
+	BaseCPI float64 `json:"base_cpi,omitempty"`
+}
+
+// Load reads a scenario from a JSON file; relative paths inside it resolve
+// against the file's directory.
+func Load(path string) (*Scenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", path, err)
+	}
+	sc.dir = filepath.Dir(path)
+	return sc, nil
+}
+
+// Read parses a scenario from a reader (relative paths resolve against the
+// working directory unless the caller sets dir via Load).
+func Read(r io.Reader) (*Scenario, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var sc Scenario
+	if err := dec.Decode(&sc); err != nil {
+		return nil, err
+	}
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	return &sc, nil
+}
+
+func (sc *Scenario) validate() error {
+	if _, err := sc.kind(); err != nil {
+		return err
+	}
+	if len(sc.Domains) == 0 || len(sc.Domains) > 8 {
+		return fmt.Errorf("scenario: %d domains, want 1-8", len(sc.Domains))
+	}
+	for i, d := range sc.Domains {
+		sources := 0
+		if d.Benchmark != "" {
+			sources++
+		}
+		if d.Pair != nil {
+			sources++
+		}
+		if d.Trace != "" {
+			sources++
+		}
+		if d.Program != nil {
+			sources++
+		}
+		if sources != 1 {
+			return fmt.Errorf("scenario: domain %d needs exactly one source, has %d", i, sources)
+		}
+		if d.Trace == "" && d.Instructions == 0 {
+			return fmt.Errorf("scenario: domain %d needs an instruction count", i)
+		}
+	}
+	return nil
+}
+
+// kind maps the scheme string.
+func (sc *Scenario) kind() (partition.Kind, error) {
+	switch strings.ToLower(sc.Scheme) {
+	case "static", "":
+		return partition.Static, nil
+	case "time":
+		return partition.TimeBased, nil
+	case "untangle":
+		return partition.Untangle, nil
+	case "shared":
+		return partition.Shared, nil
+	default:
+		return 0, fmt.Errorf("scenario: unknown scheme %q", sc.Scheme)
+	}
+}
+
+// Build materializes the simulation.
+func (sc *Scenario) Build() (*sim.Sim, error) {
+	kind, err := sc.kind()
+	if err != nil {
+		return nil, err
+	}
+	scale := sc.Scale
+	if scale <= 0 || scale > 1 {
+		scale = 0.01
+	}
+	scheme := partition.DefaultScheme(kind)
+	scheme.Annotated = !sc.NoAnnotations
+	cfg := sim.Scaled(scheme, scale)
+	cfg.OptimizeMaintain = !sc.WorstCase
+	cfg.Budget = sc.BudgetBits
+	cfg.MemBandwidth = sc.MemBandwidth
+	if sc.WayPartitioned {
+		cfg.WayPartitioned = true
+		cfg.Sizes = cfg.WaySizes()
+	}
+	if sc.Tiered {
+		tiers := make([]core.Tier, len(sc.Domains))
+		for i, d := range sc.Domains {
+			tiers[i] = core.Tier(d.Tier)
+		}
+		cfg.Tiers = tiers
+	}
+	specs := make([]sim.DomainSpec, 0, len(sc.Domains))
+	for i, d := range sc.Domains {
+		spec, err := sc.buildDomain(i, d, scale)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, spec)
+	}
+	return sim.New(cfg, specs)
+}
+
+func (sc *Scenario) buildDomain(i int, d Domain, scale float64) (sim.DomainSpec, error) {
+	name := d.Name
+	if name == "" {
+		name = fmt.Sprintf("domain-%d", i)
+	}
+	spec := sim.DomainSpec{Name: name, CPU: cpu.DefaultParams()}
+	switch {
+	case d.Benchmark != "":
+		params, err := workload.SPECByName(d.Benchmark)
+		if err != nil {
+			params, err = workload.CryptoByName(d.Benchmark)
+			if err != nil {
+				return spec, fmt.Errorf("scenario: domain %d: unknown benchmark %q", i, d.Benchmark)
+			}
+		}
+		g, err := workload.NewGenerator(params)
+		if err != nil {
+			return spec, err
+		}
+		spec.Stream = isa.NewLimited(g, d.Instructions)
+		pressureParams := params
+		pressureParams.Seed += 0xA5A5
+		pressure, err := workload.NewGenerator(pressureParams)
+		if err != nil {
+			return spec, err
+		}
+		spec.Pressure = pressure
+		spec.CPU = params.CPUParams()
+	case d.Pair != nil:
+		pair := workload.Pair{SPEC: d.Pair.SPEC, Crypto: d.Pair.Crypto}
+		crypto := uint64(float64(1_000_000) * scale)
+		specPhase := uint64(float64(10_000_000) * scale)
+		stream, err := pair.PairStream(max64(crypto, 1000), max64(specPhase, 10_000), d.Instructions, d.Pair.Secret)
+		if err != nil {
+			return spec, fmt.Errorf("scenario: domain %d: %w", i, err)
+		}
+		spec.Stream = stream
+		params, err := workload.SPECByName(d.Pair.SPEC)
+		if err != nil {
+			return spec, err
+		}
+		spec.CPU = params.CPUParams()
+	case d.Trace != "":
+		f, err := os.Open(sc.resolve(d.Trace))
+		if err != nil {
+			return spec, fmt.Errorf("scenario: domain %d: %w", i, err)
+		}
+		// The reader owns the file for the duration of the run; simulations
+		// are short-lived processes, so the descriptor is reclaimed at exit.
+		r, err := isa.NewTraceReader(f)
+		if err != nil {
+			return spec, fmt.Errorf("scenario: domain %d: %w", i, err)
+		}
+		spec.Stream = r
+	case d.Program != nil:
+		src, err := os.ReadFile(sc.resolve(d.Program.File))
+		if err != nil {
+			return spec, fmt.Errorf("scenario: domain %d: %w", i, err)
+		}
+		prog, err := lang.Parse(string(src))
+		if err != nil {
+			return spec, fmt.Errorf("scenario: domain %d: %w", i, err)
+		}
+		exec, err := lang.NewExec(prog, d.Program.Inputs, 0)
+		if err != nil {
+			return spec, fmt.Errorf("scenario: domain %d: %w", i, err)
+		}
+		spec.Stream = isa.NewLimitedPublic(exec, d.Instructions)
+	}
+	if d.CPU != nil {
+		if d.CPU.MLP > 0 {
+			spec.CPU.MLP = d.CPU.MLP
+		}
+		if d.CPU.BaseCPI > 0 {
+			spec.CPU.BaseCPI = d.CPU.BaseCPI
+		}
+	}
+	return spec, nil
+}
+
+func (sc *Scenario) resolve(path string) string {
+	if filepath.IsAbs(path) || sc.dir == "" {
+		return path
+	}
+	return filepath.Join(sc.dir, path)
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,228 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"untangle/internal/isa"
+	"untangle/internal/workload"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReadValidation(t *testing.T) {
+	cases := []string{
+		`{"scheme":"bogus","domains":[{"benchmark":"mcf_0","instructions":1000}]}`,
+		`{"scheme":"untangle","domains":[]}`,
+		`{"scheme":"untangle","domains":[{"name":"x","instructions":10}]}`,                       // no source
+		`{"scheme":"untangle","domains":[{"benchmark":"mcf_0","trace":"t","instructions":10}]}`,  // two sources
+		`{"scheme":"untangle","domains":[{"benchmark":"mcf_0"}]}`,                                // no budget
+		`{"scheme":"untangle","unknown_field":1,"domains":[{"benchmark":"a","instructions":1}]}`, // unknown field
+	}
+	for i, src := range cases {
+		if _, err := Read(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestBuildBenchmarkAndCryptoDomains(t *testing.T) {
+	sc, err := Read(strings.NewReader(`{
+		"scheme": "untangle",
+		"scale": 0.002,
+		"domains": [
+			{"name": "spec", "benchmark": "mcf_0", "instructions": 200000},
+			{"name": "crypto", "benchmark": "AES-128", "instructions": 200000},
+			{"name": "tuned", "benchmark": "imagick_0", "instructions": 200000,
+			 "cpu": {"mlp": 7.5, "base_cpi": 0.2}}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Domains) != 3 {
+		t.Fatalf("%d domains", len(res.Domains))
+	}
+	for _, d := range res.Domains {
+		if d.IPC <= 0 {
+			t.Errorf("%s: IPC %v", d.Name, d.IPC)
+		}
+	}
+}
+
+func TestBuildProgramAndTraceDomains(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "victim.unt", `
+array tbl[256]
+secret key
+param n
+for i in 0..n {
+    load v = tbl[(i + key) % 256]
+}
+`)
+	// Record a trace file from a benchmark.
+	p, err := workload.SPECByName("imagick_0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := workload.NewGenerator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf, err := os.Create(filepath.Join(dir, "rec.trace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := isa.NewTraceWriter(tf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.WriteStream(isa.NewLimited(g, 150_000), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	tf.Close()
+
+	scPath := writeFile(t, dir, "scenario.json", `{
+		"scheme": "untangle",
+		"scale": 0.002,
+		"domains": [
+			{"name": "victim", "program": {"file": "victim.unt", "inputs": {"key": 9, "n": 30000}},
+			 "instructions": 150000},
+			{"name": "replayed", "trace": "rec.trace"}
+		]
+	}`)
+	sc, err := Load(scPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Domains[0].Instructions == 0 || res.Domains[1].Instructions == 0 {
+		t.Errorf("instructions: %d / %d", res.Domains[0].Instructions, res.Domains[1].Instructions)
+	}
+}
+
+func TestBuildPairDomain(t *testing.T) {
+	sc, err := Read(strings.NewReader(`{
+		"scheme": "time",
+		"scale": 0.002,
+		"domains": [
+			{"name": "paired", "pair": {"spec": "gcc_2", "crypto": "AES-128", "secret": 7},
+			 "instructions": 200000}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	// Unknown benchmark.
+	sc, err := Read(strings.NewReader(`{"scheme":"static","domains":[{"benchmark":"nope","instructions":1000}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Build(); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	// Missing program file.
+	sc, err = Read(strings.NewReader(`{"scheme":"static","domains":[{"program":{"file":"/nonexistent.unt"},"instructions":1000}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Build(); err == nil {
+		t.Error("missing program file accepted")
+	}
+	// Missing trace file.
+	sc, err = Read(strings.NewReader(`{"scheme":"static","domains":[{"trace":"/nonexistent.trace"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Build(); err == nil {
+		t.Error("missing trace accepted")
+	}
+	// Bad pair.
+	sc, err = Read(strings.NewReader(`{"scheme":"static","domains":[{"pair":{"spec":"nope","crypto":"AES-128"},"instructions":1000}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Build(); err == nil {
+		t.Error("bad pair accepted")
+	}
+	if _, err := Load("/nonexistent/scenario.json"); err == nil {
+		t.Error("missing scenario file accepted")
+	}
+}
+
+func TestSchemeDefaultsToStatic(t *testing.T) {
+	sc, err := Read(strings.NewReader(`{"domains":[{"benchmark":"imagick_0","instructions":50000}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := sc.kind()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.String() != "Static" {
+		t.Errorf("default scheme = %v", k)
+	}
+}
+
+func TestTieredScenario(t *testing.T) {
+	sc, err := Read(strings.NewReader(`{
+		"scheme": "untangle",
+		"scale": 0.002,
+		"tiered": true,
+		"domains": [
+			{"name": "low", "benchmark": "mcf_0", "instructions": 300000, "tier": 0},
+			{"name": "high", "benchmark": "parest_0", "instructions": 300000, "tier": 1}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Domains[0].Leakage.TotalBits != 0 {
+		t.Errorf("low-tier domain charged %v bits", res.Domains[0].Leakage.TotalBits)
+	}
+}

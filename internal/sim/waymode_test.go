@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"testing"
+
+	"untangle/internal/partition"
+)
+
+func wayConfig(kind partition.Kind) Config {
+	cfg := testConfig(kind)
+	cfg.WayPartitioned = true
+	cfg.Sizes = cfg.WaySizes()
+	return cfg
+}
+
+func TestWaySizes(t *testing.T) {
+	cfg := testConfig(partition.Static)
+	sizes := cfg.WaySizes()
+	if len(sizes) != 8 {
+		t.Fatalf("%d way sizes, want 8 (half of 16 ways)", len(sizes))
+	}
+	if sizes[0] != 1<<20 || sizes[7] != 8<<20 {
+		t.Errorf("way sizes range [%d, %d], want [1MB, 8MB]", sizes[0], sizes[7])
+	}
+}
+
+func TestWayModeRejectsFractionalSizes(t *testing.T) {
+	cfg := testConfig(partition.Untangle)
+	cfg.WayPartitioned = true // keeps the default 128kB..8MB sizes: invalid
+	if _, err := New(cfg, []DomainSpec{specDomain(t, "imagick_0", 1000)}); err == nil {
+		t.Error("fractional-way sizes accepted under way partitioning")
+	}
+}
+
+func TestWayModeRunsAndAdapts(t *testing.T) {
+	cfg := wayConfig(partition.Untangle)
+	s, err := New(cfg, []DomainSpec{
+		specDomain(t, "mcf_0", 500_000),
+		specDomain(t, "imagick_0", 500_000),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.wayLLC == nil {
+		t.Fatal("way-partitioned LLC not built")
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Domains {
+		if d.IPC <= 0 {
+			t.Errorf("%s: IPC %v", d.Name, d.IPC)
+		}
+		for _, sz := range d.PartitionSamples {
+			if sz%(1<<20) != 0 {
+				t.Fatalf("%s: partition sample %d not whole ways", d.Name, sz)
+			}
+		}
+	}
+	// The hungry domain should have claimed more ways than the tiny one by
+	// the end of the run.
+	if got0, got1 := s.domains[0].committed, s.domains[1].committed; got0 <= got1 {
+		t.Errorf("mcf_0 ended with %d bytes, imagick_0 with %d; expected concentration", got0, got1)
+	}
+	// Physical grants track the committed sizes after the final resizes.
+	totalWays := s.wayLLC.Ways(0) + s.wayLLC.Ways(1)
+	if totalWays > 16 {
+		t.Errorf("granted %d ways, only 16 exist", totalWays)
+	}
+}
+
+func TestWayModeCoarserActionsLeakFewerBitsPerAssessmentUnderTime(t *testing.T) {
+	// The granularity ablation's accounting side: with 8 supported actions
+	// the Time baseline charges log2(8) = 3 bits instead of log2(9).
+	cfg := wayConfig(partition.TimeBased)
+	s, err := New(cfg, []DomainSpec{
+		specDomain(t, "mcf_0", 300_000),
+		specDomain(t, "imagick_0", 300_000),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := res.Domains[0]
+	if d.Leakage.Assessments == 0 {
+		t.Fatal("no assessments")
+	}
+	if got := d.Leakage.PerAssessment(); got < 2.99 || got > 3.01 {
+		t.Errorf("per-assessment = %v, want log2 8 = 3", got)
+	}
+}
+
+func TestWayModeDeterministic(t *testing.T) {
+	run := func() []int64 {
+		cfg := wayConfig(partition.Untangle)
+		s, err := New(cfg, []DomainSpec{
+			specDomain(t, "mcf_0", 300_000),
+			specDomain(t, "imagick_0", 300_000),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Domains[0].Trace.ActionSizes()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("action %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,261 @@
+// Package smt applies the Untangle framework to pipeline resources shared
+// between SMT threads, the second extension target of Section 6.3 (and the
+// setting of SecSMT [43] in Table 1): issue slots of typed functional units
+// are temporally partitioned between two hardware threads, and the partition
+// is resized dynamically.
+//
+// Section 6.3's recipe:
+//
+//   - Utilization metric: "the fraction of the retired instructions that
+//     utilize a certain type of functional unit" — a pure function of the
+//     retired instruction sequence, hence timing-independent (Principle 1).
+//     Instructions that are control-dependent on secrets are excluded via
+//     the usual annotations ("an analyzer that detects secret-dependent
+//     control flow suffices").
+//   - Schedule: assessments every N retired public instructions with the
+//     cooldown and random-delay mechanisms, exactly as for the LLC; this
+//     package provides the metric and the partitioned-issue model, and the
+//     core package's accountants apply unchanged.
+package smt
+
+import (
+	"fmt"
+)
+
+// UnitKind is a functional-unit type.
+type UnitKind int
+
+const (
+	// ALU covers simple integer operations.
+	ALU UnitKind = iota
+	// Mul covers integer multiply/divide.
+	Mul
+	// FP covers floating-point units.
+	FP
+	// Mem covers load/store ports.
+	Mem
+	// NumKinds is the number of functional-unit types.
+	NumKinds
+)
+
+// String implements fmt.Stringer.
+func (k UnitKind) String() string {
+	switch k {
+	case ALU:
+		return "ALU"
+	case Mul:
+		return "MUL"
+	case FP:
+		return "FP"
+	case Mem:
+		return "MEM"
+	default:
+		return fmt.Sprintf("UnitKind(%d)", int(k))
+	}
+}
+
+// Mix is a thread's retired-instruction mix: Mix[k] is the fraction of
+// retired instructions using unit kind k. Fractions need not sum to one
+// (some instructions use no contended unit).
+type Mix [NumKinds]float64
+
+// Validate checks fractions are in range.
+func (m Mix) Validate() error {
+	sum := 0.0
+	for k, f := range m {
+		if f < 0 || f > 1 {
+			return fmt.Errorf("smt: fraction %v for %v", f, UnitKind(k))
+		}
+		sum += f
+	}
+	if sum > 1 {
+		return fmt.Errorf("smt: fractions sum to %v > 1", sum)
+	}
+	return nil
+}
+
+// Monitor is the timing-independent utilization metric: per unit kind, the
+// count of retired public instructions that used it in the last Window
+// retired public instructions.
+type Monitor struct {
+	window uint64
+	ring   [][NumKinds]uint64
+	// ringN counts all retired public instructions per bucket, including
+	// those touching no contended unit, so Fractions' denominator is exact.
+	ringN    []uint64
+	bucket   uint64
+	cur      int
+	curCount uint64
+	total    uint64
+}
+
+// NewMonitor builds the metric over a window of retired public instructions.
+func NewMonitor(window uint64, buckets int) (*Monitor, error) {
+	if window == 0 {
+		return nil, fmt.Errorf("smt: zero window")
+	}
+	if buckets <= 0 {
+		buckets = 8
+	}
+	m := &Monitor{
+		window: window,
+		ring:   make([][NumKinds]uint64, buckets),
+		ringN:  make([]uint64, buckets),
+	}
+	m.bucket = window / uint64(buckets)
+	if m.bucket == 0 {
+		m.bucket = 1
+	}
+	return m, nil
+}
+
+// Retire records one retired public instruction that uses unit kind k (use
+// k < 0 for instructions touching no contended unit). Secret-annotated
+// instructions must not be passed in: the caller applies Principle 1's
+// exclusion, keeping the metric a pure function of the public sequence.
+func (m *Monitor) Retire(k UnitKind) {
+	m.total++
+	m.curCount++
+	if m.curCount >= m.bucket {
+		m.cur = (m.cur + 1) % len(m.ring)
+		m.ring[m.cur] = [NumKinds]uint64{}
+		m.ringN[m.cur] = 0
+		m.curCount = 0
+	}
+	m.ringN[m.cur]++
+	if k >= 0 && k < NumKinds {
+		m.ring[m.cur][k]++
+	}
+}
+
+// Fractions returns the per-kind usage fraction over the window.
+func (m *Monitor) Fractions() Mix {
+	var totals [NumKinds]uint64
+	var all uint64
+	for _, b := range m.ring {
+		for k, v := range b {
+			totals[k] += v
+			all += v
+		}
+	}
+	var out Mix
+	var observed uint64
+	for _, n := range m.ringN {
+		observed += n
+	}
+	if observed == 0 {
+		return out
+	}
+	for k, v := range totals {
+		out[k] = float64(v) / float64(observed)
+	}
+	return out
+}
+
+// Partition assigns each thread a share of each unit kind's issue slots.
+// Shares are expressed in sixteenths (0..16) so that actions form a small
+// discrete alphabet, like the 9 supported LLC sizes; Shares[t][k] is thread
+// t's share of unit k.
+type Partition struct {
+	Shares [2][NumKinds]int
+}
+
+// Sixteenths is the share denominator.
+const Sixteenths = 16
+
+// Validate checks the partition is complete and non-overlapping.
+func (p Partition) Validate() error {
+	for k := 0; k < int(NumKinds); k++ {
+		a, b := p.Shares[0][k], p.Shares[1][k]
+		if a < 1 || b < 1 {
+			return fmt.Errorf("smt: %v share below minimum", UnitKind(k))
+		}
+		if a+b != Sixteenths {
+			return fmt.Errorf("smt: %v shares sum to %d, want %d", UnitKind(k), a+b, Sixteenths)
+		}
+	}
+	return nil
+}
+
+// Even returns the static 50/50 partition.
+func Even() Partition {
+	var p Partition
+	for k := 0; k < int(NumKinds); k++ {
+		p.Shares[0][k] = Sixteenths / 2
+		p.Shares[1][k] = Sixteenths / 2
+	}
+	return p
+}
+
+// Decide computes the next partition from the two threads' monitored usage
+// fractions: each unit's slots split proportionally to demand, quantized to
+// sixteenths with a 1-sixteenth floor, and with a hysteresis band so small
+// demand wobbles keep the current partition (the Maintain action). The
+// decision is a pure function of the two monitored mixes, so with
+// progress-based assessment points the action sequence inherits Untangle's
+// timing independence.
+func Decide(current Partition, usage [2]Mix, hysteresis float64) Partition {
+	next := current
+	for k := 0; k < int(NumKinds); k++ {
+		d0, d1 := usage[0][k], usage[1][k]
+		total := d0 + d1
+		if total <= 0 {
+			continue
+		}
+		want := int(float64(Sixteenths)*d0/total + 0.5)
+		if want < 1 {
+			want = 1
+		}
+		if want > Sixteenths-1 {
+			want = Sixteenths - 1
+		}
+		// Hysteresis: move only when the demand imbalance justifies it.
+		cur := current.Shares[0][k]
+		if diff := want - cur; diff != 0 {
+			if float64(abs(diff))/Sixteenths >= hysteresis {
+				next.Shares[0][k] = want
+				next.Shares[1][k] = Sixteenths - want
+			}
+		}
+	}
+	return next
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Visible reports whether a resizing action changes any share — the
+// attacker-observable condition, mirroring the LLC scheme's size change.
+func Visible(prev, next Partition) bool {
+	return prev != next
+}
+
+// Throughput estimates the two threads' IPC under a partition given their
+// demands and a per-thread peak IPC: each unit kind caps thread t at
+// peak * share/(demand fraction * Sixteenths) and the binding constraint
+// wins. It is a coarse bottleneck model, sufficient to show the
+// performance/leakage trade-off of dynamic SMT partitioning.
+func Throughput(p Partition, usage [2]Mix, peak float64) [2]float64 {
+	var out [2]float64
+	for t := 0; t < 2; t++ {
+		ipc := peak
+		for k := 0; k < int(NumKinds); k++ {
+			demand := usage[t][k]
+			if demand <= 0 {
+				continue
+			}
+			// Slots available to this thread, as instructions per cycle.
+			slots := peak * float64(p.Shares[t][k]) / Sixteenths
+			cap := slots / demand
+			if cap < ipc {
+				ipc = cap
+			}
+		}
+		out[t] = ipc
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+// Package stats provides the small statistical helpers the evaluation
+// harness uses: geometric means for system-wide speedups and quartile
+// summaries for the partition-size distribution charts of Figures 10-17.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// GeoMean returns the geometric mean of strictly positive values; it returns
+// 0 for an empty slice and NaN if any value is non-positive (a geomean over
+// speedups must never see those).
+func GeoMean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range values {
+		if v <= 0 {
+			return math.NaN()
+		}
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(values)))
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of values using linear
+// interpolation between order statistics. It returns 0 for empty input.
+func Quantile(values []float64, q float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Summary is the five-number summary drawn by the partition-size
+// distribution charts: min/max whiskers, first-to-third quartile box, and
+// the median dot.
+type Summary struct {
+	Min, Q1, Median, Q3, Max float64
+	N                        int
+}
+
+// Summarize computes the five-number summary.
+func Summarize(values []float64) Summary {
+	if len(values) == 0 {
+		return Summary{}
+	}
+	return Summary{
+		Min:    Quantile(values, 0),
+		Q1:     Quantile(values, 0.25),
+		Median: Quantile(values, 0.5),
+		Q3:     Quantile(values, 0.75),
+		Max:    Quantile(values, 1),
+		N:      len(values),
+	}
+}
+
+// SummarizeInt64 converts and summarizes integer samples (partition sizes).
+func SummarizeInt64(values []int64) Summary {
+	f := make([]float64, len(values))
+	for i, v := range values {
+		f[i] = float64(v)
+	}
+	return Summarize(f)
+}

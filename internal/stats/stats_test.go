@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("GeoMean(2,8) = %v, want 4", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("GeoMean(nil) = %v, want 0", got)
+	}
+	if got := GeoMean([]float64{1, -2}); !math.IsNaN(got) {
+		t.Errorf("GeoMean with negative = %v, want NaN", got)
+	}
+	if got := GeoMean([]float64{1.14}); math.Abs(got-1.14) > 1e-12 {
+		t.Errorf("singleton geomean = %v", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	v := []float64{1, 2, 3, 4, 5}
+	cases := map[float64]float64{0: 1, 0.25: 2, 0.5: 3, 0.75: 4, 1: 5}
+	for q, want := range cases {
+		if got := Quantile(v, q); math.Abs(got-want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+	// Interpolation between order statistics.
+	if got := Quantile([]float64{0, 10}, 0.5); got != 5 {
+		t.Errorf("interpolated median = %v, want 5", got)
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("Quantile(nil) = %v", got)
+	}
+	// Input must not be mutated (Quantile sorts a copy).
+	in := []float64{3, 1, 2}
+	Quantile(in, 0.5)
+	if in[0] != 3 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{5, 1, 3, 2, 4})
+	if s.Min != 1 || s.Max != 5 || s.Median != 3 || s.Q1 != 2 || s.Q3 != 4 || s.N != 5 {
+		t.Errorf("summary = %+v", s)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Max != 0 {
+		t.Errorf("empty summary = %+v", z)
+	}
+	si := SummarizeInt64([]int64{1 << 20, 2 << 20, 4 << 20})
+	if si.Median != float64(2<<20) {
+		t.Errorf("int64 median = %v", si.Median)
+	}
+}
+
+func TestPropertyQuantileMonotone(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := make([]float64, int(n%50)+1)
+		for i := range v {
+			v[i] = r.NormFloat64()
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			cur := Quantile(v, q)
+			if cur < prev-1e-12 {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyGeoMeanBetweenMinAndMax(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := make([]float64, int(n%20)+1)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range v {
+			v[i] = r.Float64()*10 + 0.1
+			lo, hi = math.Min(lo, v[i]), math.Max(hi, v[i])
+		}
+		g := GeoMean(v)
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,218 @@
+package tlb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"untangle/internal/isa"
+	"untangle/internal/partition"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{Entries: 128, Ways: 8}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Config{{Entries: 0, Ways: 8}, {Entries: 100, Ways: 8}, {Entries: 128, Ways: 0}} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("config %+v accepted", bad)
+		}
+	}
+	for _, s := range DefaultEntrySizes() {
+		if err := (Config{Entries: s, Ways: 8}).Validate(); err != nil {
+			t.Errorf("supported size %d: %v", s, err)
+		}
+	}
+}
+
+func TestTLBHitMiss(t *testing.T) {
+	tl, err := New(Config{Entries: 64, Ways: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Access(0x1000) {
+		t.Error("cold translation hit")
+	}
+	if !tl.Access(0x1ABC) {
+		t.Error("same-page access missed")
+	}
+	if tl.Access(0x2000) {
+		t.Error("next page hit")
+	}
+	if tl.Entries() != 64 {
+		t.Errorf("entries = %d", tl.Entries())
+	}
+	s := tl.Stats()
+	if s.Hits != 1 || s.Misses != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestTLBCapacityBehaviour(t *testing.T) {
+	tl, _ := New(Config{Entries: 64, Ways: 8})
+	// Touch 32 pages, retouch: all hits.
+	for p := uint64(0); p < 32; p++ {
+		tl.Access(p * PageBytes)
+	}
+	for p := uint64(0); p < 32; p++ {
+		if !tl.Access(p * PageBytes) {
+			t.Fatalf("page %d evicted below capacity", p)
+		}
+	}
+	// Touch 1024 pages cyclically: LRU thrashes, hit rate collapses.
+	big, _ := New(Config{Entries: 64, Ways: 8})
+	hits := 0
+	for i := 0; i < 4096; i++ {
+		if big.Access(uint64(i%1024) * PageBytes) {
+			hits++
+		}
+	}
+	if hits > 400 {
+		t.Errorf("cyclic over-capacity scan hit %d times; LRU should thrash", hits)
+	}
+}
+
+func TestTLBResize(t *testing.T) {
+	tl, _ := New(Config{Entries: 128, Ways: 8})
+	for p := uint64(0); p < 64; p++ {
+		tl.Access(p * PageBytes)
+	}
+	if err := tl.Resize(512); err != nil {
+		t.Fatal(err)
+	}
+	for p := uint64(0); p < 64; p++ {
+		if !tl.Contains(p * PageBytes) {
+			t.Fatalf("page %d lost on grow", p)
+		}
+	}
+	if err := tl.Resize(16); err != nil {
+		t.Fatal(err)
+	}
+	if tl.Entries() != 16 {
+		t.Errorf("entries = %d after shrink", tl.Entries())
+	}
+	if err := tl.Resize(100); err == nil {
+		t.Error("invalid entry count accepted")
+	}
+}
+
+func TestMonitorValidation(t *testing.T) {
+	if _, err := NewMonitor(MonitorConfig{Ways: 8, Window: 100}); err == nil {
+		t.Error("no sizes accepted")
+	}
+	if _, err := NewMonitor(MonitorConfig{Sizes: []int{64, 32}, Ways: 8, Window: 100}); err == nil {
+		t.Error("decreasing sizes accepted")
+	}
+	if _, err := NewMonitor(MonitorConfig{Sizes: []int{32, 64}, Ways: 8}); err == nil {
+		t.Error("zero window accepted")
+	}
+}
+
+func TestMonitorUtilitiesSaturateAtFootprint(t *testing.T) {
+	m, err := NewMonitor(MonitorConfig{Sizes: DefaultEntrySizes(), Ways: 8, Window: 1 << 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 96-page footprint: candidates >= 96 entries should hit nearly
+	// always, tiny candidates should not.
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 60000; i++ {
+		m.Observe(uint64(r.Intn(96)) * PageBytes)
+	}
+	u := m.Utilities()
+	sizes := m.Sizes()
+	if u[len(u)-1] <= 2*u[0] {
+		t.Errorf("512-entry hits %v should dwarf 16-entry hits %v for a 96-page set", u[len(u)-1], u[0])
+	}
+	// Monotone in size up to set-indexing noise: changing the set count
+	// remaps conflicts, so small (<2%) local dips are genuine LRU
+	// artifacts, not accounting bugs.
+	for i := 1; i < len(u); i++ {
+		if u[i] < 0.98*u[i-1] {
+			t.Errorf("utilities decreased: %v@%d -> %v@%d", u[i-1], sizes[i-1], u[i], sizes[i])
+		}
+	}
+}
+
+func TestMonitorFeedsAllocator(t *testing.T) {
+	// The resource-agnostic allocator consumes TLB utilities unchanged:
+	// partition a 1024-entry shared TLB between a page-hungry domain and a
+	// tiny one.
+	sizes := DefaultEntrySizes()
+	sizeBytes := make([]int64, len(sizes))
+	for i, s := range sizes {
+		sizeBytes[i] = int64(s) // allocator units are opaque
+	}
+	alloc, err := partition.NewAllocator(sizeBytes, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkMon := func(pages int, seed int64) *Monitor {
+		m, err := NewMonitor(MonitorConfig{Sizes: sizes, Ways: 8, Window: 1 << 14})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rand.New(rand.NewSource(seed))
+		for i := 0; i < 60000; i++ {
+			m.Observe(uint64(r.Intn(pages)) * PageBytes)
+		}
+		return m
+	}
+	utilities := [][]float64{
+		mkMon(400, 1).Utilities(),
+		mkMon(20, 2).Utilities(),
+	}
+	got := alloc.GlobalAllocate(utilities)
+	if got[0] <= got[1] {
+		t.Errorf("page-hungry domain got %d entries, tiny domain %d", got[0], got[1])
+	}
+	if got[0]+got[1] > 1024 {
+		t.Errorf("allocation %v exceeds the shared TLB", got)
+	}
+}
+
+func TestObserveOpAppliesPrinciple1(t *testing.T) {
+	m, _ := NewMonitor(MonitorConfig{Sizes: []int{16, 32}, Ways: 8, Window: 1024})
+	// Secret-annotated and non-memory ops must be invisible to the metric.
+	m.ObserveOp(isa.Op{Flags: isa.FlagMem | isa.FlagSecretUse, Addr: 0x1000})
+	m.ObserveOp(isa.Op{Flags: isa.FlagMem | isa.FlagTimingDep, Addr: 0x1000})
+	m.ObserveOp(isa.Op{NonMem: 5})
+	m.ObserveOp(isa.Op{Flags: isa.FlagMem, Addr: 0x1000})
+	m.ObserveOp(isa.Op{Flags: isa.FlagMem, Addr: 0x1000})
+	u := m.Utilities()
+	if u[0] != 1 {
+		t.Errorf("hits = %v; exactly the second public access should hit", u[0])
+	}
+}
+
+func TestPropertyTimingIndependentMetric(t *testing.T) {
+	// Identical public access sequences yield identical utilities whatever
+	// interleaving of (excluded) secret accesses occurred.
+	f := func(seed int64) bool {
+		mk := func(withSecret bool) []float64 {
+			m, err := NewMonitor(MonitorConfig{Sizes: []int{16, 64}, Ways: 8, Window: 2048})
+			if err != nil {
+				return nil
+			}
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 5000; i++ {
+				addr := uint64(r.Intn(128)) * PageBytes
+				if withSecret && i%3 == 0 {
+					m.ObserveOp(isa.Op{Flags: isa.FlagMem | isa.FlagSecretUse, Addr: addr ^ 0xFFFF000})
+				}
+				m.ObserveOp(isa.Op{Flags: isa.FlagMem, Addr: addr})
+			}
+			return m.Utilities()
+		}
+		a, b := mk(false), mk(true)
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"untangle/internal/cache"
+	"untangle/internal/isa"
+)
+
+// This file models the three leakage demonstration snippets of Figure 1.
+// Each returns an isa.Stream whose behaviour depends on a secret, in exactly
+// the way the corresponding snippet leaks:
+//
+//   - Figure 1a: the secret gates a 4MB array traversal via control flow.
+//   - Figure 1b: the secret scales the traversal stride via data flow, so a
+//     different number of distinct cache lines is touched.
+//   - Figure 1c: the traversal always happens, but the secret adds a delay
+//     before it, so only the *timing* of the resulting expansion changes.
+//
+// When annotated is true, the secret-dependent instructions carry the
+// Section 5.2 annotations, which is what lets Untangle exclude them from the
+// utilization metric and the progress count. Figure 1c's delay is modelled
+// as a spin loop, the canonical timing-dependent dynamic instruction
+// sequence of Section 6.1, and is annotated with FlagTimingDep.
+
+const demoArrayBytes = 4 << 20 // the snippets traverse a 4MB array
+
+// traversal emits one pass over n bytes with the given stride (in lines),
+// flagged with flags, followed by publicTail public filler instructions.
+type traversal struct {
+	flags     isa.Flags
+	spinFlags isa.Flags
+	lines     uint64
+	stride    uint64
+	pos       uint64
+	done      bool
+	spin      uint64 // leading non-mem spin instructions (Figure 1c delay)
+	filler    *Generator
+}
+
+func (t *traversal) Fill(buf []isa.Op) int {
+	i := 0
+	for ; i < len(buf); i++ {
+		switch {
+		case t.spin > 0:
+			n := t.spin
+			if n > 1<<20 {
+				n = 1 << 20
+			}
+			buf[i] = isa.Op{NonMem: uint32(n), Flags: t.spinFlags}
+			t.spin -= n
+		case !t.done:
+			buf[i] = isa.Op{
+				Addr:  coldBase + (t.pos%t.lines)*t.stride*cache.LineBytes,
+				Flags: isa.FlagMem | t.flags,
+			}
+			t.pos++
+			if t.pos >= t.lines {
+				t.done = true
+			}
+		default:
+			// Public tail: steady filler traffic from a small benchmark so
+			// the schemes keep assessing after the interesting phase.
+			return i + t.filler.Fill(buf[i:])
+		}
+	}
+	return i
+}
+
+func demoFiller() *Generator {
+	return MustNewGenerator(Params{
+		Name: "demo-filler", Seed: 999,
+		MemFraction: 0.3, HotBytes: 16 * KB, HotProb: 0.9,
+		ColdBytes: 64 * KB, WriteFrac: 0.2, MLP: 4, BaseCPI: 0.4,
+	})
+}
+
+// Figure1a returns the snippet of Figure 1a: if secret, traverse a 4MB
+// array; otherwise skip straight to public execution. With annotations on,
+// the traversal is marked secret in both usage and progress (it is
+// control-dependent on the secret).
+func Figure1a(secret bool, annotated bool) isa.Stream {
+	t := &traversal{lines: demoArrayBytes / cache.LineBytes, stride: 1, filler: demoFiller()}
+	if !secret {
+		t.done = true
+	}
+	if annotated {
+		t.flags = isa.FlagSecretUse | isa.FlagSecretProgress
+	}
+	return t
+}
+
+// Figure1b returns the snippet of Figure 1b: the traversal always executes,
+// but the secret scales the index stride, changing how many distinct lines
+// are touched (stride 0 would degenerate to one line; we model secret as a
+// small positive multiplier the way access(&arr[i*secret]) behaves). With
+// annotations on, only the accesses are marked secret (data dependence);
+// the instructions still count toward progress.
+func Figure1b(secret uint64, annotated bool) isa.Stream {
+	if secret == 0 {
+		secret = 1
+	}
+	t := &traversal{lines: demoArrayBytes / cache.LineBytes, stride: secret, filler: demoFiller()}
+	if annotated {
+		t.flags = isa.FlagSecretUse
+	}
+	return t
+}
+
+// Figure1c returns the snippet of Figure 1c: a secret-gated delay (modelled
+// as a spin loop, Section 6.1) followed by the public 4MB traversal. The
+// traversal itself is public; only its timing is secret-dependent. The spin
+// is annotated FlagTimingDep when annotations are on, excluding it from
+// progress, but the timing shift it causes remains — that residue is
+// exactly the scheduling leakage Untangle bounds with the covert-channel
+// model.
+func Figure1c(secret bool, annotated bool, spinInstructions uint64) isa.Stream {
+	t := &traversal{lines: demoArrayBytes / cache.LineBytes, stride: 1, filler: demoFiller()}
+	if secret {
+		t.spin = spinInstructions
+	}
+	if annotated {
+		// The spin is a Section 6.1 timing-dependent region; without
+		// annotations it also pollutes the progress count.
+		t.spinFlags = isa.FlagTimingDep
+	}
+	return t
+}

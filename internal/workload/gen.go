@@ -1,0 +1,235 @@
+// Package workload provides the synthetic instruction-stream generators that
+// stand in for the paper's SPEC CPU2017 slices and OpenSSL 3.0.5 crypto
+// benchmarks (Section 8, Table 5), the 16 workload mixes of the evaluation,
+// and the Figure 1 leakage demonstration snippets.
+//
+// Each generator is a deterministic function of its parameters and seed and
+// implements isa.Stream. A benchmark is modelled by its memory behaviour —
+// the only property the evaluation consumes: a small hot working set that
+// mostly lives in the L1, and a cold working set whose size determines how
+// the benchmark responds to LLC partition size. ColdBytes is calibrated per
+// benchmark so that the Figure 11 sensitivity study reproduces the paper's
+// classification (8 LLC-sensitive benchmarks, 28 LLC-insensitive ones).
+package workload
+
+import (
+	"fmt"
+
+	"untangle/internal/cache"
+	"untangle/internal/cpu"
+	"untangle/internal/isa"
+)
+
+// Address-space layout of one generator. The simulator additionally offsets
+// every domain into a private region, so workloads never alias.
+const (
+	hotBase    = 0x1_0000_0000
+	coldBase   = 0x2_0000_0000
+	streamBase = 0x6_0000_0000
+)
+
+// Params fully describes a synthetic benchmark.
+type Params struct {
+	// Name identifies the benchmark (e.g. "mcf_0", "AES-128").
+	Name string
+	// Seed makes the stream deterministic and distinct across benchmarks.
+	Seed uint64
+
+	// MemFraction is the fraction of retired instructions that are memory
+	// accesses.
+	MemFraction float64
+	// HotBytes is the hot working set (stack, hot globals); it should fit
+	// the 32 kB L1 for most benchmarks.
+	HotBytes uint64
+	// HotProb is the probability a memory access targets the hot set.
+	HotProb float64
+	// ColdBytes is the cold working set, accessed uniformly at random; its
+	// size sets the benchmark's LLC demand.
+	ColdBytes uint64
+	// StreamFrac is the fraction of cold accesses that stream sequentially
+	// through a separate region instead (never-reused traffic).
+	StreamFrac float64
+	// ScanFrac is the fraction of cold accesses that cyclically scan the
+	// cold region in order. Under LRU a cyclic scan hits only once the
+	// whole region fits, giving the utility curve the sharp knee at the
+	// working-set size that real array-looping workloads (mcf, lbm, ...)
+	// exhibit; the knee is what makes the hit-maximizing allocator
+	// concentrate capacity on a few winners in over-committed mixes.
+	ScanFrac float64
+	// WriteFrac is the store fraction of memory accesses.
+	WriteFrac float64
+
+	// MLP and BaseCPI parameterize the cpu timing model for this workload.
+	MLP     float64
+	BaseCPI float64
+
+	// Secret annotates every emitted op as secret-dependent in both usage
+	// and control (the paper's conservative treatment of the crypto
+	// benchmarks: "we conservatively assume that all instructions from the
+	// cryptographic benchmark are secret-dependent").
+	Secret bool
+	// SecretSalt perturbs the access pattern as a function of a secret
+	// input, used by leakage experiments that run the same benchmark under
+	// different secrets.
+	SecretSalt uint64
+}
+
+// Validate reports parameter errors.
+func (p Params) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("workload: empty name")
+	}
+	if p.MemFraction <= 0 || p.MemFraction >= 1 {
+		return fmt.Errorf("workload %s: MemFraction %v out of (0,1)", p.Name, p.MemFraction)
+	}
+	if p.HotProb < 0 || p.HotProb > 1 || p.StreamFrac < 0 || p.StreamFrac > 1 ||
+		p.WriteFrac < 0 || p.WriteFrac > 1 || p.ScanFrac < 0 || p.ScanFrac > 1 {
+		return fmt.Errorf("workload %s: probability out of range", p.Name)
+	}
+	if p.StreamFrac+p.ScanFrac > 1 {
+		return fmt.Errorf("workload %s: StreamFrac+ScanFrac exceed 1", p.Name)
+	}
+	if p.HotBytes < cache.LineBytes || p.ColdBytes < cache.LineBytes {
+		return fmt.Errorf("workload %s: working sets must be at least one line", p.Name)
+	}
+	if p.MLP <= 0 || p.BaseCPI < 0 {
+		return fmt.Errorf("workload %s: invalid timing params", p.Name)
+	}
+	return nil
+}
+
+// CPUParams returns the cpu model parameters for this benchmark on the
+// Table 3 machine.
+func (p Params) CPUParams() cpu.Params {
+	c := cpu.DefaultParams()
+	c.MLP = p.MLP
+	c.BaseCPI = p.BaseCPI
+	return c
+}
+
+// Generator emits the benchmark's retired instruction stream.
+type Generator struct {
+	p         Params
+	rng       uint64
+	streamPos uint64
+	hotLines  uint64
+	coldLines uint64
+	warmLines uint64 // the popular fifth of the cold set
+	coolLines uint64
+	// Precomputed integer thresholds for the per-op draws, against a
+	// 16-bit fixed-point random value.
+	memGapMax  uint64
+	hotThresh  uint64
+	strThresh  uint64
+	scanThresh uint64
+	scanPos    uint64
+	wrThresh   uint64
+	flags      isa.Flags
+	secretSalt uint64
+}
+
+// NewGenerator builds a generator; parameters must validate.
+func NewGenerator(p Params) (*Generator, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Generator{
+		p:          p,
+		rng:        splitmix64Seed(p.Seed),
+		hotLines:   p.HotBytes / cache.LineBytes,
+		coldLines:  p.ColdBytes / cache.LineBytes,
+		hotThresh:  uint64(p.HotProb * 65536),
+		strThresh:  uint64(p.StreamFrac * 65536),
+		scanThresh: uint64((p.StreamFrac + p.ScanFrac) * 65536),
+		wrThresh:   uint64(p.WriteFrac * 65536),
+		secretSalt: p.SecretSalt,
+	}
+	// The cold set is two-tier: a popular fifth of the lines receives just
+	// over half of the cold accesses. This gives every benchmark the
+	// concave miss-rate-versus-capacity curve real programs have; with
+	// purely uniform access the utility curves would be linear, leaving the
+	// hit-maximizing allocator indifferent between allocations (and prone
+	// to oscillating among them).
+	g.warmLines = g.coldLines / 5
+	if g.warmLines == 0 {
+		g.warmLines = 1
+	}
+	g.coolLines = g.coldLines - g.warmLines
+	if g.coolLines == 0 {
+		g.coolLines = 1
+	}
+	// Average non-mem gap between memory ops: (1-f)/f. Gaps are drawn
+	// uniformly in [0, 2*avg], preserving the mean.
+	avgGap := (1 - p.MemFraction) / p.MemFraction
+	g.memGapMax = uint64(2*avgGap + 0.5)
+	if p.Secret {
+		g.flags = isa.FlagSecretUse | isa.FlagSecretProgress
+	}
+	return g, nil
+}
+
+// MustNewGenerator panics on invalid parameters (static tables only).
+func MustNewGenerator(p Params) *Generator {
+	g, err := NewGenerator(p)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Params returns the generator's parameters.
+func (g *Generator) Params() Params { return g.p }
+
+func splitmix64Seed(seed uint64) uint64 {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return seed
+}
+
+// next is a splitmix64 step: fast, deterministic, stateless beyond one word.
+func (g *Generator) next() uint64 {
+	g.rng += 0x9E3779B97F4A7C15
+	z := g.rng
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Fill implements isa.Stream: the generator is infinite.
+func (g *Generator) Fill(buf []isa.Op) int {
+	for i := range buf {
+		r := g.next()
+		addrRand := g.next()
+		op := isa.Op{Flags: isa.FlagMem | g.flags}
+		if g.memGapMax > 0 {
+			op.NonMem = uint32(r % (g.memGapMax + 1))
+		}
+		r >>= 16
+		sel := r & 0xFFFF
+		r >>= 16
+		switch {
+		case sel < g.hotThresh:
+			op.Addr = hotBase + (addrRand^g.secretSalt)%g.hotLines*cache.LineBytes
+		case (r & 0xFFFF) < g.strThresh:
+			op.Addr = streamBase + g.streamPos*cache.LineBytes
+			g.streamPos++
+		case (r & 0xFFFF) < g.scanThresh:
+			op.Addr = coldBase + g.scanPos*cache.LineBytes
+			g.scanPos = (g.scanPos + 1) % g.coldLines
+		default:
+			idx := addrRand ^ g.secretSalt
+			if (addrRand>>48)&0xFFFF < 0x8CCD { // 55% of cold accesses hit the warm fifth
+				idx %= g.warmLines
+			} else {
+				idx = g.warmLines + idx%g.coolLines
+			}
+			op.Addr = coldBase + idx*cache.LineBytes
+		}
+		if (r>>16)&0xFFFF < g.wrThresh {
+			op.Flags |= isa.FlagWrite
+		}
+		buf[i] = op
+	}
+	return len(buf)
+}

@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"fmt"
+
+	"untangle/internal/isa"
+)
+
+// Pair is one workload of a mix: a SPEC17 benchmark sharing a domain (and
+// hence an LLC partition) with a cryptographic benchmark.
+type Pair struct {
+	SPEC   string
+	Crypto string
+}
+
+// String formats the pair the way the figures label it.
+func (p Pair) String() string { return p.SPEC + "+" + p.Crypto }
+
+// Mix is one of the 16 evaluated 8-workload mixes.
+type Mix struct {
+	// ID is the paper's mix number (1-16).
+	ID int
+	// Pairs lists the 8 workloads.
+	Pairs [8]Pair
+}
+
+// SensitiveCount returns how many SPEC members are LLC-sensitive.
+func (m Mix) SensitiveCount() int {
+	n := 0
+	for _, p := range m.Pairs {
+		if LLCSensitive[p.SPEC] {
+			n++
+		}
+	}
+	return n
+}
+
+// Mixes reproduces the 16 workload mixes of Figures 10 and 12-17.
+var Mixes = []Mix{
+	{ID: 1, Pairs: [8]Pair{{"blender_0", "AES-128"}, {"bwaves_1", "AES-256"}, {"deepsjeng_0", "Chacha20"}, {"gcc_2", "EdDSA"}, {"gcc_3", "RSA-2048"}, {"imagick_0", "RSA-4096"}, {"parest_0", "ECDSA"}, {"xz_0", "SHA-256"}}},
+	{ID: 2, Pairs: [8]Pair{{"blender_0", "AES-128"}, {"bwaves_1", "AES-256"}, {"gcc_2", "Chacha20"}, {"imagick_0", "EdDSA"}, {"mcf_0", "RSA-2048"}, {"parest_0", "RSA-4096"}, {"roms_0", "ECDSA"}, {"xz_0", "SHA-256"}}},
+	{ID: 3, Pairs: [8]Pair{{"blender_0", "AES-128"}, {"gcc_2", "AES-256"}, {"imagick_0", "Chacha20"}, {"lbm_0", "EdDSA"}, {"mcf_0", "RSA-2048"}, {"parest_0", "RSA-4096"}, {"roms_0", "ECDSA"}, {"wrf_0", "SHA-256"}}},
+	{ID: 4, Pairs: [8]Pair{{"cam4_0", "AES-128"}, {"gcc_2", "AES-256"}, {"gcc_4", "Chacha20"}, {"lbm_0", "EdDSA"}, {"mcf_0", "RSA-2048"}, {"parest_0", "RSA-4096"}, {"roms_0", "ECDSA"}, {"wrf_0", "SHA-256"}}},
+	{ID: 5, Pairs: [8]Pair{{"exchange2_0", "AES-128"}, {"lbm_0", "AES-256"}, {"perlbench_0", "Chacha20"}, {"wrf_0", "EdDSA"}, {"x264_1", "RSA-2048"}, {"x264_2", "RSA-4096"}, {"xalancbmk_0", "ECDSA"}, {"xz_1", "SHA-256"}}},
+	{ID: 6, Pairs: [8]Pair{{"lbm_0", "AES-128"}, {"mcf_0", "AES-256"}, {"parest_0", "Chacha20"}, {"perlbench_0", "EdDSA"}, {"wrf_0", "RSA-2048"}, {"x264_2", "RSA-4096"}, {"xalancbmk_0", "ECDSA"}, {"xz_1", "SHA-256"}}},
+	{ID: 7, Pairs: [8]Pair{{"gcc_2", "AES-128"}, {"gcc_4", "AES-256"}, {"lbm_0", "Chacha20"}, {"mcf_0", "EdDSA"}, {"parest_0", "RSA-2048"}, {"wrf_0", "RSA-4096"}, {"x264_2", "ECDSA"}, {"xalancbmk_0", "SHA-256"}}},
+	{ID: 8, Pairs: [8]Pair{{"bwaves_0", "AES-128"}, {"cactuBSSN_0", "AES-256"}, {"cam4_0", "Chacha20"}, {"gcc_1", "EdDSA"}, {"nab_0", "RSA-2048"}, {"perlbench_2", "RSA-4096"}, {"roms_0", "ECDSA"}, {"xz_2", "SHA-256"}}},
+	{ID: 9, Pairs: [8]Pair{{"bwaves_0", "AES-128"}, {"cactuBSSN_0", "AES-256"}, {"cam4_0", "Chacha20"}, {"gcc_1", "EdDSA"}, {"gcc_4", "RSA-2048"}, {"nab_0", "RSA-4096"}, {"roms_0", "ECDSA"}, {"wrf_0", "SHA-256"}}},
+	{ID: 10, Pairs: [8]Pair{{"bwaves_0", "AES-128"}, {"cam4_0", "AES-256"}, {"gcc_1", "Chacha20"}, {"gcc_2", "EdDSA"}, {"gcc_4", "RSA-2048"}, {"lbm_0", "RSA-4096"}, {"roms_0", "ECDSA"}, {"wrf_0", "SHA-256"}}},
+	{ID: 11, Pairs: [8]Pair{{"bwaves_2", "AES-128"}, {"fotonik3d_0", "AES-256"}, {"gcc_4", "Chacha20"}, {"lbm_0", "EdDSA"}, {"leela_0", "RSA-2048"}, {"namd_0", "RSA-4096"}, {"omnetpp_0", "ECDSA"}, {"x264_0", "SHA-256"}}},
+	{ID: 12, Pairs: [8]Pair{{"fotonik3d_0", "AES-128"}, {"gcc_4", "AES-256"}, {"lbm_0", "Chacha20"}, {"leela_0", "EdDSA"}, {"namd_0", "RSA-2048"}, {"omnetpp_0", "RSA-4096"}, {"roms_0", "ECDSA"}, {"wrf_0", "SHA-256"}}},
+	{ID: 13, Pairs: [8]Pair{{"gcc_4", "AES-128"}, {"lbm_0", "AES-256"}, {"leela_0", "Chacha20"}, {"mcf_0", "EdDSA"}, {"namd_0", "RSA-2048"}, {"parest_0", "RSA-4096"}, {"roms_0", "ECDSA"}, {"wrf_0", "SHA-256"}}},
+	{ID: 14, Pairs: [8]Pair{{"bwaves_3", "AES-128"}, {"cam4_0", "AES-256"}, {"gcc_0", "Chacha20"}, {"imagick_0", "EdDSA"}, {"nab_0", "RSA-2048"}, {"perlbench_1", "RSA-4096"}, {"povray_0", "ECDSA"}, {"roms_0", "SHA-256"}}},
+	{ID: 15, Pairs: [8]Pair{{"bwaves_3", "AES-128"}, {"cam4_0", "AES-256"}, {"gcc_2", "Chacha20"}, {"imagick_0", "EdDSA"}, {"lbm_0", "RSA-2048"}, {"perlbench_1", "RSA-4096"}, {"povray_0", "ECDSA"}, {"roms_0", "SHA-256"}}},
+	{ID: 16, Pairs: [8]Pair{{"cam4_0", "AES-128"}, {"gcc_2", "AES-256"}, {"lbm_0", "Chacha20"}, {"mcf_0", "EdDSA"}, {"parest_0", "RSA-2048"}, {"perlbench_1", "RSA-4096"}, {"povray_0", "ECDSA"}, {"roms_0", "SHA-256"}}},
+}
+
+// MixByID returns the mix with the given paper ID.
+func MixByID(id int) (Mix, error) {
+	for _, m := range Mixes {
+		if m.ID == id {
+			return m, nil
+		}
+	}
+	return Mix{}, fmt.Errorf("workload: unknown mix %d", id)
+}
+
+// PairStream builds the paper's interleaved instruction stream for one
+// workload: repeatedly cryptoLen instructions of the crypto benchmark, then
+// specLen instructions of the SPEC benchmark (both making forward progress),
+// truncated at total retired instructions. The paper uses cryptoLen = 1M,
+// specLen = 10M, and total = 550M (500M SPEC + 50M crypto); experiment
+// drivers scale all three together.
+func (p Pair) PairStream(cryptoLen, specLen, total uint64, secret uint64) (isa.Stream, error) {
+	spec, err := SPECByName(p.SPEC)
+	if err != nil {
+		return nil, err
+	}
+	crypto, err := CryptoWithSecret(p.Crypto, secret)
+	if err != nil {
+		return nil, err
+	}
+	sg, err := NewGenerator(spec)
+	if err != nil {
+		return nil, err
+	}
+	cg, err := NewGenerator(crypto)
+	if err != nil {
+		return nil, err
+	}
+	return isa.NewLimited(isa.NewLoop(cg, cryptoLen, sg, specLen), total), nil
+}

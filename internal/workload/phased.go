@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"fmt"
+
+	"untangle/internal/isa"
+)
+
+// Phase is one stage of a phase-changing workload.
+type Phase struct {
+	// Params is the behaviour during the phase.
+	Params Params
+	// Instructions is the phase length.
+	Instructions uint64
+}
+
+// PhasedGenerator cycles through behaviour phases — the dynamic environment
+// that motivates dynamic partitioning in the first place (Section 1: "in
+// such an environment, any static partition is suboptimal"). A program might
+// stream through input, then build a large in-memory structure, then probe
+// it; its LLC demand swings accordingly, and only a dynamic scheme can track
+// it.
+type PhasedGenerator struct {
+	phases []*Generator
+	lens   []uint64
+	cur    int
+	left   uint64
+}
+
+// NewPhasedGenerator validates and builds the generator; phases repeat
+// cyclically forever.
+func NewPhasedGenerator(phases []Phase) (*PhasedGenerator, error) {
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("workload: no phases")
+	}
+	g := &PhasedGenerator{}
+	for i, ph := range phases {
+		if ph.Instructions == 0 {
+			return nil, fmt.Errorf("workload: phase %d has zero length", i)
+		}
+		gen, err := NewGenerator(ph.Params)
+		if err != nil {
+			return nil, fmt.Errorf("workload: phase %d: %w", i, err)
+		}
+		g.phases = append(g.phases, gen)
+		g.lens = append(g.lens, ph.Instructions)
+	}
+	g.left = g.lens[0]
+	return g, nil
+}
+
+// Fill implements isa.Stream.
+func (g *PhasedGenerator) Fill(buf []isa.Op) int {
+	if len(buf) == 0 {
+		return 0
+	}
+	n := g.phases[g.cur].Fill(buf)
+	out := 0
+	for i := 0; i < n; i++ {
+		op := buf[i]
+		in := op.Instructions()
+		if in <= g.left {
+			buf[out] = op
+			out++
+			g.left -= in
+			if g.left == 0 {
+				g.advance()
+				break
+			}
+			continue
+		}
+		// Split at the phase boundary: emit the plain prefix, drop the
+		// remainder (generators are statistical; no state to preserve).
+		op.NonMem = uint32(g.left)
+		op.Flags &^= isa.FlagMem | isa.FlagWrite
+		if op.NonMem > 0 {
+			buf[out] = op
+			out++
+		}
+		g.advance()
+		break
+	}
+	return out
+}
+
+func (g *PhasedGenerator) advance() {
+	g.cur = (g.cur + 1) % len(g.phases)
+	g.left = g.lens[g.cur]
+}
+
+// CurrentPhase returns the active phase index (for tests and diagnostics).
+func (g *PhasedGenerator) CurrentPhase() int { return g.cur }
+
+// BurstyWorkload returns a two-phase workload alternating between a small
+// footprint (fits 256kB) and a large one (wants bigMB megabytes), each phase
+// lasting phaseInstructions. It is the standard demand-swing scenario used
+// by the adaptation experiments.
+func BurstyWorkload(seed uint64, bigMB int64, phaseInstructions uint64) (*PhasedGenerator, Params, error) {
+	small := Params{
+		Name: "bursty-small", Seed: seed,
+		MemFraction: 0.30, HotBytes: 16 * KB, HotProb: 0.80,
+		ColdBytes: 160 * KB, WriteFrac: 0.25, MLP: 4, BaseCPI: 0.4,
+	}
+	big := Params{
+		Name: "bursty-big", Seed: seed + 1,
+		MemFraction: 0.34, HotBytes: 16 * KB, HotProb: 0.50,
+		ColdBytes: uint64(bigMB) * MB, ScanFrac: 0.5, WriteFrac: 0.25, MLP: 5, BaseCPI: 0.35,
+	}
+	g, err := NewPhasedGenerator([]Phase{
+		{Params: small, Instructions: phaseInstructions},
+		{Params: big, Instructions: phaseInstructions},
+	})
+	if err != nil {
+		return nil, Params{}, err
+	}
+	// Timing parameters for the cpu model: use the heavier phase's.
+	return g, big, nil
+}

@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"testing"
+
+	"untangle/internal/isa"
+)
+
+func TestPhasedValidation(t *testing.T) {
+	if _, err := NewPhasedGenerator(nil); err == nil {
+		t.Error("no phases accepted")
+	}
+	p, _ := SPECByName("imagick_0")
+	if _, err := NewPhasedGenerator([]Phase{{Params: p, Instructions: 0}}); err == nil {
+		t.Error("zero-length phase accepted")
+	}
+	bad := p
+	bad.MemFraction = 0
+	if _, err := NewPhasedGenerator([]Phase{{Params: bad, Instructions: 10}}); err == nil {
+		t.Error("invalid phase params accepted")
+	}
+}
+
+func TestPhasedCyclesAndRespectsLengths(t *testing.T) {
+	small, _ := SPECByName("imagick_0")
+	big, _ := SPECByName("mcf_0")
+	g, err := NewPhasedGenerator([]Phase{
+		{Params: small, Instructions: 1000},
+		{Params: big, Instructions: 2000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]isa.Op, 64)
+	var instr uint64
+	// Consume exactly one full cycle plus a bit; phase boundaries must land
+	// at 1000 and 3000 instructions.
+	sawPhases := map[int]bool{}
+	for instr < 6000 {
+		before := g.CurrentPhase()
+		n := g.Fill(buf)
+		if n == 0 {
+			t.Fatal("phased generator ran dry")
+		}
+		sawPhases[before] = true
+		for _, op := range buf[:n] {
+			instr += op.Instructions()
+		}
+	}
+	if !sawPhases[0] || !sawPhases[1] {
+		t.Errorf("phases seen: %v, want both", sawPhases)
+	}
+}
+
+func TestPhasedFootprintSwings(t *testing.T) {
+	g, _, err := BurstyWorkload(1, 4, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]isa.Op, 4096)
+	// Phase 0 (small): distinct cold lines stay bounded by 160kB.
+	distinct := func(budget uint64) int {
+		lines := map[uint64]bool{}
+		var n uint64
+		for n < budget {
+			c := g.Fill(buf)
+			for _, op := range buf[:c] {
+				n += op.Instructions()
+				if op.IsMem() {
+					lines[op.Addr/64] = true
+				}
+			}
+		}
+		return len(lines)
+	}
+	smallLines := distinct(50_000)
+	bigLines := distinct(50_000)
+	if bigLines < 2*smallLines {
+		t.Errorf("big phase footprint (%d lines) should dwarf small phase (%d)", bigLines, smallLines)
+	}
+}

@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// KB and MB express working-set sizes in the benchmark tables.
+const (
+	KB = 1 << 10
+	MB = 1 << 20
+)
+
+// SPECBenchmarks is the table of 36 synthetic benchmarks standing in for the
+// SPEC CPU2017 slices of Figure 11 (one entry per application+input, named
+// exactly as the paper names them). ColdBytes is calibrated so the
+// LLC-sensitivity study classifies the same 8 benchmarks as LLC-sensitive
+// (adequate LLC size above the 2MB Static partition): cam4_0, gcc_2, gcc_4,
+// lbm_0, mcf_0, parest_0, roms_0, and wrf_0.
+//
+// The remaining parameters add behavioural diversity (memory intensity,
+// store fraction, streaming traffic, MLP, core-bound CPI) in the ranges
+// typical for SPEC-class workloads.
+var SPECBenchmarks = []Params{
+	{Name: "blender_0", Seed: 101, MemFraction: 0.30, HotBytes: 24 * KB, HotProb: 0.72, ColdBytes: 640 * KB, StreamFrac: 0.05, WriteFrac: 0.25, MLP: 4.0, BaseCPI: 0.40},
+	{Name: "bwaves_0", Seed: 102, MemFraction: 0.36, HotBytes: 16 * KB, HotProb: 0.60, ColdBytes: 1280 * KB, StreamFrac: 0.10, WriteFrac: 0.20, MLP: 6.0, BaseCPI: 0.35},
+	{Name: "bwaves_1", Seed: 103, MemFraction: 0.36, HotBytes: 16 * KB, HotProb: 0.62, ColdBytes: 1280 * KB, StreamFrac: 0.10, WriteFrac: 0.20, MLP: 6.0, BaseCPI: 0.35},
+	{Name: "bwaves_2", Seed: 104, MemFraction: 0.34, HotBytes: 16 * KB, HotProb: 0.64, ColdBytes: 640 * KB, StreamFrac: 0.10, WriteFrac: 0.20, MLP: 6.0, BaseCPI: 0.35},
+	{Name: "bwaves_3", Seed: 105, MemFraction: 0.34, HotBytes: 16 * KB, HotProb: 0.66, ColdBytes: 640 * KB, StreamFrac: 0.10, WriteFrac: 0.20, MLP: 6.0, BaseCPI: 0.35},
+	{Name: "cactuBSSN_0", Seed: 106, MemFraction: 0.32, HotBytes: 24 * KB, HotProb: 0.68, ColdBytes: 640 * KB, StreamFrac: 0.08, WriteFrac: 0.30, MLP: 5.0, BaseCPI: 0.45},
+	{Name: "cam4_0", Seed: 107, MemFraction: 0.33, HotBytes: 24 * KB, HotProb: 0.58, ColdBytes: 1800 * KB, StreamFrac: 0.05, ScanFrac: 0.60, WriteFrac: 0.25, MLP: 5.5, BaseCPI: 0.40},
+	{Name: "deepsjeng_0", Seed: 108, MemFraction: 0.27, HotBytes: 24 * KB, HotProb: 0.78, ColdBytes: 320 * KB, StreamFrac: 0.02, WriteFrac: 0.20, MLP: 3.0, BaseCPI: 0.55},
+	{Name: "exchange2_0", Seed: 109, MemFraction: 0.22, HotBytes: 20 * KB, HotProb: 0.90, ColdBytes: 112 * KB, StreamFrac: 0.00, WriteFrac: 0.30, MLP: 2.5, BaseCPI: 0.50},
+	{Name: "fotonik3d_0", Seed: 110, MemFraction: 0.38, HotBytes: 16 * KB, HotProb: 0.55, ColdBytes: 1280 * KB, StreamFrac: 0.10, WriteFrac: 0.25, MLP: 6.0, BaseCPI: 0.30},
+	{Name: "gcc_0", Seed: 111, MemFraction: 0.30, HotBytes: 28 * KB, HotProb: 0.70, ColdBytes: 640 * KB, StreamFrac: 0.05, WriteFrac: 0.25, MLP: 3.5, BaseCPI: 0.50},
+	{Name: "gcc_1", Seed: 112, MemFraction: 0.30, HotBytes: 28 * KB, HotProb: 0.70, ColdBytes: 640 * KB, StreamFrac: 0.05, WriteFrac: 0.25, MLP: 3.5, BaseCPI: 0.50},
+	{Name: "gcc_2", Seed: 113, MemFraction: 0.32, HotBytes: 28 * KB, HotProb: 0.55, ColdBytes: 2200 * KB, StreamFrac: 0.05, ScanFrac: 0.60, WriteFrac: 0.25, MLP: 5.0, BaseCPI: 0.45},
+	{Name: "gcc_3", Seed: 114, MemFraction: 0.30, HotBytes: 28 * KB, HotProb: 0.70, ColdBytes: 640 * KB, StreamFrac: 0.05, WriteFrac: 0.25, MLP: 3.5, BaseCPI: 0.50},
+	{Name: "gcc_4", Seed: 115, MemFraction: 0.32, HotBytes: 28 * KB, HotProb: 0.58, ColdBytes: 1800 * KB, StreamFrac: 0.05, ScanFrac: 0.60, WriteFrac: 0.25, MLP: 5.0, BaseCPI: 0.45},
+	{Name: "imagick_0", Seed: 116, MemFraction: 0.24, HotBytes: 20 * KB, HotProb: 0.85, ColdBytes: 160 * KB, StreamFrac: 0.05, WriteFrac: 0.20, MLP: 3.0, BaseCPI: 0.45},
+	{Name: "lbm_0", Seed: 117, MemFraction: 0.40, HotBytes: 16 * KB, HotProb: 0.50, ColdBytes: 3600 * KB, StreamFrac: 0.08, ScanFrac: 0.62, WriteFrac: 0.40, MLP: 7.0, BaseCPI: 0.30},
+	{Name: "leela_0", Seed: 118, MemFraction: 0.26, HotBytes: 24 * KB, HotProb: 0.80, ColdBytes: 320 * KB, StreamFrac: 0.02, WriteFrac: 0.20, MLP: 2.5, BaseCPI: 0.55},
+	{Name: "mcf_0", Seed: 119, MemFraction: 0.35, HotBytes: 24 * KB, HotProb: 0.45, ColdBytes: 3600 * KB, StreamFrac: 0.02, ScanFrac: 0.62, WriteFrac: 0.25, MLP: 5.0, BaseCPI: 0.40},
+	{Name: "nab_0", Seed: 120, MemFraction: 0.28, HotBytes: 24 * KB, HotProb: 0.78, ColdBytes: 320 * KB, StreamFrac: 0.05, WriteFrac: 0.25, MLP: 4.0, BaseCPI: 0.45},
+	{Name: "namd_0", Seed: 121, MemFraction: 0.28, HotBytes: 24 * KB, HotProb: 0.80, ColdBytes: 320 * KB, StreamFrac: 0.05, WriteFrac: 0.25, MLP: 4.5, BaseCPI: 0.40},
+	{Name: "omnetpp_0", Seed: 122, MemFraction: 0.33, HotBytes: 24 * KB, HotProb: 0.62, ColdBytes: 1280 * KB, StreamFrac: 0.02, WriteFrac: 0.30, MLP: 3.0, BaseCPI: 0.50},
+	{Name: "parest_0", Seed: 123, MemFraction: 0.34, HotBytes: 24 * KB, HotProb: 0.48, ColdBytes: 3600 * KB, StreamFrac: 0.05, ScanFrac: 0.62, WriteFrac: 0.25, MLP: 5.5, BaseCPI: 0.35},
+	{Name: "perlbench_0", Seed: 124, MemFraction: 0.29, HotBytes: 28 * KB, HotProb: 0.78, ColdBytes: 320 * KB, StreamFrac: 0.02, WriteFrac: 0.30, MLP: 3.0, BaseCPI: 0.50},
+	{Name: "perlbench_1", Seed: 125, MemFraction: 0.29, HotBytes: 28 * KB, HotProb: 0.78, ColdBytes: 320 * KB, StreamFrac: 0.02, WriteFrac: 0.30, MLP: 3.0, BaseCPI: 0.50},
+	{Name: "perlbench_2", Seed: 126, MemFraction: 0.29, HotBytes: 28 * KB, HotProb: 0.78, ColdBytes: 320 * KB, StreamFrac: 0.02, WriteFrac: 0.30, MLP: 3.0, BaseCPI: 0.50},
+	{Name: "povray_0", Seed: 127, MemFraction: 0.24, HotBytes: 20 * KB, HotProb: 0.86, ColdBytes: 160 * KB, StreamFrac: 0.02, WriteFrac: 0.25, MLP: 2.5, BaseCPI: 0.50},
+	{Name: "roms_0", Seed: 128, MemFraction: 0.36, HotBytes: 16 * KB, HotProb: 0.55, ColdBytes: 2176 * KB, StreamFrac: 0.08, ScanFrac: 0.60, WriteFrac: 0.30, MLP: 6.0, BaseCPI: 0.35},
+	{Name: "wrf_0", Seed: 129, MemFraction: 0.35, HotBytes: 20 * KB, HotProb: 0.50, ColdBytes: 3600 * KB, StreamFrac: 0.06, ScanFrac: 0.62, WriteFrac: 0.30, MLP: 6.0, BaseCPI: 0.35},
+	{Name: "x264_0", Seed: 130, MemFraction: 0.27, HotBytes: 24 * KB, HotProb: 0.80, ColdBytes: 320 * KB, StreamFrac: 0.08, WriteFrac: 0.25, MLP: 4.0, BaseCPI: 0.45},
+	{Name: "x264_1", Seed: 131, MemFraction: 0.27, HotBytes: 24 * KB, HotProb: 0.80, ColdBytes: 320 * KB, StreamFrac: 0.08, WriteFrac: 0.25, MLP: 4.0, BaseCPI: 0.45},
+	{Name: "x264_2", Seed: 132, MemFraction: 0.27, HotBytes: 24 * KB, HotProb: 0.80, ColdBytes: 320 * KB, StreamFrac: 0.08, WriteFrac: 0.25, MLP: 4.0, BaseCPI: 0.45},
+	{Name: "xalancbmk_0", Seed: 133, MemFraction: 0.31, HotBytes: 28 * KB, HotProb: 0.68, ColdBytes: 640 * KB, StreamFrac: 0.02, WriteFrac: 0.25, MLP: 3.0, BaseCPI: 0.50},
+	{Name: "xz_0", Seed: 134, MemFraction: 0.30, HotBytes: 24 * KB, HotProb: 0.68, ColdBytes: 640 * KB, StreamFrac: 0.05, WriteFrac: 0.30, MLP: 3.5, BaseCPI: 0.45},
+	{Name: "xz_1", Seed: 135, MemFraction: 0.30, HotBytes: 24 * KB, HotProb: 0.68, ColdBytes: 640 * KB, StreamFrac: 0.05, WriteFrac: 0.30, MLP: 3.5, BaseCPI: 0.45},
+	{Name: "xz_2", Seed: 136, MemFraction: 0.32, HotBytes: 24 * KB, HotProb: 0.64, ColdBytes: 1280 * KB, StreamFrac: 0.05, WriteFrac: 0.30, MLP: 3.5, BaseCPI: 0.45},
+}
+
+// LLCSensitive lists the benchmarks the calibration classifies as
+// LLC-sensitive (adequate LLC size above the 2MB Static partition), matching
+// the bolded benchmarks of Figures 10-17.
+var LLCSensitive = map[string]bool{
+	"cam4_0": true, "gcc_2": true, "gcc_4": true, "lbm_0": true,
+	"mcf_0": true, "parest_0": true, "roms_0": true, "wrf_0": true,
+}
+
+// SPECByName returns the parameters of a named SPEC-like benchmark.
+func SPECByName(name string) (Params, error) {
+	for _, p := range SPECBenchmarks {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Params{}, fmt.Errorf("workload: unknown SPEC benchmark %q", name)
+}
+
+// SPECNames returns all benchmark names in table order.
+func SPECNames() []string {
+	names := make([]string, len(SPECBenchmarks))
+	for i, p := range SPECBenchmarks {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// SortedSPECNames returns the names sorted alphabetically, the order used by
+// the Figure 11 chart.
+func SortedSPECNames() []string {
+	names := SPECNames()
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,357 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"untangle/internal/cache"
+	"untangle/internal/isa"
+)
+
+func TestAllTablesValidate(t *testing.T) {
+	for _, p := range SPECBenchmarks {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+		if p.Secret {
+			t.Errorf("%s: SPEC benchmarks are public", p.Name)
+		}
+	}
+	for _, p := range CryptoBenchmarks {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+		if !p.Secret {
+			t.Errorf("%s: crypto benchmarks must be fully secret-annotated", p.Name)
+		}
+	}
+}
+
+func TestTableShapesMatchPaper(t *testing.T) {
+	if len(SPECBenchmarks) != 36 {
+		t.Errorf("SPEC table has %d entries, want 36", len(SPECBenchmarks))
+	}
+	if len(CryptoBenchmarks) != 8 {
+		t.Errorf("crypto table has %d entries, want 8 (Table 5)", len(CryptoBenchmarks))
+	}
+	if len(Mixes) != 16 {
+		t.Errorf("%d mixes, want 16", len(Mixes))
+	}
+	sensitive := 0
+	for _, p := range SPECBenchmarks {
+		if LLCSensitive[p.Name] {
+			sensitive++
+		}
+	}
+	if sensitive != 8 {
+		t.Errorf("%d LLC-sensitive benchmarks, want 8", sensitive)
+	}
+	// Names must be unique.
+	seen := map[string]bool{}
+	for _, p := range append(append([]Params{}, SPECBenchmarks...), CryptoBenchmarks...) {
+		if seen[p.Name] {
+			t.Errorf("duplicate benchmark name %s", p.Name)
+		}
+		seen[p.Name] = true
+	}
+	// Seeds must be unique so streams are distinct.
+	seeds := map[uint64]string{}
+	for _, p := range append(append([]Params{}, SPECBenchmarks...), CryptoBenchmarks...) {
+		if prev, ok := seeds[p.Seed]; ok {
+			t.Errorf("benchmarks %s and %s share seed %d", prev, p.Name, p.Seed)
+		}
+		seeds[p.Seed] = p.Name
+	}
+}
+
+func TestMixSensitiveCountsMatchFigures(t *testing.T) {
+	// Figures 10 and 12-17 label each mix with its LLC-sensitive count.
+	want := map[int]int{
+		1: 2, 2: 4, 3: 6, 4: 8,
+		5: 2, 6: 4, 7: 6,
+		8: 2, 9: 4, 10: 6,
+		11: 2, 12: 4, 13: 6,
+		14: 2, 15: 4, 16: 6,
+	}
+	for _, m := range Mixes {
+		if got := m.SensitiveCount(); got != want[m.ID] {
+			t.Errorf("mix %d: %d sensitive benchmarks, want %d", m.ID, got, want[m.ID])
+		}
+		// Every mix uses the 8 crypto benchmarks exactly once.
+		used := map[string]bool{}
+		for _, p := range m.Pairs {
+			if used[p.Crypto] {
+				t.Errorf("mix %d reuses crypto %s", m.ID, p.Crypto)
+			}
+			used[p.Crypto] = true
+			if _, err := SPECByName(p.SPEC); err != nil {
+				t.Errorf("mix %d: %v", m.ID, err)
+			}
+		}
+	}
+}
+
+func TestLookupErrors(t *testing.T) {
+	if _, err := SPECByName("nope"); err == nil {
+		t.Error("unknown SPEC name accepted")
+	}
+	if _, err := CryptoByName("nope"); err == nil {
+		t.Error("unknown crypto name accepted")
+	}
+	if _, err := MixByID(99); err == nil {
+		t.Error("unknown mix accepted")
+	}
+	if _, err := (Pair{"nope", "AES-128"}).PairStream(10, 100, 1000, 0); err == nil {
+		t.Error("bad pair accepted")
+	}
+	if _, err := (Pair{"mcf_0", "nope"}).PairStream(10, 100, 1000, 0); err == nil {
+		t.Error("bad pair accepted")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	p, _ := SPECByName("mcf_0")
+	mk := func() []isa.Op {
+		g := MustNewGenerator(p)
+		buf := make([]isa.Op, 4096)
+		g.Fill(buf)
+		return buf
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGeneratorMemFraction(t *testing.T) {
+	for _, name := range []string{"mcf_0", "exchange2_0", "lbm_0"} {
+		p, _ := SPECByName(name)
+		g := MustNewGenerator(p)
+		buf := make([]isa.Op, 1<<16)
+		g.Fill(buf)
+		var mem, instr uint64
+		for _, op := range buf {
+			instr += op.Instructions()
+			if op.IsMem() {
+				mem++
+			}
+		}
+		got := float64(mem) / float64(instr)
+		if got < 0.8*p.MemFraction || got > 1.25*p.MemFraction {
+			t.Errorf("%s: measured mem fraction %v, want ~%v", name, got, p.MemFraction)
+		}
+	}
+}
+
+func TestGeneratorFootprintRespectsWorkingSets(t *testing.T) {
+	p, _ := SPECByName("deepsjeng_0") // 512kB cold set
+	g := MustNewGenerator(p)
+	buf := make([]isa.Op, 1<<17)
+	g.Fill(buf)
+	lines := map[uint64]bool{}
+	for _, op := range buf {
+		if op.Addr >= coldBase && op.Addr < streamBase {
+			lines[op.Addr/cache.LineBytes] = true
+		}
+	}
+	maxLines := int(p.ColdBytes / cache.LineBytes)
+	if len(lines) > maxLines {
+		t.Errorf("cold footprint %d lines exceeds ColdBytes %d lines", len(lines), maxLines)
+	}
+	// Under heavy sampling most of the cold set should be touched.
+	if len(lines) < maxLines/2 {
+		t.Errorf("cold footprint %d lines is under half of %d", len(lines), maxLines)
+	}
+}
+
+func TestCryptoSecretAnnotations(t *testing.T) {
+	p, _ := CryptoByName("AES-128")
+	g := MustNewGenerator(p)
+	buf := make([]isa.Op, 1024)
+	g.Fill(buf)
+	for i, op := range buf {
+		if !op.SecretUse() || !op.SecretProgress() {
+			t.Fatalf("op %d of a crypto stream lacks secret annotations", i)
+		}
+	}
+}
+
+func TestCryptoWithSecretChangesPattern(t *testing.T) {
+	a, err := CryptoWithSecret("AES-128", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := CryptoWithSecret("AES-128", 2)
+	ga, gb := MustNewGenerator(a), MustNewGenerator(b)
+	bufA, bufB := make([]isa.Op, 1024), make([]isa.Op, 1024)
+	ga.Fill(bufA)
+	gb.Fill(bufB)
+	same := true
+	for i := range bufA {
+		if bufA[i].Addr != bufB[i].Addr {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different secrets produced identical access patterns")
+	}
+}
+
+func TestPairStreamInterleavesAndTerminates(t *testing.T) {
+	s, err := Pair{"imagick_0", "SHA-256"}.PairStream(1000, 10000, 50000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]isa.Op, 512)
+	var total, secret uint64
+	for {
+		n := s.Fill(buf)
+		if n == 0 {
+			break
+		}
+		for _, op := range buf[:n] {
+			total += op.Instructions()
+			if op.SecretProgress() {
+				secret += op.Instructions()
+			}
+		}
+	}
+	if total != 50000 {
+		t.Errorf("total instructions = %d, want 50000", total)
+	}
+	// Crypto share should be about 1/11 of the stream.
+	frac := float64(secret) / float64(total)
+	if frac < 0.05 || frac > 0.15 {
+		t.Errorf("secret fraction = %v, want ~1/11", frac)
+	}
+}
+
+func TestFigure1aSecretChangesFootprint(t *testing.T) {
+	count := func(secret bool) int {
+		s := Figure1a(secret, false)
+		buf := make([]isa.Op, 4096)
+		lines := map[uint64]bool{}
+		for i := 0; i < 32; i++ {
+			n := s.Fill(buf)
+			for _, op := range buf[:n] {
+				if op.IsMem() && op.Addr >= coldBase && op.Addr < streamBase {
+					lines[op.Addr/cache.LineBytes] = true
+				}
+			}
+		}
+		return len(lines)
+	}
+	with, without := count(true), count(false)
+	if with <= 10*without {
+		t.Errorf("secret=1 footprint %d should dwarf secret=0 footprint %d", with, without)
+	}
+}
+
+func TestFigure1aAnnotationsMarkTraversal(t *testing.T) {
+	s := Figure1a(true, true)
+	buf := make([]isa.Op, 1024)
+	n := s.Fill(buf)
+	if n == 0 || !buf[0].SecretUse() || !buf[0].SecretProgress() {
+		t.Error("annotated Figure 1a traversal not flagged")
+	}
+	s = Figure1a(true, false)
+	n = s.Fill(buf)
+	if n == 0 || buf[0].SecretUse() {
+		t.Error("unannotated Figure 1a traversal flagged")
+	}
+}
+
+func TestFigure1bStrideChangesLineCount(t *testing.T) {
+	distinct := func(secret uint64) int {
+		s := Figure1b(secret, true)
+		buf := make([]isa.Op, 4096)
+		lines := map[uint64]bool{}
+		for i := 0; i < 64; i++ {
+			n := s.Fill(buf)
+			for _, op := range buf[:n] {
+				if op.IsMem() && op.Addr >= coldBase {
+					lines[op.Addr/cache.LineBytes] = true
+				}
+			}
+		}
+		return len(lines)
+	}
+	if d1, d2 := distinct(1), distinct(8); d1 == d2 {
+		t.Error("different secrets should touch different line counts")
+	}
+}
+
+func TestFigure1cSpinOnlyWithSecret(t *testing.T) {
+	spin := func(secret bool) uint64 {
+		s := Figure1c(secret, true, 2_000_000)
+		buf := make([]isa.Op, 1024)
+		var n uint64
+		for i := 0; i < 8; i++ {
+			c := s.Fill(buf)
+			for _, op := range buf[:c] {
+				if !op.IsMem() && op.SecretProgress() {
+					n += uint64(op.NonMem)
+				}
+			}
+		}
+		return n
+	}
+	if got := spin(true); got != 2_000_000 {
+		t.Errorf("secret spin = %d instructions, want 2M", got)
+	}
+	if got := spin(false); got != 0 {
+		t.Errorf("no-secret spin = %d instructions, want 0", got)
+	}
+	// Unannotated variant: the spin executes but carries no flags.
+	s := Figure1c(true, false, 1000)
+	buf := make([]isa.Op, 16)
+	s.Fill(buf)
+	if buf[0].NonMem == 0 || buf[0].SecretProgress() {
+		t.Error("unannotated spin should be unflagged plain instructions")
+	}
+}
+
+func TestPropertyGeneratorAddressesInBounds(t *testing.T) {
+	f := func(seedRaw uint16, coldMB uint8) bool {
+		p := Params{
+			Name: "prop", Seed: uint64(seedRaw) + 1,
+			MemFraction: 0.3, HotBytes: 32 * KB, HotProb: 0.7,
+			ColdBytes: (uint64(coldMB%8) + 1) * MB,
+			WriteFrac: 0.3, MLP: 4, BaseCPI: 0.4,
+		}
+		g, err := NewGenerator(p)
+		if err != nil {
+			return false
+		}
+		buf := make([]isa.Op, 2048)
+		g.Fill(buf)
+		for _, op := range buf {
+			switch {
+			case op.Addr >= hotBase && op.Addr < hotBase+p.HotBytes:
+			case op.Addr >= coldBase && op.Addr < coldBase+p.ColdBytes:
+			case op.Addr >= streamBase:
+			default:
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortedSPECNames(t *testing.T) {
+	names := SortedSPECNames()
+	if len(names) != 36 {
+		t.Fatalf("%d names", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] < names[i-1] {
+			t.Fatal("names not sorted")
+		}
+	}
+}
