@@ -21,6 +21,7 @@ import (
 	"untangle/internal/experiments"
 	"untangle/internal/partition"
 	"untangle/internal/stats"
+	"untangle/internal/telemetry"
 	"untangle/internal/workload"
 )
 
@@ -311,6 +312,48 @@ func BenchmarkAblationPartitionGranularity(b *testing.B) {
 			b.ReportMetric(stats.Mean(leak), "bits/assess")
 		})
 	}
+}
+
+// Guard: the telemetry instrumentation must be effectively free when
+// disabled. "disabled" is the default nil-tracer path — every emit site
+// costs one nil check and nothing else — and its overhead should stay
+// under 2% of an uninstrumented run (the micro-benchmarks in
+// internal/telemetry put the check at ~1ns). "nop-sink" additionally
+// constructs and emits every event into a discarding sink, bounding the
+// fully-enabled instrumentation cost from above. A single scheme runs at
+// a time so goroutine scheduling noise does not swamp the comparison.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	mix, err := workload.MixByID(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(opts experiments.Options) time.Duration {
+		start := time.Now()
+		if _, err := experiments.RunMix(mix, opts); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	kinds := []partition.Kind{partition.Untangle}
+	base := experiments.Options{Scale: benchScale(), Kinds: kinds}
+	instr := experiments.Options{
+		Scale: benchScale(),
+		Kinds: kinds,
+		TracerFor: func(k partition.Kind) *telemetry.Tracer {
+			return telemetry.New(telemetry.NopSink{}, nil, k.String())
+		},
+		MetricsFor: func(partition.Kind) *telemetry.Registry { return telemetry.NewRegistry() },
+	}
+	// Interleave the two variants so thermal / scheduling drift hits both.
+	var disabled, nop time.Duration
+	run(base) // warm caches before measuring
+	for i := 0; i < b.N; i++ {
+		disabled += run(base)
+		nop += run(instr)
+	}
+	b.ReportMetric(disabled.Seconds()/float64(b.N), "s/run-disabled")
+	b.ReportMetric(nop.Seconds()/float64(b.N), "s/run-nop-sink")
+	b.ReportMetric(100*(nop.Seconds()-disabled.Seconds())/disabled.Seconds(), "overhead-%")
 }
 
 // Ablation: annotations off (Edge 1 of Figure 2 restored). Performance is

@@ -5,25 +5,38 @@
 // paper's layout. The -out flag additionally writes the same report to a
 // file (used to regenerate EXPERIMENTS.md's measured columns).
 //
+// Long runs can be watched and profiled: -telemetry streams each mix's
+// structured events as JSONL while the run progresses, and the
+// -cpuprofile/-memprofile/-trace/-pprof flags profile the simulator
+// process itself. SIGINT stops cleanly between mixes: every writer is
+// flushed and closed, so an interrupted run leaves a valid (truncated but
+// parseable) report and JSONL stream rather than torn lines. A second
+// SIGINT kills the process immediately.
+//
 // Usage:
 //
 //	experiments -scale 0.01                 # all mixes, laptop-sized
 //	experiments -scale 0.01 -mixes 1,2,3,4  # just the Figure 10 mixes
+//	experiments -scale 0.01 -telemetry run.jsonl -pprof localhost:6060
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"untangle/internal/experiments"
 	"untangle/internal/partition"
 	"untangle/internal/report"
 	"untangle/internal/stats"
+	"untangle/internal/telemetry"
 	"untangle/internal/workload"
 )
 
@@ -31,13 +44,34 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
-		scale   = flag.Float64("scale", 0.01, "scale factor (1.0 = paper fidelity)")
-		mixList = flag.String("mixes", "", "comma-separated mix ids (default: all 16)")
-		sensIns = flag.Uint64("sensitivity-instructions", 1_500_000, "instructions per sensitivity run (0 skips Figure 11)")
-		outPath = flag.String("out", "", "also write the report to this file")
-		skipAct = flag.Bool("skip-active", false, "skip the active-attacker accounting runs")
+		scale    = flag.Float64("scale", 0.01, "scale factor (1.0 = paper fidelity)")
+		mixList  = flag.String("mixes", "", "comma-separated mix ids (default: all 16)")
+		sensIns  = flag.Uint64("sensitivity-instructions", 1_500_000, "instructions per sensitivity run (0 skips Figure 11)")
+		outPath  = flag.String("out", "", "also write the report to this file")
+		skipAct  = flag.Bool("skip-active", false, "skip the active-attacker accounting runs")
+		telemOut = flag.String("telemetry", "", "stream a JSONL telemetry event trace of every mix to this file")
 	)
+	profile := telemetry.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
+
+	if profile.Enabled() {
+		stop, err := profile.Start()
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				log.Printf("profiling: %v", err)
+			}
+		}()
+	}
+
+	// SIGINT/SIGTERM stop the run between mixes; the deferred closers then
+	// flush every output so partial files end on whole lines. The signal
+	// is captured (not default-fatal) while the context is live, so an
+	// in-flight write always completes.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	var w io.Writer = os.Stdout
 	if *outPath != "" {
@@ -49,6 +83,23 @@ func main() {
 		w = io.MultiWriter(os.Stdout, f)
 	}
 
+	var telemSink *telemetry.JSONL
+	if *telemOut != "" {
+		f, err := os.Create(*telemOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		telemSink = telemetry.NewJSONL(f)
+		defer func() {
+			if err := telemSink.Close(); err != nil {
+				log.Printf("telemetry: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				log.Printf("telemetry: %v", err)
+			}
+		}()
+	}
+
 	ids, err := parseMixes(*mixList)
 	if err != nil {
 		log.Fatal(err)
@@ -56,7 +107,7 @@ func main() {
 
 	// Figure 11.
 	var study []experiments.SensitivityResult
-	if *sensIns > 0 {
+	if *sensIns > 0 && ctx.Err() == nil {
 		log.Printf("running Figure 11 sensitivity study (%d instructions per point)...", *sensIns)
 		study, err = experiments.SensitivityStudy(*sensIns)
 		if err != nil {
@@ -69,14 +120,44 @@ func main() {
 	var rows []experiments.Table6Row
 	var activeRates, maintainFracs []float64
 	for _, id := range ids {
+		if ctx.Err() != nil {
+			log.Printf("interrupted; stopping after %d of %d mixes", len(rows), len(ids))
+			break
+		}
 		mix, err := workload.MixByID(id)
 		if err != nil {
 			log.Fatal(err)
 		}
 		log.Printf("running mix %d at scale %v...", id, *scale)
-		res, err := experiments.RunMix(mix, experiments.Options{Scale: *scale})
+		opts := experiments.Options{Scale: *scale}
+		// Telemetry: per-scheme buffers keep concurrent schemes from
+		// interleaving; the buffers drain to the shared JSONL stream in
+		// fixed scheme order once the mix completes, so the file content
+		// is deterministic however the goroutines raced.
+		kinds := []partition.Kind{partition.Static, partition.TimeBased, partition.Untangle, partition.Shared}
+		var buffers map[partition.Kind]*telemetry.Buffer
+		if telemSink != nil {
+			buffers = map[partition.Kind]*telemetry.Buffer{}
+			for _, kind := range kinds {
+				buffers[kind] = telemetry.NewBuffer()
+			}
+			opts.TracerFor = func(k partition.Kind) *telemetry.Tracer {
+				return telemetry.New(buffers[k], nil, fmt.Sprintf("mix%d/%s", id, k))
+			}
+		}
+		res, err := experiments.RunMix(mix, opts)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if telemSink != nil {
+			for _, kind := range kinds {
+				for _, ev := range buffers[kind].Events() {
+					telemSink.Emit(ev)
+				}
+			}
+			if err := telemSink.Flush(); err != nil {
+				log.Fatal(err)
+			}
 		}
 		group, err := report.MixGroup(res, study)
 		if err != nil {
@@ -90,7 +171,7 @@ func main() {
 		rows = append(rows, row)
 		maintainFracs = append(maintainFracs, row.UntangleMaintainFrac)
 
-		if !*skipAct {
+		if !*skipAct && ctx.Err() == nil {
 			log.Printf("running mix %d with worst-case (active-attacker) accounting...", id)
 			act, err := experiments.RunMix(mix, experiments.Options{
 				Scale:               *scale,

@@ -7,6 +7,13 @@
 //
 //	untangle-sim -mix 1 -scale 0.01
 //	untangle-sim -mix 4 -scale 0.01 -worst-case   # Section 9 active-attacker accounting
+//	untangle-sim -mix 1 -scale 0.01 -telemetry out.jsonl   # structured event trace
+//	untangle-sim -mix 1 -scale 0.01 -cpuprofile cpu.pprof  # profile the simulator itself
+//
+// The -telemetry trace is deterministic: two identical invocations produce
+// byte-identical files (events are stamped with simulated time and the
+// per-scheme streams are serialized in a fixed order). See
+// docs/TELEMETRY.md for the event schema.
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"untangle/internal/experiments"
 	"untangle/internal/partition"
 	"untangle/internal/report"
+	"untangle/internal/telemetry"
 	"untangle/internal/workload"
 )
 
@@ -26,25 +34,71 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("untangle-sim: ")
 	var (
-		mixID     = flag.Int("mix", 1, "mix number (1-16)")
-		scale     = flag.Float64("scale", 0.01, "scale factor (1.0 = paper's full 550M-instruction workloads)")
-		worstCase = flag.Bool("worst-case", false, "disable the Maintain optimization (Section 9 active-attacker accounting)")
-		noAnnot   = flag.Bool("no-annotations", false, "ablation: ignore secret annotations (reintroduces action leakage)")
-		budget    = flag.Float64("budget", 0, "per-domain leakage budget in bits (0 = unlimited)")
-		traceOut  = flag.String("trace-out", "", "write per-scheme JSON traces to this file prefix (<prefix>-<scheme>.json)")
+		mixID      = flag.Int("mix", 1, "mix number (1-16)")
+		scale      = flag.Float64("scale", 0.01, "scale factor (1.0 = paper's full 550M-instruction workloads)")
+		worstCase  = flag.Bool("worst-case", false, "disable the Maintain optimization (Section 9 active-attacker accounting)")
+		noAnnot    = flag.Bool("no-annotations", false, "ablation: ignore secret annotations (reintroduces action leakage)")
+		budget     = flag.Float64("budget", 0, "per-domain leakage budget in bits (0 = unlimited)")
+		traceOut   = flag.String("trace-out", "", "write per-scheme JSON traces to this file prefix (<prefix>-<scheme>.json)")
+		telemOut   = flag.String("telemetry", "", "write a JSONL telemetry event trace of all schemes to this file")
+		metricsOut = flag.String("metrics-out", "", "write per-scheme metrics snapshots to this file prefix (<prefix>-<scheme>.json)")
 	)
+	profile := telemetry.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
+
+	if profile.Enabled() {
+		stop, err := profile.Start()
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				log.Printf("profiling: %v", err)
+			}
+		}()
+	}
 
 	mix, err := workload.MixByID(*mixID)
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := experiments.RunMix(mix, experiments.Options{
+	opts := experiments.Options{
 		Scale:               *scale,
 		WorstCaseAccounting: *worstCase,
 		DisableAnnotations:  *noAnnot,
 		Budget:              *budget,
-	})
+	}
+
+	// Telemetry: the four schemes simulate concurrently, so each gets its
+	// own buffer sink and registry; after the run the buffers serialize in
+	// the fixed scheme order below, keeping the trace file byte-identical
+	// across repetitions.
+	kinds := []partition.Kind{partition.Static, partition.TimeBased, partition.Untangle, partition.Shared}
+	instrumented := *telemOut != "" || *metricsOut != "" || *traceOut != ""
+	sinks := map[partition.Kind]*telemetry.Buffer{}
+	regs := map[partition.Kind]*telemetry.Registry{}
+	if instrumented {
+		for _, kind := range kinds {
+			sinks[kind] = telemetry.NewBuffer()
+			regs[kind] = telemetry.NewRegistry()
+		}
+		opts.TracerFor = func(k partition.Kind) *telemetry.Tracer {
+			return telemetry.New(sinks[k], nil, k.String())
+		}
+		opts.MetricsFor = func(k partition.Kind) *telemetry.Registry { return regs[k] }
+	}
+
+	// Open the trace file before the (potentially long) run so a bad path
+	// fails in milliseconds, not after the simulation.
+	var telemFile *os.File
+	if *telemOut != "" {
+		telemFile, err = os.Create(*telemOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	res, err := experiments.RunMix(mix, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,10 +110,43 @@ func main() {
 	if mf, err := res.MaintainFraction(partition.Untangle); err == nil {
 		fmt.Fprintf(os.Stdout, "\nUntangle Maintain fraction: %.0f%%\n", mf*100)
 	}
+
+	if telemFile != nil {
+		for _, kind := range kinds {
+			if err := sinks[kind].WriteJSONL(telemFile); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := telemFile.Close(); err != nil {
+			log.Fatal(err)
+		}
+		var n int
+		for _, kind := range kinds {
+			n += sinks[kind].Len()
+		}
+		log.Printf("wrote %s (%d events)", *telemOut, n)
+	}
+	if *metricsOut != "" {
+		for _, kind := range kinds {
+			data, err := regs[kind].Snapshot().MarshalJSONIndent()
+			if err != nil {
+				log.Fatal(err)
+			}
+			path := fmt.Sprintf("%s-%s.json", *metricsOut, kind)
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("wrote %s", path)
+		}
+	}
 	if *traceOut != "" {
 		samplePeriod := time.Duration(float64(100*time.Microsecond) * *scale)
 		for kind, r := range res.PerScheme {
-			data, err := report.MarshalJSON(r, samplePeriod)
+			var snap *telemetry.Snapshot
+			if reg := regs[kind]; reg != nil {
+				snap = reg.Snapshot()
+			}
+			data, err := report.MarshalJSONWithTelemetry(r, samplePeriod, snap)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -13,6 +13,8 @@ package cache
 import (
 	"fmt"
 	"sort"
+
+	"untangle/internal/telemetry"
 )
 
 // LineBytes is the line size used throughout the simulated hierarchy
@@ -145,6 +147,20 @@ func (c *Cache) Stats() Stats { return c.stats }
 
 // ResetStats zeroes the counters (used after warmup).
 func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// RegisterMetrics exposes the cache's hit/miss/eviction counters and
+// current geometry on a telemetry registry under prefix, as
+// lazily-evaluated gauges: Access stays untouched and the counters are
+// read only when the registry snapshots (after the run, or at another
+// quiescent point).
+func (c *Cache) RegisterMetrics(reg *telemetry.Registry, prefix string) {
+	reg.GaugeFunc(prefix+".hits", func() float64 { return float64(c.stats.Hits) })
+	reg.GaugeFunc(prefix+".misses", func() float64 { return float64(c.stats.Misses) })
+	reg.GaugeFunc(prefix+".evictions", func() float64 { return float64(c.stats.Evictions) })
+	reg.GaugeFunc(prefix+".writebacks", func() float64 { return float64(c.stats.Writebacks) })
+	reg.GaugeFunc(prefix+".prefetches", func() float64 { return float64(c.stats.Prefetches) })
+	reg.GaugeFunc(prefix+".size_bytes", func() float64 { return float64(c.SizeBytes()) })
+}
 
 // setIndex maps a line address to its set.
 func (c *Cache) setIndex(lineAddr uint64) int {

@@ -18,6 +18,7 @@ import (
 	"untangle/internal/partition"
 	"untangle/internal/sim"
 	"untangle/internal/stats"
+	"untangle/internal/telemetry"
 	"untangle/internal/workload"
 )
 
@@ -53,6 +54,13 @@ type Options struct {
 	Secret uint64
 	// SimSeed drives the schemes' random action delays (default 1).
 	SimSeed uint64
+	// TracerFor, when non-nil, supplies a telemetry tracer per scheme.
+	// The schemes run concurrently, so give each scheme its own sink (a
+	// telemetry.Buffer) and serialize the buffers in a fixed order
+	// afterwards to keep trace files deterministic.
+	TracerFor func(partition.Kind) *telemetry.Tracer
+	// MetricsFor, when non-nil, supplies a metrics registry per scheme.
+	MetricsFor func(partition.Kind) *telemetry.Registry
 }
 
 func (o Options) kinds() []partition.Kind {
@@ -140,6 +148,12 @@ func RunMix(mix workload.Mix, opts Options) (*MixResult, error) {
 			}
 			if opts.SimSeed != 0 {
 				cfg.Seed = opts.SimSeed
+			}
+			if opts.TracerFor != nil {
+				cfg.Tracer = opts.TracerFor(kind)
+			}
+			if opts.MetricsFor != nil {
+				cfg.Metrics = opts.MetricsFor(kind)
 			}
 			specs, err := BuildDomains(mix, res.Scale, opts.Secret)
 			if err != nil {

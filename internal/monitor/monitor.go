@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"untangle/internal/cache"
+	"untangle/internal/telemetry"
 )
 
 // Config describes a monitor.
@@ -61,7 +62,11 @@ type Monitor struct {
 	curCount  uint64
 	// totalObserved counts all public accesses ever observed.
 	totalObserved uint64
-	sampleMask    uint64
+	// rotations counts bucket advances; every len(ring) rotations the
+	// sliding window has been fully replaced — one "window closed" in the
+	// monitor's lifecycle telemetry.
+	rotations  uint64
+	sampleMask uint64
 }
 
 // New builds a monitor.
@@ -126,6 +131,7 @@ func (m *Monitor) Observe(addr uint64, write bool) {
 			m.ring[m.cur][s] = 0
 		}
 		m.curCount = 0
+		m.rotations++
 	}
 	lineAddr := addr / cache.LineBytes
 	if sampleHash(lineAddr)&m.sampleMask != 0 {
@@ -165,6 +171,24 @@ func (m *Monitor) Utilities() []Utility {
 
 // Observed returns the total number of public accesses observed.
 func (m *Monitor) Observed() uint64 { return m.totalObserved }
+
+// WindowsClosed returns how many full monitor windows have completed: the
+// window lifecycle counter behind the MonitorWindowClosed telemetry event.
+// Like every monitor quantity it is a pure function of the observed public
+// access sequence.
+func (m *Monitor) WindowsClosed() uint64 { return m.rotations / uint64(len(m.ring)) }
+
+// Window returns the configured window length Mw.
+func (m *Monitor) Window() uint64 { return m.cfg.Window }
+
+// RegisterMetrics exposes the monitor's lifecycle counters on a telemetry
+// registry as lazily-evaluated gauges, so observation stays off the
+// Observe hot path.
+func (m *Monitor) RegisterMetrics(reg *telemetry.Registry, prefix string) {
+	reg.GaugeFunc(prefix+".observed", func() float64 { return float64(m.totalObserved) })
+	reg.GaugeFunc(prefix+".windows_closed", func() float64 { return float64(m.WindowsClosed()) })
+	reg.GaugeFunc(prefix+".bucket_rotations", func() float64 { return float64(m.rotations) })
+}
 
 // Sizes returns the candidate size list.
 func (m *Monitor) Sizes() []int64 { return m.cfg.Sizes }

@@ -7,6 +7,8 @@ package partition
 import (
 	"fmt"
 	"time"
+
+	"untangle/internal/telemetry"
 )
 
 // Kind identifies one of the Table 4 schemes.
@@ -173,6 +175,35 @@ type Allocator struct {
 	Sizes []int64
 	// Capacity is the total LLC size (Table 3: 16MB).
 	Capacity int64
+	// Metrics, when non-nil, counts decision outcomes (one nil-check per
+	// decision when disabled). Telemetry only — it never influences a
+	// decision.
+	Metrics *DecisionMetrics
+}
+
+// DecisionMetrics are the allocator's decision-point counters, registered
+// on a telemetry registry. Every Decide call lands in exactly one of
+// Grows/Shrinks/Maintains; CapacityClamps and HysteresisVetoes count why a
+// globally-optimal target was not adopted verbatim.
+type DecisionMetrics struct {
+	Decisions        *telemetry.Counter
+	Grows            *telemetry.Counter
+	Shrinks          *telemetry.Counter
+	Maintains        *telemetry.Counter
+	CapacityClamps   *telemetry.Counter
+	HysteresisVetoes *telemetry.Counter
+}
+
+// NewDecisionMetrics registers the allocator counters under prefix.
+func NewDecisionMetrics(reg *telemetry.Registry, prefix string) *DecisionMetrics {
+	return &DecisionMetrics{
+		Decisions:        reg.Counter(prefix + ".decisions"),
+		Grows:            reg.Counter(prefix + ".grows"),
+		Shrinks:          reg.Counter(prefix + ".shrinks"),
+		Maintains:        reg.Counter(prefix + ".maintains"),
+		CapacityClamps:   reg.Counter(prefix + ".capacity_clamps"),
+		HysteresisVetoes: reg.Counter(prefix + ".hysteresis_vetoes"),
+	}
 }
 
 // NewAllocator validates and returns an allocator.
@@ -301,10 +332,13 @@ func (a *Allocator) Decide(d int, current []int64, utilities [][]float64, mainta
 	free := a.Capacity - others
 	if target > free {
 		target = a.FloorSize(free)
+		if a.Metrics != nil {
+			a.Metrics.CapacityClamps.Inc()
+		}
 	}
 	cur := current[d]
 	if target == cur {
-		return cur
+		return a.recordDecision(cur, cur)
 	}
 	// Hysteresis applies to expansions only: claiming more cache must be
 	// justified by a hit gain above the threshold, or the domain maintains.
@@ -317,8 +351,28 @@ func (a *Allocator) Decide(d int, current []int64, utilities [][]float64, mainta
 		if ci >= 0 && ti >= 0 {
 			gain := utilityAt(utilities[d], ti) - utilityAt(utilities[d], ci)
 			if gain < maintainFraction*windowAccesses {
-				return cur
+				if a.Metrics != nil {
+					a.Metrics.HysteresisVetoes.Inc()
+				}
+				return a.recordDecision(cur, cur)
 			}
+		}
+	}
+	return a.recordDecision(cur, target)
+}
+
+// recordDecision counts the decision outcome and passes the target
+// through.
+func (a *Allocator) recordDecision(cur, target int64) int64 {
+	if m := a.Metrics; m != nil {
+		m.Decisions.Inc()
+		switch {
+		case target > cur:
+			m.Grows.Inc()
+		case target < cur:
+			m.Shrinks.Inc()
+		default:
+			m.Maintains.Inc()
 		}
 	}
 	return target

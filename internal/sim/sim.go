@@ -23,6 +23,7 @@ import (
 	"untangle/internal/isa"
 	"untangle/internal/monitor"
 	"untangle/internal/partition"
+	"untangle/internal/telemetry"
 )
 
 // domainAddrShift separates domain address spaces in the shared LLC.
@@ -91,6 +92,17 @@ type Config struct {
 	Tiers []core.Tier
 	// Seed drives the random action delays.
 	Seed uint64
+	// Tracer, when non-nil, receives structured telemetry events
+	// (assessments, resizes, monitor window closures, leakage charges,
+	// per-quantum progress). Telemetry observes and never participates:
+	// events are stamped with simulated time and a traced run's outcome —
+	// and its trace — are byte-identical to an untraced run's. Nil (the
+	// default) costs one nil-check per emission site.
+	Tracer *telemetry.Tracer
+	// Metrics, when non-nil, receives the run's counters, gauges and
+	// histograms (cache hit/miss totals, allocator decision outcomes,
+	// quantum IPC distribution). Snapshot it after Run returns.
+	Metrics *telemetry.Registry
 }
 
 // DefaultConfig returns the Table 3 machine at full scale for the given
@@ -306,6 +318,12 @@ type domain struct {
 	lastSample   cpu.Snapshot
 	rng          uint64
 	assessedOnce bool
+
+	// telemetry bookkeeping: monitor windows already reported as closed,
+	// and the last physically-granted partition size (for ResizeGranted's
+	// prev field, which works across all three LLC backends).
+	monWindows      uint64
+	lastGrantedSize int64
 }
 
 func (d *domain) nextRand() uint64 {
@@ -326,6 +344,25 @@ type Sim struct {
 	acct    core.Accountant
 	warm    bool // true once warmup ended
 	now     time.Duration
+	metrics *simMetrics // nil unless Config.Metrics is set
+}
+
+// simMetrics are the driver-level registry instruments.
+type simMetrics struct {
+	quanta      *telemetry.Counter
+	assessments *telemetry.Counter
+	resizes     *telemetry.Counter
+	ipcHist     *telemetry.Histogram
+}
+
+// trace returns the tracer for a domain's scheme events, or nil while the
+// domain is outside its measured region — the same gate the resizing trace
+// and the accountant use, so the event stream and internal/report agree.
+func (s *Sim) trace(d *domain) *telemetry.Tracer {
+	if s.warm && !d.finished {
+		return s.cfg.Tracer
+	}
+	return nil
 }
 
 // wayBytes is the capacity of one LLC way (Table 3: 16MB/16 ways = 1MB).
@@ -407,6 +444,7 @@ func New(cfg Config, specs []DomainSpec) (*Sim, error) {
 				}
 			}
 			d.committed = startSize
+			d.lastGrantedSize = startSize
 		}
 		if cfg.Scheme.Dynamic() {
 			d.mon, err = monitor.New(monitor.Config{
@@ -461,7 +499,49 @@ func New(cfg Config, specs []DomainSpec) (*Sim, error) {
 			return nil, err
 		}
 	}
+	// Telemetry wiring. The tracer's fallback clock is the global simulated
+	// time; per-domain events stamp their own (cycle-derived) times.
+	if cfg.Tracer != nil {
+		cfg.Tracer.SetClock(telemetry.ClockFunc(func() time.Duration { return s.now }))
+	}
+	if reg := cfg.Metrics; reg != nil {
+		s.registerMetrics(reg)
+	}
 	return s, nil
+}
+
+// registerMetrics hooks every layer's counters into the registry. Gauges
+// are lazily evaluated at snapshot time, so nothing here adds work to the
+// access hot paths; the driver-level counters fire at quantum/assessment
+// granularity.
+func (s *Sim) registerMetrics(reg *telemetry.Registry) {
+	s.alloc.Metrics = partition.NewDecisionMetrics(reg, "partition.alloc")
+	s.metrics = &simMetrics{
+		quanta:      reg.Counter("sim.quanta"),
+		assessments: reg.Counter("sim.assessments"),
+		resizes:     reg.Counter("sim.resizes_applied"),
+		ipcHist:     reg.Histogram("sim.quantum_ipc", telemetry.LinearBuckets(0.25, 0.25, 16)),
+	}
+	if s.shared != nil {
+		s.shared.RegisterMetrics(reg, "cache.llc.shared")
+	}
+	for _, d := range s.domains {
+		d := d
+		prefix := fmt.Sprintf("cache.l1.d%d", d.idx)
+		d.l1.RegisterMetrics(reg, prefix)
+		if d.part != nil {
+			d.part.RegisterMetrics(reg, fmt.Sprintf("cache.llc.d%d", d.idx))
+		}
+		if s.wayLLC != nil {
+			p := fmt.Sprintf("cache.llc.d%d", d.idx)
+			reg.GaugeFunc(p+".hits", func() float64 { return float64(s.wayLLC.Stats(d.idx).Hits) })
+			reg.GaugeFunc(p+".misses", func() float64 { return float64(s.wayLLC.Stats(d.idx).Misses) })
+			reg.GaugeFunc(p+".evictions", func() float64 { return float64(s.wayLLC.Stats(d.idx).Evictions) })
+		}
+		if d.mon != nil {
+			d.mon.RegisterMetrics(reg, fmt.Sprintf("monitor.d%d", d.idx))
+		}
+	}
 }
 
 // llcAccess sends one L1 miss to the domain's share of the LLC.
@@ -565,6 +645,19 @@ func (s *Sim) finishDomain(d *domain) {
 // applyResize performs the physical partition resize.
 func (s *Sim) applyResize(d *domain) {
 	d.havePending = false
+	if d.pendingSize != d.lastGrantedSize {
+		if tr := s.trace(d); tr != nil {
+			tr.Emit(&telemetry.ResizeGranted{
+				Header:    telemetry.Header{AtNs: d.core.Now().Nanoseconds(), Domain: d.idx},
+				PrevBytes: d.lastGrantedSize,
+				SizeBytes: d.pendingSize,
+			})
+		}
+		if s.metrics != nil {
+			s.metrics.resizes.Inc()
+		}
+		d.lastGrantedSize = d.pendingSize
+	}
 	if s.wayLLC != nil {
 		// Way repartitioning is a global operation: reshape with every
 		// domain's currently-committed grant (pending peers reshape again
@@ -621,6 +714,7 @@ func (s *Sim) committedSizes() []int64 {
 // domain (Section 5.2 Principle 2 plus the Section 5.3.2 mechanisms).
 func (s *Sim) assessUntangle(d *domain) {
 	cfg := &s.cfg
+	tr := s.trace(d)
 	// The metric snapshot happens at the progress boundary — a pure
 	// function of the retired public instruction sequence. The assessment
 	// itself cannot occur before the cooldown since the last one.
@@ -628,12 +722,35 @@ func (s *Sim) assessUntangle(d *domain) {
 	if earliest := d.lastAssessAt + cfg.Scheme.Cooldown; d.assessedOnce && at < earliest {
 		at = earliest
 	}
+	if tr != nil && d.assessedOnce && cfg.Scheme.Cooldown > 0 {
+		tr.Emit(&telemetry.CooldownExpired{Header: telemetry.Header{
+			AtNs: (d.lastAssessAt + cfg.Scheme.Cooldown).Nanoseconds(), Domain: d.idx,
+		}})
+	}
 	idx := d.idx
 	prev := d.committed
 	size := prev
 	if !s.acct.Frozen(idx) {
-		size = d.debounce(s.alloc.Decide(idx, s.committedSizes(), s.utilitiesAll(),
-			cfg.Scheme.MaintainFraction, float64(cfg.MonitorWindow)))
+		raw := s.alloc.Decide(idx, s.committedSizes(), s.utilitiesAll(),
+			cfg.Scheme.MaintainFraction, float64(cfg.MonitorWindow))
+		size = d.debounce(raw)
+		if tr != nil && raw != prev {
+			tr.Emit(&telemetry.ResizeRequested{
+				Header:    telemetry.Header{AtNs: at.Nanoseconds(), Domain: idx},
+				PrevBytes: prev, TargetBytes: raw,
+			})
+			if size == prev {
+				tr.Emit(&telemetry.ResizeDenied{
+					Header:    telemetry.Header{AtNs: at.Nanoseconds(), Domain: idx},
+					PrevBytes: prev, TargetBytes: raw, Reason: telemetry.DenyDebounce,
+				})
+			}
+		}
+	} else if tr != nil {
+		tr.Emit(&telemetry.ResizeDenied{
+			Header:    telemetry.Header{AtNs: at.Nanoseconds(), Domain: idx},
+			PrevBytes: prev, TargetBytes: prev, Reason: telemetry.DenyFrozen,
+		})
 	}
 	// Mechanism 2: delay the action by a uniform random delay.
 	delay := time.Duration(0)
@@ -648,14 +765,38 @@ func (s *Sim) assessUntangle(d *domain) {
 	d.havePending = true
 	d.lastAssessAt = at
 	d.assessedOnce = true
+	if s.metrics != nil {
+		s.metrics.assessments.Inc()
+	}
 	// Progress toward the next assessment starts counting now (Figure 6).
 	d.nextAssessAt = d.publicRetired + cfg.Scheme.ProgressN
 	if s.warm && !d.finished {
+		before := s.acct.Domain(idx)
 		s.acct.RecordAssessment(idx, visible, applyAt)
 		d.trace = append(d.trace, partition.Assessment{
 			Domain: idx, At: at, ApplyAt: applyAt,
 			Prev: prev, Size: size, Visible: visible,
 		})
+		if tr != nil {
+			tr.Emit(&telemetry.SchemeAssessment{
+				Header:    telemetry.Header{AtNs: at.Nanoseconds(), Domain: idx},
+				PrevBytes: prev, SizeBytes: size, Visible: visible,
+				ApplyAtNs: applyAt.Nanoseconds(),
+			})
+			if cfg.Scheme.Cooldown > 0 {
+				tr.Emit(&telemetry.CooldownStarted{
+					Header:     telemetry.Header{AtNs: at.Nanoseconds(), Domain: idx},
+					DurationNs: cfg.Scheme.Cooldown.Nanoseconds(),
+				})
+			}
+			if dl := s.acct.Domain(idx); dl.TotalBits > before.TotalBits {
+				tr.Emit(&telemetry.LeakageBitCharged{
+					Header: telemetry.Header{AtNs: applyAt.Nanoseconds(), Domain: idx},
+					Bits:   dl.TotalBits - before.TotalBits, TotalBits: dl.TotalBits,
+					MaintainRun: before.MaintainRun,
+				})
+			}
+		}
 	}
 }
 
@@ -709,12 +850,52 @@ func (s *Sim) assessTimeBased(at time.Duration) {
 		d.pendingAt = at
 		d.havePending = true
 		d.lastAssessAt = at
+		if s.metrics != nil {
+			s.metrics.assessments.Inc()
+		}
 		if s.warm && !d.finished {
+			before := s.acct.Domain(i)
 			s.acct.RecordAssessment(i, visible, at)
 			d.trace = append(d.trace, partition.Assessment{
 				Domain: i, At: at, ApplyAt: at,
 				Prev: prev, Size: size, Visible: visible,
 			})
+			if tr := s.trace(d); tr != nil {
+				if raw[i] != prev {
+					tr.Emit(&telemetry.ResizeRequested{
+						Header:    telemetry.Header{AtNs: at.Nanoseconds(), Domain: i},
+						PrevBytes: prev, TargetBytes: raw[i],
+					})
+					if size == prev {
+						// Work out which stage vetoed the request: the
+						// frozen budget, the two-agreeing-assessments
+						// debounce, or the capacity re-fit after shrinks.
+						reason := telemetry.DenyCapacity
+						switch {
+						case s.acct.Frozen(i):
+							reason = telemetry.DenyFrozen
+						case next[i] == prev:
+							reason = telemetry.DenyDebounce
+						}
+						tr.Emit(&telemetry.ResizeDenied{
+							Header:    telemetry.Header{AtNs: at.Nanoseconds(), Domain: i},
+							PrevBytes: prev, TargetBytes: raw[i], Reason: reason,
+						})
+					}
+				}
+				tr.Emit(&telemetry.SchemeAssessment{
+					Header:    telemetry.Header{AtNs: at.Nanoseconds(), Domain: i},
+					PrevBytes: prev, SizeBytes: size, Visible: visible,
+					ApplyAtNs: at.Nanoseconds(),
+				})
+				if dl := s.acct.Domain(i); dl.TotalBits > before.TotalBits {
+					tr.Emit(&telemetry.LeakageBitCharged{
+						Header: telemetry.Header{AtNs: at.Nanoseconds(), Domain: i},
+						Bits:   dl.TotalBits - before.TotalBits, TotalBits: dl.TotalBits,
+						MaintainRun: before.MaintainRun,
+					})
+				}
+			}
 		}
 	}
 }
@@ -766,6 +947,11 @@ func (s *Sim) beginMeasurement() {
 		d.samples = nil
 		d.ipcSamples = nil
 		d.lastSample = d.core.Snapshot()
+		// Windows closed during warmup are not reported; the event stream
+		// covers the measured region, like the resizing trace.
+		if d.mon != nil {
+			d.monWindows = d.mon.WindowsClosed()
+		}
 	}
 }
 
@@ -811,6 +997,9 @@ func (s *Sim) Run() (*Result, error) {
 				nextTimeAssess += cfg.Scheme.Interval
 			}
 		}
+		if s.metrics != nil {
+			s.metrics.quanta.Inc()
+		}
 		if s.warm {
 			for _, d := range s.domains {
 				if d.finished {
@@ -819,7 +1008,32 @@ func (s *Sim) Run() (*Result, error) {
 				if d.part != nil || s.wayLLC != nil {
 					d.samples = append(d.samples, d.committed)
 				}
-				d.ipcSamples = append(d.ipcSamples, d.core.IPCSince(d.lastSample))
+				ipc := d.core.IPCSince(d.lastSample)
+				d.ipcSamples = append(d.ipcSamples, ipc)
+				if tr := s.cfg.Tracer; tr != nil {
+					snap := d.core.Snapshot()
+					tr.Emit(&telemetry.DomainQuantum{
+						Header:  telemetry.Header{AtNs: s.now.Nanoseconds(), Domain: d.idx},
+						Retired: snap.Retired - d.lastSample.Retired,
+						IPC:     ipc, CommittedBytes: d.committed,
+					})
+					// Monitor window closures are detected at quantum
+					// granularity; the timestamp is the quantum boundary.
+					if d.mon != nil {
+						for w := d.mon.WindowsClosed(); d.monWindows < w; {
+							d.monWindows++
+							tr.Emit(&telemetry.MonitorWindowClosed{
+								Header:   telemetry.Header{AtNs: s.now.Nanoseconds(), Domain: d.idx},
+								Window:   d.mon.Window(),
+								Windows:  d.monWindows,
+								Observed: d.mon.Observed(),
+							})
+						}
+					}
+				}
+				if s.metrics != nil {
+					s.metrics.ipcHist.Observe(ipc)
+				}
 				d.lastSample = d.core.Snapshot()
 			}
 		}

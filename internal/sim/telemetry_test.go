@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"untangle/internal/partition"
+	"untangle/internal/telemetry"
+)
+
+// tracedRun runs a small two-domain mix under the given scheme with a
+// buffer-sink tracer and metrics registry attached, returning the JSONL
+// serialization of the trace and the metrics snapshot JSON.
+func tracedRun(t *testing.T, kind partition.Kind) (trace, metrics []byte, res *Result) {
+	t.Helper()
+	cfg := testConfig(kind)
+	buf := telemetry.NewBuffer()
+	cfg.Tracer = telemetry.New(buf, nil, kind.String())
+	cfg.Metrics = telemetry.NewRegistry()
+	s, err := New(cfg, []DomainSpec{
+		specDomain(t, "mcf_0", 400_000),
+		specDomain(t, "imagick_0", 400_000),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := buf.WriteJSONL(&out); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := cfg.Metrics.Snapshot().MarshalJSONIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out.Bytes(), snap, res
+}
+
+func TestTelemetryTraceByteIdenticalAcrossRuns(t *testing.T) {
+	// The determinism invariant extends to telemetry: two identical runs
+	// must serialize byte-identical event streams and metric snapshots.
+	// Timestamps come from simulated time, so wall-clock jitter cannot
+	// appear anywhere in the output.
+	for _, kind := range []partition.Kind{partition.TimeBased, partition.Untangle} {
+		a, am, _ := tracedRun(t, kind)
+		b, bm, _ := tracedRun(t, kind)
+		if len(a) == 0 {
+			t.Fatalf("%v: traced run emitted no events", kind)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%v: telemetry traces differ across identical runs", kind)
+		}
+		if !bytes.Equal(am, bm) {
+			t.Errorf("%v: metric snapshots differ across identical runs", kind)
+		}
+	}
+}
+
+func TestTelemetryTimestampsAreSimulatedTime(t *testing.T) {
+	trace, _, res := tracedRun(t, partition.Untangle)
+	events, err := telemetry.ReadJSONL(bytes.NewReader(trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no events decoded")
+	}
+	// Simulated time starts at zero and a run lasts well under a second;
+	// a wall-clock stamp (nanoseconds since 1970) would be ~1e18.
+	horizon := 2 * res.Duration // pending actions may apply slightly late
+	for _, ev := range events {
+		at := ev.Hdr().At()
+		if at < 0 || at > horizon {
+			t.Fatalf("%s event at %v outside simulated-time range [0, %v]", ev.Kind(), at, horizon)
+		}
+	}
+}
+
+func TestTelemetryCoversEventKinds(t *testing.T) {
+	// A short contended Untangle run plus a TimeBased run must exercise
+	// the full event vocabulary between them.
+	kinds := map[string]bool{}
+	for _, k := range []partition.Kind{partition.TimeBased, partition.Untangle} {
+		trace, _, _ := tracedRun(t, k)
+		events, err := telemetry.ReadJSONL(bytes.NewReader(trace))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ev := range events {
+			kinds[ev.Kind()] = true
+		}
+	}
+	for _, want := range telemetry.EventKinds() {
+		if !kinds[want] {
+			t.Errorf("no %s event emitted; want at least one of every kind", want)
+		}
+	}
+}
+
+func TestTelemetryObservesWithoutParticipating(t *testing.T) {
+	// Attaching a tracer must not change what the simulation does: action
+	// traces, leakage, and IPC stay identical to an uninstrumented run.
+	bare := func() *Result {
+		cfg := testConfig(partition.Untangle)
+		s, err := New(cfg, []DomainSpec{
+			specDomain(t, "mcf_0", 400_000),
+			specDomain(t, "imagick_0", 400_000),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}()
+	_, _, traced := tracedRun(t, partition.Untangle)
+	for i := range bare.Domains {
+		bd, td := bare.Domains[i], traced.Domains[i]
+		if bd.IPC != td.IPC {
+			t.Errorf("domain %d: IPC changed under instrumentation: %v vs %v", i, bd.IPC, td.IPC)
+		}
+		if bd.Leakage.TotalBits != td.Leakage.TotalBits {
+			t.Errorf("domain %d: leakage changed under instrumentation", i)
+		}
+		if len(bd.Trace) != len(td.Trace) {
+			t.Fatalf("domain %d: assessment counts differ: %d vs %d", i, len(bd.Trace), len(td.Trace))
+		}
+		for j := range bd.Trace {
+			if bd.Trace[j] != td.Trace[j] {
+				t.Fatalf("domain %d assessment %d changed under instrumentation", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Header is the part every event shares. AtNs is simulated time in
+// nanoseconds (cycle accounting converted to wall-clock of the simulated
+// machine); Source labels the emitting run (scheme name, mix id); Domain is
+// the security-domain index, or -1 for run-global events.
+type Header struct {
+	AtNs   int64  `json:"at_ns"`
+	Source string `json:"source,omitempty"`
+	Domain int    `json:"domain"`
+}
+
+// At returns the simulated timestamp as a duration.
+func (h Header) At() time.Duration { return time.Duration(h.AtNs) }
+
+// Hdr returns the mutable header (used by the tracer to stamp events).
+func (h *Header) Hdr() *Header { return h }
+
+// Event is one structured telemetry record. All concrete event types embed
+// Header and are identified on the wire by Kind.
+type Event interface {
+	Hdr() *Header
+	Kind() string
+}
+
+// Denial reasons carried by ResizeDenied.
+const (
+	// DenyDebounce: the decided target differed from the previous
+	// assessment's target, so the two-agreeing-assessments filter vetoed it.
+	DenyDebounce = "debounce"
+	// DenyFrozen: the domain exhausted its leakage budget and may not
+	// resize.
+	DenyFrozen = "frozen"
+	// DenyCapacity: the globally-optimal target did not fit in the capacity
+	// currently free, so it was clamped down.
+	DenyCapacity = "capacity"
+)
+
+// ResizeRequested records that a resizing assessment decided a target size
+// different from the current one, before debounce or budget could veto it.
+type ResizeRequested struct {
+	Header
+	PrevBytes   int64 `json:"prev_bytes"`
+	TargetBytes int64 `json:"target_bytes"`
+}
+
+// ResizeGranted records a physical partition resize taking effect (after
+// Untangle's random action delay; immediately for the Time scheme).
+type ResizeGranted struct {
+	Header
+	PrevBytes int64 `json:"prev_bytes"`
+	SizeBytes int64 `json:"size_bytes"`
+}
+
+// ResizeDenied records a requested resize that was not enacted, with the
+// Deny* reason.
+type ResizeDenied struct {
+	Header
+	PrevBytes   int64  `json:"prev_bytes"`
+	TargetBytes int64  `json:"target_bytes"`
+	Reason      string `json:"reason"`
+}
+
+// MonitorWindowClosed records a domain's UMON monitor completing one full
+// window of Mw observed public memory accesses.
+type MonitorWindowClosed struct {
+	Header
+	// Window is Mw, the configured window length.
+	Window uint64 `json:"window"`
+	// Windows is the lifetime count of closed windows.
+	Windows uint64 `json:"windows"`
+	// Observed is the lifetime count of observed public accesses.
+	Observed uint64 `json:"observed"`
+}
+
+// CooldownStarted records the beginning of a scheme's post-assessment
+// cooldown period.
+type CooldownStarted struct {
+	Header
+	DurationNs int64 `json:"duration_ns"`
+}
+
+// CooldownExpired records that the cooldown begun at the previous
+// assessment has elapsed (emitted when the next assessment observes the
+// expiry; AtNs is the expiry instant, not the observation instant).
+type CooldownExpired struct {
+	Header
+}
+
+// LeakageBitCharged records the accountant charging leakage to a domain.
+type LeakageBitCharged struct {
+	Header
+	Bits      float64 `json:"bits"`
+	TotalBits float64 `json:"total_bits"`
+	// MaintainRun is the consecutive-Maintain run length the charge was
+	// rated at (Untangle's Section 5.3.4 optimization; 0 for Time).
+	MaintainRun int `json:"maintain_run"`
+}
+
+// SchemeAssessment records one resizing assessment: the paper's unit of
+// observable action. Visible means the size changed (a Maintain is
+// invisible).
+type SchemeAssessment struct {
+	Header
+	PrevBytes int64 `json:"prev_bytes"`
+	SizeBytes int64 `json:"size_bytes"`
+	Visible   bool  `json:"visible"`
+	ApplyAtNs int64 `json:"apply_at_ns"`
+}
+
+// DomainQuantum records one domain's progress over one global scheduling
+// quantum of the measured region.
+type DomainQuantum struct {
+	Header
+	Retired        uint64  `json:"retired"`
+	IPC            float64 `json:"ipc"`
+	CommittedBytes int64   `json:"committed_bytes"`
+}
+
+// Kind implementations. The strings are the wire-format type tags; changing
+// one is a schema break (docs/TELEMETRY.md).
+func (*ResizeRequested) Kind() string     { return "ResizeRequested" }
+func (*ResizeGranted) Kind() string       { return "ResizeGranted" }
+func (*ResizeDenied) Kind() string        { return "ResizeDenied" }
+func (*MonitorWindowClosed) Kind() string { return "MonitorWindowClosed" }
+func (*CooldownStarted) Kind() string     { return "CooldownStarted" }
+func (*CooldownExpired) Kind() string     { return "CooldownExpired" }
+func (*LeakageBitCharged) Kind() string   { return "LeakageBitCharged" }
+func (*SchemeAssessment) Kind() string    { return "SchemeAssessment" }
+func (*DomainQuantum) Kind() string       { return "DomainQuantum" }
+
+// eventFactories maps wire tags to constructors, for decoding.
+var eventFactories = map[string]func() Event{
+	"ResizeRequested":     func() Event { return &ResizeRequested{} },
+	"ResizeGranted":       func() Event { return &ResizeGranted{} },
+	"ResizeDenied":        func() Event { return &ResizeDenied{} },
+	"MonitorWindowClosed": func() Event { return &MonitorWindowClosed{} },
+	"CooldownStarted":     func() Event { return &CooldownStarted{} },
+	"CooldownExpired":     func() Event { return &CooldownExpired{} },
+	"LeakageBitCharged":   func() Event { return &LeakageBitCharged{} },
+	"SchemeAssessment":    func() Event { return &SchemeAssessment{} },
+	"DomainQuantum":       func() Event { return &DomainQuantum{} },
+}
+
+// EventKinds returns every defined wire tag, sorted, for schema checks.
+func EventKinds() []string {
+	kinds := make([]string, 0, len(eventFactories))
+	for k := range eventFactories {
+		kinds = append(kinds, k)
+	}
+	// Deterministic order without importing sort for one call site would be
+	// silly; keep it simple.
+	sortStrings(kinds)
+	return kinds
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// MarshalEvent renders one event as a single flat JSON object with a
+// leading "type" tag:
+//
+//	{"type":"ResizeGranted","at_ns":1200,"domain":3,"prev_bytes":...,...}
+func MarshalEvent(ev Event) ([]byte, error) {
+	body, err := json.Marshal(ev)
+	if err != nil {
+		return nil, err
+	}
+	// Splice the type tag into the object: body is {"at_ns":... -> prepend.
+	line := make([]byte, 0, len(body)+len(ev.Kind())+12)
+	line = append(line, `{"type":"`...)
+	line = append(line, ev.Kind()...)
+	line = append(line, `",`...)
+	if len(body) <= 2 { // "{}" — no fields, close immediately
+		line[len(line)-1] = '}'
+		return line, nil
+	}
+	line = append(line, body[1:]...)
+	return line, nil
+}
+
+// UnmarshalEvent decodes one flat JSON event line back into its concrete
+// type.
+func UnmarshalEvent(data []byte) (Event, error) {
+	var probe struct {
+		Type string `json:"type"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, fmt.Errorf("telemetry: bad event line: %w", err)
+	}
+	mk, ok := eventFactories[probe.Type]
+	if !ok {
+		return nil, fmt.Errorf("telemetry: unknown event type %q", probe.Type)
+	}
+	ev := mk()
+	if err := json.Unmarshal(data, ev); err != nil {
+		return nil, fmt.Errorf("telemetry: decoding %s: %w", probe.Type, err)
+	}
+	return ev, nil
+}
+
+// ReadJSONL decodes a stream of event lines (blank lines are skipped). A
+// truncated final line — the expected shape of a run interrupted mid-write —
+// yields the events before it and an error describing the tear.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		ev, err := UnmarshalEvent(line)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, ev)
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,248 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds a run's named metrics. Registration is idempotent per
+// (name, kind): asking for an existing counter returns the same *Counter,
+// so packages can register at construction time without coordination.
+// Registering one name as two different kinds panics — that is always a
+// programming error.
+//
+// Instrument handles (Counter, Gauge, Histogram) are safe for concurrent
+// use. Snapshot reads counters atomically but evaluates gauge functions
+// in the caller's goroutine; snapshot after the instrumented run (or its
+// quiescent point), which is how the simulator uses it.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	gaugeFuncs map[string]func() float64
+	histograms map[string]*Histogram
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		gaugeFuncs: map[string]func() float64{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// Counter is a monotonically increasing uint64.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a settable float64.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into a fixed bucket layout. Bounds are
+// upper bucket edges; an observation lands in the first bucket whose bound
+// is >= the value, or in the implicit overflow bucket past the last bound
+// (so len(counts) == len(bounds)+1).
+type Histogram struct {
+	bounds []float64
+	mu     sync.Mutex
+	counts []uint64
+	sum    float64
+	n      uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.n++
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// LinearBuckets returns n bounds starting at start, spaced by width.
+func LinearBuckets(start, width float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + width*float64(i)
+	}
+	return out
+}
+
+// ExpBuckets returns n bounds starting at start, each factor times the
+// previous.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Counter returns (registering if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	r.checkFresh(name, "counter")
+	c := &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns (registering if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	r.checkFresh(name, "gauge")
+	g := &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// GaugeFunc registers a gauge evaluated lazily at snapshot time. Useful for
+// exposing counters a package already maintains (cache hit/miss totals)
+// without adding hot-path work. Re-registering a name replaces the
+// function.
+func (r *Registry) GaugeFunc(name string, f func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.gaugeFuncs[name]; !ok {
+		r.checkFresh(name, "gauge func")
+	}
+	r.gaugeFuncs[name] = f
+}
+
+// Histogram returns (registering if needed) the named histogram. bounds is
+// only consulted on first registration and must be non-empty and strictly
+// increasing.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.histograms[name]; ok {
+		return h
+	}
+	r.checkFresh(name, "histogram")
+	if len(bounds) == 0 {
+		panic(fmt.Sprintf("telemetry: histogram %q needs bounds", name))
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram %q bounds not increasing", name))
+		}
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+	r.histograms[name] = h
+	return h
+}
+
+// checkFresh panics if name is already registered as another kind. Callers
+// hold r.mu.
+func (r *Registry) checkFresh(name, kind string) {
+	_, c := r.counters[name]
+	_, g := r.gauges[name]
+	_, gf := r.gaugeFuncs[name]
+	_, h := r.histograms[name]
+	if c || g || gf || h {
+		panic(fmt.Sprintf("telemetry: %q already registered as a different kind than %s", name, kind))
+	}
+}
+
+// HistogramSnapshot is a histogram's frozen state. Counts has one extra
+// entry for the overflow bucket.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Sum    float64   `json:"sum"`
+	Count  uint64    `json:"count"`
+}
+
+// Snapshot is a registry's frozen state, shaped for JSON export. Map keys
+// serialize in sorted order (encoding/json), so a snapshot of a
+// deterministic run is byte-identical across repetitions.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot freezes the registry's current state, evaluating gauge
+// functions.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := &Snapshot{}
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]uint64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges)+len(r.gaugeFuncs) > 0 {
+		s.Gauges = make(map[string]float64, len(r.gauges)+len(r.gaugeFuncs))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+		for name, f := range r.gaugeFuncs {
+			s.Gauges[name] = f()
+		}
+	}
+	if len(r.histograms) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.histograms))
+		for name, h := range r.histograms {
+			h.mu.Lock()
+			s.Histograms[name] = HistogramSnapshot{
+				Bounds: append([]float64(nil), h.bounds...),
+				Counts: append([]uint64(nil), h.counts...),
+				Sum:    h.sum,
+				Count:  h.n,
+			}
+			h.mu.Unlock()
+		}
+	}
+	return s
+}
+
+// MarshalJSONIndent renders the snapshot as indented JSON.
+func (s *Snapshot) MarshalJSONIndent() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}

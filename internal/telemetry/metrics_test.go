@@ -1,0 +1,113 @@
+package telemetry
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("sim.assessments")
+	c2 := r.Counter("sim.assessments")
+	if c1 != c2 {
+		t.Fatal("same name returned distinct counters")
+	}
+	h1 := r.Histogram("sim.gap", LinearBuckets(1, 1, 4))
+	h2 := r.Histogram("sim.gap", nil) // bounds ignored after first registration
+	if h1 != h2 {
+		t.Fatal("same name returned distinct histograms")
+	}
+}
+
+func TestRegistryKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a gauge under a counter's name did not panic")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestHistogramBucketPlacement(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 4, 100} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["h"]
+	// <=1: 0.5, 1 | <=2: 1.5, 2 | <=4: 3, 4 | overflow: 100
+	want := []uint64{2, 2, 2, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("counts = %v, want %v", s.Counts, want)
+		}
+	}
+	if s.Count != 7 {
+		t.Fatalf("count = %d, want 7", s.Count)
+	}
+	if s.Sum != 0.5+1+1.5+2+3+4+100 {
+		t.Fatalf("sum = %v", s.Sum)
+	}
+}
+
+func TestSnapshotJSONDeterministic(t *testing.T) {
+	build := func() []byte {
+		r := NewRegistry()
+		r.Counter("b.count").Add(3)
+		r.Counter("a.count").Add(7)
+		r.Gauge("z.gauge").Set(1.5)
+		r.GaugeFunc("m.func", func() float64 { return 2.25 })
+		r.Histogram("h", ExpBuckets(1, 2, 3)).Observe(3)
+		out, err := r.Snapshot().MarshalJSONIndent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := build(), build()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("snapshots differ:\n%s\n---\n%s", a, b)
+	}
+}
+
+func TestExpAndLinearBuckets(t *testing.T) {
+	exp := ExpBuckets(1, 10, 3)
+	for i, w := range []float64{1, 10, 100} {
+		if exp[i] != w {
+			t.Fatalf("ExpBuckets = %v", exp)
+		}
+	}
+	lin := LinearBuckets(0, 0.5, 3)
+	for i, w := range []float64{0, 0.5, 1} {
+		if lin[i] != w {
+			t.Fatalf("LinearBuckets = %v", lin)
+		}
+	}
+}
+
+func TestCounterConcurrentAdd(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	h := r.Histogram("h", []float64{10, 100})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(float64(i % 200))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+}

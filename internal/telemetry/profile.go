@@ -1,0 +1,150 @@
+package telemetry
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers the /debug/pprof handlers
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// ProfileConfig collects the host-side profiling switches shared by the
+// commands. Unlike the tracer and registry, these observe the simulator
+// process itself (real CPU time, real allocations), so they are wall-clock
+// by nature and never feed the simulation.
+type ProfileConfig struct {
+	// CPUProfile, MemProfile and Trace are output paths for the pprof CPU
+	// profile, the heap profile (written at Stop), and the runtime
+	// execution trace. Empty disables each.
+	CPUProfile string
+	MemProfile string
+	Trace      string
+	// PprofAddr, when non-empty, serves net/http/pprof on this address
+	// (e.g. "localhost:6060") for live inspection of long runs.
+	PprofAddr string
+}
+
+// AddProfileFlags registers -cpuprofile, -memprofile, -trace and -pprof on
+// fs and returns the config they populate.
+func AddProfileFlags(fs *flag.FlagSet) *ProfileConfig {
+	c := &ProfileConfig{}
+	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
+	fs.StringVar(&c.MemProfile, "memprofile", "", "write a pprof heap profile to this file on exit")
+	fs.StringVar(&c.Trace, "trace", "", "write a runtime execution trace to this file")
+	fs.StringVar(&c.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	return c
+}
+
+// Enabled reports whether any profiling output is requested.
+func (c *ProfileConfig) Enabled() bool {
+	return c != nil && (c.CPUProfile != "" || c.MemProfile != "" || c.Trace != "" || c.PprofAddr != "")
+}
+
+// Start begins the requested profiling and returns a stop function that
+// finalizes every output. Callers must invoke stop (typically deferred)
+// even on error paths that exit through log.Fatal alternatives; stop is
+// idempotent.
+func (c *ProfileConfig) Start() (stop func() error, err error) {
+	var (
+		cpuFile   *os.File
+		traceFile *os.File
+		listener  net.Listener
+	)
+	cleanup := func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+			cpuFile = nil
+		}
+		if traceFile != nil {
+			trace.Stop()
+			traceFile.Close()
+			traceFile = nil
+		}
+		if listener != nil {
+			listener.Close()
+			listener = nil
+		}
+	}
+	if c.CPUProfile != "" {
+		cpuFile, err = os.Create(c.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			cpuFile = nil
+			cleanup()
+			return nil, fmt.Errorf("telemetry: cpu profile: %w", err)
+		}
+	}
+	if c.Trace != "" {
+		traceFile, err = os.Create(c.Trace)
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("telemetry: trace: %w", err)
+		}
+		if err := trace.Start(traceFile); err != nil {
+			traceFile.Close()
+			traceFile = nil
+			cleanup()
+			return nil, fmt.Errorf("telemetry: trace: %w", err)
+		}
+	}
+	if c.PprofAddr != "" {
+		listener, err = net.Listen("tcp", c.PprofAddr)
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("telemetry: pprof listener: %w", err)
+		}
+		srv := &http.Server{Handler: http.DefaultServeMux}
+		go srv.Serve(listener) //nolint:errcheck // closed by stop
+	}
+	stopped := false
+	return func() error {
+		if stopped {
+			return nil
+		}
+		stopped = true
+		var firstErr error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				firstErr = err
+			}
+			cpuFile = nil
+		}
+		if traceFile != nil {
+			trace.Stop()
+			if err := traceFile.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			traceFile = nil
+		}
+		if c.MemProfile != "" {
+			f, err := os.Create(c.MemProfile)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+			} else {
+				runtime.GC() // materialize up-to-date allocation stats
+				if err := pprof.WriteHeapProfile(f); err != nil && firstErr == nil {
+					firstErr = err
+				}
+				if err := f.Close(); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+		}
+		if listener != nil {
+			listener.Close()
+			listener = nil
+		}
+		return firstErr
+	}, nil
+}

@@ -1,0 +1,222 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"sync"
+)
+
+// Sink receives emitted events. Implementations must be safe for
+// concurrent Emit (the experiments harness runs one simulation per scheme
+// concurrently, and tests emit from multiple goroutines under -race).
+type Sink interface {
+	Emit(Event)
+	// Close flushes buffered state and releases resources. Emit after
+	// Close is a silent no-op.
+	Close() error
+}
+
+// NopSink discards everything. It is the explicit form of "telemetry off";
+// a nil *Tracer short-circuits even earlier.
+type NopSink struct{}
+
+// Emit implements Sink.
+func (NopSink) Emit(Event) {}
+
+// Close implements Sink.
+func (NopSink) Close() error { return nil }
+
+// JSONL writes one flat JSON object per event to an io.Writer, newline
+// terminated. Each line is marshaled fully before any byte is written and
+// written under one lock acquisition, so concurrent emitters never tear a
+// line. Wrap the sink's own buffer around raw files; call Flush or Close
+// so truncated runs leave whole lines.
+type JSONL struct {
+	mu     sync.Mutex
+	w      *bufio.Writer
+	closed bool
+	err    error
+}
+
+// NewJSONL builds a JSONL sink over w.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{w: bufio.NewWriter(w)}
+}
+
+// Emit implements Sink. The first write or marshal error sticks and
+// suppresses further output; check Err or Close.
+func (s *JSONL) Emit(ev Event) {
+	line, err := MarshalEvent(ev)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.err != nil {
+		return
+	}
+	if err != nil {
+		s.err = err
+		return
+	}
+	if _, err := s.w.Write(line); err != nil {
+		s.err = err
+		return
+	}
+	if err := s.w.WriteByte('\n'); err != nil {
+		s.err = err
+	}
+}
+
+// Flush pushes buffered lines to the underlying writer.
+func (s *JSONL) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	if s.closed {
+		return nil
+	}
+	return s.w.Flush()
+}
+
+// Err returns the first error encountered.
+func (s *JSONL) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Close implements Sink: flush and mark closed (the underlying writer is
+// the caller's to close).
+func (s *JSONL) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return s.err
+	}
+	s.closed = true
+	if err := s.w.Flush(); err != nil && s.err == nil {
+		s.err = err
+	}
+	return s.err
+}
+
+// Ring keeps the last capacity events in memory — the test sink, and a
+// flight-recorder for long runs where only the tail matters.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	total uint64
+}
+
+// NewRing builds a ring sink; capacity must be positive.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, 0, capacity)}
+}
+
+// Emit implements Sink.
+func (r *Ring) Emit(ev Event) {
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, ev)
+	} else {
+		r.buf[r.next] = ev
+		r.next = (r.next + 1) % len(r.buf)
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Close implements Sink.
+func (r *Ring) Close() error { return nil }
+
+// Total returns how many events were ever emitted.
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Dropped returns how many events the ring has overwritten.
+func (r *Ring) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total - uint64(len(r.buf))
+}
+
+// Events returns the retained events, oldest first, freshly allocated.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Buffer retains every event in order — the sink behind deterministic
+// trace files: simulations emit concurrently into per-run buffers, and the
+// caller serializes them in a fixed order afterwards.
+type Buffer struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewBuffer builds an empty buffer sink.
+func NewBuffer() *Buffer { return &Buffer{} }
+
+// Emit implements Sink.
+func (b *Buffer) Emit(ev Event) {
+	b.mu.Lock()
+	b.events = append(b.events, ev)
+	b.mu.Unlock()
+}
+
+// Close implements Sink.
+func (b *Buffer) Close() error { return nil }
+
+// Len returns the number of buffered events.
+func (b *Buffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.events)
+}
+
+// Events returns the buffered events in emission order (shared backing
+// array; callers must not mutate).
+func (b *Buffer) Events() []Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.events
+}
+
+// WriteJSONL serializes the buffered events, one line each, to w.
+func (b *Buffer) WriteJSONL(w io.Writer) error {
+	b.mu.Lock()
+	events := b.events
+	b.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	for _, ev := range events {
+		line, err := MarshalEvent(ev)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(line); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+var (
+	_ Sink = NopSink{}
+	_ Sink = (*JSONL)(nil)
+	_ Sink = (*Ring)(nil)
+	_ Sink = (*Buffer)(nil)
+)

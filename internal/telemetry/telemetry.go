@@ -1,0 +1,78 @@
+// Package telemetry is the simulator's observability substrate: a
+// zero-dependency metrics registry (counters, gauges, fixed-bucket
+// histograms), a structured event tracer with pluggable sinks, and
+// profiling hooks for the commands.
+//
+// Design constraints, in order:
+//
+//  1. Telemetry observes, it never participates. Nothing in this package
+//     feeds back into a simulation decision, and event timestamps come from
+//     simulated time (the cpu package's cycle accounting), never from the
+//     wall clock, so an instrumented run's trace is byte-identical across
+//     repetitions.
+//  2. Disabled telemetry is free. Instrumented hot paths hold a *Tracer
+//     that is nil when telemetry is off; Emit on a nil Tracer returns
+//     immediately, so the cost is one nil-check and no allocations (event
+//     construction sits behind the same check at every call site).
+//  3. No dependencies. The package imports only the standard library and
+//     no other internal package, so every layer of the simulator may
+//     instrument itself without import cycles.
+package telemetry
+
+import "time"
+
+// Clock supplies the simulated time used to stamp events that are emitted
+// without an explicit timestamp. Implementations must derive their reading
+// from simulation state (cycle accounting), not the wall clock, or traces
+// stop being reproducible.
+type Clock interface {
+	Now() time.Duration
+}
+
+// ClockFunc adapts a function to the Clock interface.
+type ClockFunc func() time.Duration
+
+// Now implements Clock.
+func (f ClockFunc) Now() time.Duration { return f() }
+
+// Tracer stamps and routes events to a sink. The zero value of *Tracer
+// (nil) is a valid disabled tracer: Emit is a no-op costing one nil-check.
+type Tracer struct {
+	sink   Sink
+	clock  Clock
+	source string
+}
+
+// New builds a tracer over a sink. source labels every emitted event (the
+// scheme name, or any run identifier); clock may be nil when every call
+// site stamps its events explicitly.
+func New(sink Sink, clock Clock, source string) *Tracer {
+	return &Tracer{sink: sink, clock: clock, source: source}
+}
+
+// SetClock installs the simulated-time fallback clock. The simulator calls
+// this when it adopts a tracer, closing the Clock seam: callers build the
+// tracer, the simulation supplies the time base.
+func (t *Tracer) SetClock(c Clock) {
+	if t != nil {
+		t.clock = c
+	}
+}
+
+// Enabled reports whether events will reach a sink.
+func (t *Tracer) Enabled() bool { return t != nil && t.sink != nil }
+
+// Emit stamps the event's header (source always; time only when the call
+// site left it zero and a clock is installed) and hands it to the sink.
+// Emit on a nil tracer is a no-op.
+func (t *Tracer) Emit(ev Event) {
+	if t == nil || t.sink == nil {
+		return
+	}
+	h := ev.Hdr()
+	h.Source = t.source
+	if h.AtNs == 0 && t.clock != nil {
+		h.AtNs = t.clock.Now().Nanoseconds()
+	}
+	t.sink.Emit(ev)
+}
