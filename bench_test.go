@@ -11,6 +11,7 @@
 package untangle_test
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strconv"
@@ -19,6 +20,7 @@ import (
 
 	"untangle/internal/covert"
 	"untangle/internal/experiments"
+	"untangle/internal/parallel"
 	"untangle/internal/partition"
 	"untangle/internal/stats"
 	"untangle/internal/telemetry"
@@ -32,6 +34,18 @@ func benchScale() float64 {
 		}
 	}
 	return 0.002
+}
+
+// benchJobs sizes the experiment engine's worker pool for the benchmarks:
+// UNTANGLE_BENCH_JOBS overrides, default 0 (= GOMAXPROCS). Set 1 to measure
+// the legacy sequential engine; results are identical either way.
+func benchJobs() int {
+	if v := os.Getenv("UNTANGLE_BENCH_JOBS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			return n
+		}
+	}
+	return 0
 }
 
 func sensitivityInstructions() uint64 {
@@ -75,7 +89,7 @@ func benchmarkMix(b *testing.B, mixID int) {
 	}
 	var res *experiments.MixResult
 	for i := 0; i < b.N; i++ {
-		res, err = experiments.RunMix(mix, experiments.Options{Scale: benchScale()})
+		res, err = experiments.RunMix(mix, experiments.Options{Scale: benchScale(), Jobs: benchJobs()})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -102,7 +116,7 @@ func BenchmarkFigure11Sensitivity(b *testing.B) {
 	var study []experiments.SensitivityResult
 	var err error
 	for i := 0; i < b.N; i++ {
-		study, err = experiments.SensitivityStudy(sensitivityInstructions())
+		study, err = experiments.SensitivityStudy(sensitivityInstructions(), benchJobs())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -118,27 +132,29 @@ func BenchmarkFigure11Sensitivity(b *testing.B) {
 }
 
 // Table 6: average and total leakage for Mixes 1-4 under Time and Untangle.
+// The four mixes fan out onto the worker pool; rows come back in mix order.
 func BenchmarkTable6Leakage(b *testing.B) {
 	var rows []experiments.Table6Row
 	for i := 0; i < b.N; i++ {
-		rows = rows[:0]
-		for id := 1; id <= 4; id++ {
-			mix, err := workload.MixByID(id)
-			if err != nil {
-				b.Fatal(err)
-			}
-			res, err := experiments.RunMix(mix, experiments.Options{
-				Scale: benchScale(),
-				Kinds: []partition.Kind{partition.Static, partition.TimeBased, partition.Untangle},
+		var err error
+		rows, err = parallel.Map(context.Background(), 4, benchJobs(),
+			func(ctx context.Context, i int) (experiments.Table6Row, error) {
+				mix, err := workload.MixByID(i + 1)
+				if err != nil {
+					return experiments.Table6Row{}, err
+				}
+				res, err := experiments.RunMixContext(ctx, mix, experiments.Options{
+					Scale: benchScale(),
+					Kinds: []partition.Kind{partition.Static, partition.TimeBased, partition.Untangle},
+					Jobs:  1,
+				})
+				if err != nil {
+					return experiments.Table6Row{}, err
+				}
+				return res.Table6()
 			})
-			if err != nil {
-				b.Fatal(err)
-			}
-			row, err := res.Table6()
-			if err != nil {
-				b.Fatal(err)
-			}
-			rows = append(rows, row)
+		if err != nil {
+			b.Fatal(err)
 		}
 	}
 	var reduction, timeTotal, unTotal float64
@@ -157,25 +173,30 @@ func BenchmarkTable6Leakage(b *testing.B) {
 func BenchmarkActiveAttacker(b *testing.B) {
 	var rates []float64
 	for i := 0; i < b.N; i++ {
-		rates = rates[:0]
-		for id := 1; id <= 4; id++ {
-			mix, err := workload.MixByID(id)
-			if err != nil {
-				b.Fatal(err)
-			}
-			res, err := experiments.RunMix(mix, experiments.Options{
-				Scale:               benchScale(),
-				Kinds:               []partition.Kind{partition.Untangle},
-				WorstCaseAccounting: true,
+		var err error
+		rates, err = parallel.Map(context.Background(), 4, benchJobs(),
+			func(ctx context.Context, i int) (float64, error) {
+				mix, err := workload.MixByID(i + 1)
+				if err != nil {
+					return 0, err
+				}
+				res, err := experiments.RunMixContext(ctx, mix, experiments.Options{
+					Scale:               benchScale(),
+					Kinds:               []partition.Kind{partition.Untangle},
+					WorstCaseAccounting: true,
+					Jobs:                1,
+				})
+				if err != nil {
+					return 0, err
+				}
+				leak, err := res.LeakagePerAssessment(partition.Untangle)
+				if err != nil {
+					return 0, err
+				}
+				return stats.Mean(leak), nil
 			})
-			if err != nil {
-				b.Fatal(err)
-			}
-			leak, err := res.LeakagePerAssessment(partition.Untangle)
-			if err != nil {
-				b.Fatal(err)
-			}
-			rates = append(rates, stats.Mean(leak))
+		if err != nil {
+			b.Fatal(err)
 		}
 	}
 	b.ReportMetric(stats.Mean(rates), "bits/assess-worst")

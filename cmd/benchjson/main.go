@@ -1,0 +1,129 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// document on stdout, so benchmark baselines can be committed and diffed
+// across PRs without external tooling (no benchstat dependency).
+//
+// Each benchmark becomes one entry keyed by its name (the -cpu/GOMAXPROCS
+// suffix stripped) holding the iteration count, ns/op, the derived ops/s
+// (for the cache microbenchmarks this is accesses per second), and every
+// custom metric the benchmark reported via b.ReportMetric. Repeated runs of
+// the same benchmark (-count > 1) are averaged. Non-benchmark lines are
+// ignored, so the full `go test` output can be piped in unfiltered.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . ./... | benchjson > BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is the JSON record for one benchmark.
+type Entry struct {
+	Iterations int                `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	OpsPerSec  float64            `json:"ops_per_sec"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+	runs       int
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+func main() {
+	entries := map[string]*Entry{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.Atoi(m[2])
+		if err != nil {
+			continue
+		}
+		e := entries[m[1]]
+		if e == nil {
+			e = &Entry{}
+			entries[m[1]] = e
+		}
+		e.runs++
+		e.Iterations += iters
+		for unit, value := range parseMeasurements(m[3]) {
+			switch unit {
+			case "ns/op":
+				e.NsPerOp += value
+			case "B/op", "allocs/op":
+				// Not requested; skip to keep the baseline focused.
+			default:
+				if e.Metrics == nil {
+					e.Metrics = map[string]float64{}
+				}
+				e.Metrics[unit] += value
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(entries) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	for _, e := range entries {
+		e.Iterations /= e.runs
+		e.NsPerOp /= float64(e.runs)
+		for unit := range e.Metrics {
+			e.Metrics[unit] /= float64(e.runs)
+		}
+		if e.NsPerOp > 0 {
+			e.OpsPerSec = 1e9 / e.NsPerOp
+		}
+	}
+	names := make([]string, 0, len(entries))
+	for name := range entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	// Emit in sorted order by hand: encoding/json sorts map keys too, but
+	// an explicit ordered document keeps the diff format obvious.
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	fmt.Fprintln(out, "{")
+	for i, name := range names {
+		b, err := json.Marshal(entries[name])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		comma := ","
+		if i == len(names)-1 {
+			comma = ""
+		}
+		fmt.Fprintf(out, "  %q: %s%s\n", name, b, comma)
+	}
+	fmt.Fprintln(out, "}")
+}
+
+// parseMeasurements splits the tail of a benchmark line — alternating
+// value/unit pairs — into unit → value.
+func parseMeasurements(tail string) map[string]float64 {
+	fields := strings.Fields(tail)
+	out := make(map[string]float64, len(fields)/2)
+	for i := 0; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		out[fields[i+1]] = v
+	}
+	return out
+}

@@ -5,17 +5,27 @@
 // paper's layout. The -out flag additionally writes the same report to a
 // file (used to regenerate EXPERIMENTS.md's measured columns).
 //
+// Everything the evaluation simulates is an independent run, so the whole
+// command executes on the experiment engine's worker pool: the sensitivity
+// study fans out its 36×9 benchmark×size points and the mix phase fans out
+// the mixes (each mix's four schemes plus its active-attacker rerun run
+// inside one worker). -jobs bounds the pool; 0 uses every core and 1 is
+// the legacy sequential path. The report is identical for every -jobs
+// value: results are collected by index and printed in mix order.
+//
 // Long runs can be watched and profiled: -telemetry streams each mix's
 // structured events as JSONL while the run progresses, and the
 // -cpuprofile/-memprofile/-trace/-pprof flags profile the simulator
-// process itself. SIGINT stops cleanly between mixes: every writer is
-// flushed and closed, so an interrupted run leaves a valid (truncated but
-// parseable) report and JSONL stream rather than torn lines. A second
-// SIGINT kills the process immediately.
+// process itself. SIGINT stops cleanly: in-flight mixes finish, unstarted
+// ones are abandoned, and every writer is flushed and closed, so an
+// interrupted run leaves a valid (truncated but parseable) report and
+// JSONL stream rather than torn lines. A second SIGINT kills the process
+// immediately.
 //
 // Usage:
 //
 //	experiments -scale 0.01                 # all mixes, laptop-sized
+//	experiments -scale 0.01 -jobs 1         # sequential legacy execution
 //	experiments -scale 0.01 -mixes 1,2,3,4  # just the Figure 10 mixes
 //	experiments -scale 0.01 -telemetry run.jsonl -pprof localhost:6060
 package main
@@ -33,12 +43,27 @@ import (
 	"syscall"
 
 	"untangle/internal/experiments"
+	"untangle/internal/parallel"
 	"untangle/internal/partition"
 	"untangle/internal/report"
 	"untangle/internal/stats"
 	"untangle/internal/telemetry"
 	"untangle/internal/workload"
 )
+
+// mixKinds is the fixed scheme order of the evaluation; telemetry buffers
+// drain in this order so trace files are deterministic.
+var mixKinds = []partition.Kind{partition.Static, partition.TimeBased, partition.Untangle, partition.Shared}
+
+// mixOutcome is everything one worker produces for one mix.
+type mixOutcome struct {
+	res     *experiments.MixResult
+	buffers map[partition.Kind]*telemetry.Buffer
+	// activeRate is the worst-case per-assessment leakage, NaN-free only
+	// when the active-attacker rerun happened.
+	activeRate float64
+	haveActive bool
+}
 
 func main() {
 	log.SetFlags(0)
@@ -50,6 +75,7 @@ func main() {
 		outPath  = flag.String("out", "", "also write the report to this file")
 		skipAct  = flag.Bool("skip-active", false, "skip the active-attacker accounting runs")
 		telemOut = flag.String("telemetry", "", "stream a JSONL telemetry event trace of every mix to this file")
+		jobs     = flag.Int("jobs", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	profile := telemetry.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
@@ -66,10 +92,10 @@ func main() {
 		}()
 	}
 
-	// SIGINT/SIGTERM stop the run between mixes; the deferred closers then
-	// flush every output so partial files end on whole lines. The signal
-	// is captured (not default-fatal) while the context is live, so an
-	// in-flight write always completes.
+	// SIGINT/SIGTERM stop the run: the pool hands no further work out and
+	// the deferred closers flush every output so partial files end on
+	// whole lines. The signal is captured (not default-fatal) while the
+	// context is live, so an in-flight write always completes.
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
 
@@ -108,50 +134,41 @@ func main() {
 	// Figure 11.
 	var study []experiments.SensitivityResult
 	if *sensIns > 0 && ctx.Err() == nil {
-		log.Printf("running Figure 11 sensitivity study (%d instructions per point)...", *sensIns)
-		study, err = experiments.SensitivityStudy(*sensIns)
+		log.Printf("running Figure 11 sensitivity study (%d instructions per point, %d jobs)...",
+			*sensIns, *jobs)
+		study, err = experiments.SensitivityStudy(*sensIns, *jobs)
 		if err != nil {
+			if ctx.Err() != nil {
+				log.Print("interrupted during the sensitivity study")
+				return
+			}
 			log.Fatal(err)
 		}
 		fmt.Fprintln(w, report.Figure11(study))
 	}
 
-	// Figures 10 and 12-17 plus Table 6 inputs.
+	// Figures 10 and 12-17 plus Table 6 inputs: one worker per mix. Each
+	// worker runs its mix's four schemes (sequentially when several mixes
+	// share the pool, so -jobs bounds total concurrency) and then the
+	// worst-case accounting rerun.
+	outcomes, runErr := runMixes(ctx, ids, *scale, *jobs, !*skipAct, telemSink != nil)
+	if runErr != nil && ctx.Err() == nil {
+		log.Fatal(runErr)
+	}
+
+	// Report in mix order regardless of completion order. After an
+	// interrupt, report every mix that finished.
 	var rows []experiments.Table6Row
 	var activeRates, maintainFracs []float64
-	for _, id := range ids {
-		if ctx.Err() != nil {
-			log.Printf("interrupted; stopping after %d of %d mixes", len(rows), len(ids))
-			break
+	done := 0
+	for _, oc := range outcomes {
+		if oc.res == nil {
+			continue
 		}
-		mix, err := workload.MixByID(id)
-		if err != nil {
-			log.Fatal(err)
-		}
-		log.Printf("running mix %d at scale %v...", id, *scale)
-		opts := experiments.Options{Scale: *scale}
-		// Telemetry: per-scheme buffers keep concurrent schemes from
-		// interleaving; the buffers drain to the shared JSONL stream in
-		// fixed scheme order once the mix completes, so the file content
-		// is deterministic however the goroutines raced.
-		kinds := []partition.Kind{partition.Static, partition.TimeBased, partition.Untangle, partition.Shared}
-		var buffers map[partition.Kind]*telemetry.Buffer
+		done++
 		if telemSink != nil {
-			buffers = map[partition.Kind]*telemetry.Buffer{}
-			for _, kind := range kinds {
-				buffers[kind] = telemetry.NewBuffer()
-			}
-			opts.TracerFor = func(k partition.Kind) *telemetry.Tracer {
-				return telemetry.New(buffers[k], nil, fmt.Sprintf("mix%d/%s", id, k))
-			}
-		}
-		res, err := experiments.RunMix(mix, opts)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if telemSink != nil {
-			for _, kind := range kinds {
-				for _, ev := range buffers[kind].Events() {
+			for _, kind := range mixKinds {
+				for _, ev := range oc.buffers[kind].Events() {
 					telemSink.Emit(ev)
 				}
 			}
@@ -159,34 +176,23 @@ func main() {
 				log.Fatal(err)
 			}
 		}
-		group, err := report.MixGroup(res, study)
+		group, err := report.MixGroup(oc.res, study)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Fprintln(w, group)
-		row, err := res.Table6()
+		row, err := oc.res.Table6()
 		if err != nil {
 			log.Fatal(err)
 		}
 		rows = append(rows, row)
 		maintainFracs = append(maintainFracs, row.UntangleMaintainFrac)
-
-		if !*skipAct && ctx.Err() == nil {
-			log.Printf("running mix %d with worst-case (active-attacker) accounting...", id)
-			act, err := experiments.RunMix(mix, experiments.Options{
-				Scale:               *scale,
-				Kinds:               []partition.Kind{partition.Untangle},
-				WorstCaseAccounting: true,
-			})
-			if err != nil {
-				log.Fatal(err)
-			}
-			leak, err := act.LeakagePerAssessment(partition.Untangle)
-			if err != nil {
-				log.Fatal(err)
-			}
-			activeRates = append(activeRates, stats.Mean(leak))
+		if oc.haveActive {
+			activeRates = append(activeRates, oc.activeRate)
 		}
+	}
+	if done < len(ids) {
+		log.Printf("interrupted; reporting %d of %d mixes", done, len(ids))
 	}
 
 	fmt.Fprintln(w, report.Table6(rows))
@@ -203,6 +209,63 @@ func main() {
 		fmt.Fprintf(w, "Active attacker (no Maintain optimization): %.1f bits per assessment on average\n",
 			stats.Mean(activeRates))
 	}
+}
+
+// runMixes fans the mixes onto the worker pool and collects each mix's
+// outcome by index. A canceled context abandons unstarted mixes; the
+// returned slice still holds every completed outcome.
+func runMixes(ctx context.Context, ids []int, scale float64, jobs int, active, traced bool) ([]mixOutcome, error) {
+	// Scheme-level concurrency only helps when the mixes themselves cannot
+	// fill the pool.
+	innerJobs := 1
+	if len(ids) == 1 {
+		innerJobs = jobs
+	}
+	return parallel.Map(ctx, len(ids), jobs, func(ctx context.Context, i int) (mixOutcome, error) {
+		id := ids[i]
+		mix, err := workload.MixByID(id)
+		if err != nil {
+			return mixOutcome{}, err
+		}
+		log.Printf("running mix %d at scale %v...", id, scale)
+		opts := experiments.Options{Scale: scale, Jobs: innerJobs}
+		var oc mixOutcome
+		if traced {
+			// Telemetry: per-scheme buffers keep concurrent schemes from
+			// interleaving; the buffers drain to the shared JSONL stream
+			// in fixed scheme order once the mix completes, so the file
+			// content is deterministic however the goroutines raced.
+			oc.buffers = map[partition.Kind]*telemetry.Buffer{}
+			for _, kind := range mixKinds {
+				oc.buffers[kind] = telemetry.NewBuffer()
+			}
+			opts.TracerFor = func(k partition.Kind) *telemetry.Tracer {
+				return telemetry.New(oc.buffers[k], nil, fmt.Sprintf("mix%d/%s", id, k))
+			}
+		}
+		if oc.res, err = experiments.RunMixContext(ctx, mix, opts); err != nil {
+			return mixOutcome{}, err
+		}
+		if active && ctx.Err() == nil {
+			log.Printf("running mix %d with worst-case (active-attacker) accounting...", id)
+			act, err := experiments.RunMixContext(ctx, mix, experiments.Options{
+				Scale:               scale,
+				Kinds:               []partition.Kind{partition.Untangle},
+				WorstCaseAccounting: true,
+				Jobs:                innerJobs,
+			})
+			if err != nil {
+				return mixOutcome{}, err
+			}
+			leak, err := act.LeakagePerAssessment(partition.Untangle)
+			if err != nil {
+				return mixOutcome{}, err
+			}
+			oc.activeRate = stats.Mean(leak)
+			oc.haveActive = true
+		}
+		return oc, nil
+	})
 }
 
 func parseMixes(s string) ([]int, error) {

@@ -3,11 +3,17 @@
 // sizes, reporting IPC normalized to the 8MB maximum and the resulting
 // adequate LLC size and sensitivity classification.
 //
+// The benchmark×size points are independent simulations and fan out onto
+// the experiment engine's worker pool; -jobs bounds the pool (0 =
+// GOMAXPROCS, 1 = sequential). Results are identical for every -jobs value.
+//
 // Usage:
 //
-//	sensitivity                       # all 36 benchmarks
+//	sensitivity                       # all 36 benchmarks, all cores
+//	sensitivity -jobs 1               # sequential (legacy) execution
 //	sensitivity -bench mcf_0          # one benchmark
 //	sensitivity -instructions 3000000 # higher fidelity
+//	sensitivity -classify-only        # adequate sizes only, short-circuited
 package main
 
 import (
@@ -25,22 +31,39 @@ func main() {
 	var (
 		bench        = flag.String("bench", "", "run a single benchmark (default: all 36)")
 		instructions = flag.Uint64("instructions", 1_500_000, "measured instructions per run (an equal warmup precedes)")
+		jobs         = flag.Int("jobs", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+		classifyOnly = flag.Bool("classify-only", false, "compute adequate sizes only, short-circuiting the IPC curve")
 	)
 	flag.Parse()
 
 	var study []experiments.SensitivityResult
-	if *bench != "" {
-		r, err := experiments.Sensitivity(*bench, *instructions)
-		if err != nil {
-			log.Fatal(err)
-		}
+	var err error
+	switch {
+	case *bench != "" && *classifyOnly:
+		var r experiments.SensitivityResult
+		r, err = experiments.Classify(*bench, *instructions)
 		study = []experiments.SensitivityResult{r}
-	} else {
-		var err error
-		study, err = experiments.SensitivityStudy(*instructions)
-		if err != nil {
-			log.Fatal(err)
+	case *bench != "":
+		var r experiments.SensitivityResult
+		r, err = experiments.Sensitivity(*bench, *instructions)
+		study = []experiments.SensitivityResult{r}
+	case *classifyOnly:
+		study, err = experiments.ClassifyStudy(*instructions, *jobs)
+	default:
+		study, err = experiments.SensitivityStudy(*instructions, *jobs)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *classifyOnly {
+		for _, r := range study {
+			mark := " "
+			if r.Sensitive {
+				mark = "*"
+			}
+			fmt.Printf("%s %-14s adequate %7.0f kB\n", mark, r.Name, float64(r.Adequate)/1024)
 		}
+		return
 	}
 	fmt.Print(report.Figure11(study))
 }

@@ -8,10 +8,18 @@
 // of sets a domain owns. Lines are remapped on resize: lines whose new set
 // index still exists are reinserted (respecting associativity), the rest are
 // written back and dropped.
+//
+// Access is the simulator's hottest function (every simulated memory
+// reference passes through an L1, often an LLC partition, and the monitor's
+// shadow arrays), so its state is laid out for the scan, not the object
+// model: tags live in a packed []uint64 scanned 8-per-cache-line, LRU/dirty
+// metadata is only touched on the way that hits, and the set index uses a
+// precomputed Lemire reciprocal instead of a hardware divide.
 package cache
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"untangle/internal/telemetry"
@@ -87,10 +95,10 @@ func (s *Stats) Sub(base Stats) {
 	s.Prefetches -= base.Prefetches
 }
 
-// line is one cache line. The tag stores the full line address (address
-// divided by LineBytes); keeping the whole line address rather than a
-// set-relative tag makes resizing remaps trivial and costs nothing in a
-// simulator.
+// line is one cache line in array-of-structs form. The resizable Cache
+// stores its state split (tags packed apart from metadata, below); line
+// remains the working representation for WayPartitioned and for the
+// transient survivor list a Resize builds.
 type line struct {
 	lineAddr uint64
 	lru      uint64
@@ -100,12 +108,25 @@ type line struct {
 
 // Cache is a set-associative, true-LRU, write-back cache with a resizable
 // number of sets.
+//
+// State is laid out structure-of-arrays: tags holds lineAddr+1 for valid
+// lines (0 = invalid) so the scan needs no separate valid bit, lru holds
+// the per-line LRU tick (scanned only on eviction), and dirty the
+// write-back flag (read only for the evicted way). All are sets*ways,
+// set-major, and each scan — tag match, LRU victim — walks one packed
+// array: 8 entries per cache line instead of the 2⅔ the old
+// array-of-structs layout gave.
 type Cache struct {
 	ways  int
 	sets  int
-	lines []line // sets*ways, set-major
-	tick  uint64
-	stats Stats
+	tags  []uint64
+	lru   []uint64
+	dirty []bool
+	// modHi/modLo form the 128-bit Lemire reciprocal ceil(2^128/sets),
+	// recomputed on Resize; setIndex uses it to replace the % divide.
+	modHi, modLo uint64
+	tick         uint64
+	stats        Stats
 	// replacement-policy state (see policy.go); LRU needs none beyond the
 	// per-line tick.
 	policy Policy
@@ -119,7 +140,10 @@ func New(cfg Config) (*Cache, error) {
 		return nil, err
 	}
 	c := &Cache{ways: cfg.Ways, sets: cfg.Sets()}
-	c.lines = make([]line, c.sets*c.ways)
+	c.tags = make([]uint64, c.sets*c.ways)
+	c.lru = make([]uint64, c.sets*c.ways)
+	c.dirty = make([]bool, c.sets*c.ways)
+	c.modHi, c.modLo = reciprocal(uint64(c.sets))
 	return c, nil
 }
 
@@ -162,6 +186,36 @@ func (c *Cache) RegisterMetrics(reg *telemetry.Registry, prefix string) {
 	reg.GaugeFunc(prefix+".size_bytes", func() float64 { return float64(c.SizeBytes()) })
 }
 
+// reciprocal computes ceil(2^128/d) as a 128-bit value (hi, lo). With it,
+// fastmod reduces any 64-bit value mod d without a divide. d == 1 wraps to
+// (0, 0), for which fastmod correctly yields 0 everywhere.
+func reciprocal(d uint64) (hi, lo uint64) {
+	// floor((2^128 - 1) / d) by schoolbook two-word division, then + 1.
+	hi = ^uint64(0) / d
+	rem := ^uint64(0) % d
+	lo, _ = bits.Div64(rem, ^uint64(0), d)
+	lo++
+	if lo == 0 {
+		hi++
+	}
+	return hi, lo
+}
+
+// fastmod returns x % d given the precomputed reciprocal (mHi, mLo) for d.
+// This is the 64-bit variant of Lemire/Kaser/Kurz "Faster Remainder by
+// Direct Computation": frac = x * ceil(2^128/d) mod 2^128, result =
+// floor(frac * d / 2^128). Exact for every x and every d >= 1 (the error
+// term e*x with e < d stays below 2^128), three multiplies instead of a
+// 20-40 cycle hardware divide.
+func fastmod(x, mHi, mLo, d uint64) uint64 {
+	fracHi, fracLo := bits.Mul64(mLo, x)
+	fracHi += mHi * x
+	aHi, _ := bits.Mul64(fracLo, d)
+	bHi, bLo := bits.Mul64(fracHi, d)
+	_, carry := bits.Add64(aHi, bLo, 0)
+	return bHi + carry
+}
+
 // setIndex maps a line address to its set.
 func (c *Cache) setIndex(lineAddr uint64) int {
 	// Mix the upper bits into the index so strided patterns spread across
@@ -169,48 +223,55 @@ func (c *Cache) setIndex(lineAddr uint64) int {
 	// resizes only in that it is a pure function of the line address.
 	h := lineAddr * 0x9E3779B97F4A7C15
 	h ^= h >> 32
-	return int(h % uint64(c.sets))
+	return int(fastmod(h, c.modHi, c.modLo, uint64(c.sets)))
 }
 
 // Access performs a load or store of the line containing addr. It returns
 // true on hit. Misses allocate (write-allocate policy) and evict LRU.
+//
+// The way scan reads only the packed tag array; LRU/dirty updates and the
+// replacement-policy branches happen after the scan, on the single way
+// involved.
 func (c *Cache) Access(addr uint64, write bool) bool {
 	lineAddr := addr / LineBytes
 	set := c.setIndex(lineAddr)
 	base := set * c.ways
-	ways := c.lines[base : base+c.ways]
+	tags := c.tags[base : base+c.ways]
+	tag := lineAddr + 1
 	c.tick++
-	empty := -1
-	for i := range ways {
-		l := &ways[i]
-		if !l.valid {
-			if empty < 0 {
-				empty = i
-			}
-			continue
+	hit, empty := -1, -1
+	for i, t := range tags {
+		if t == tag {
+			hit = i
+			break
 		}
-		if l.lineAddr == lineAddr {
-			l.lru = c.tick
-			if write {
-				l.dirty = true
-			}
-			if c.policy == TreePLRU {
-				c.plruTouch(set, i, c.ways)
-			}
-			c.stats.Hits++
-			return true
+		if t == 0 && empty < 0 {
+			empty = i
 		}
+	}
+	if hit >= 0 {
+		c.lru[base+hit] = c.tick
+		if write {
+			c.dirty[base+hit] = true
+		}
+		if c.policy == TreePLRU {
+			c.plruTouch(set, hit, c.ways)
+		}
+		c.stats.Hits++
+		return true
 	}
 	c.stats.Misses++
 	slot := empty
 	if slot < 0 {
-		slot = c.victimFor(set, ways)
+		slot = c.victimFor(set, base)
 		c.stats.Evictions++
-		if ways[slot].dirty {
+		if c.dirty[base+slot] {
 			c.stats.Writebacks++
 		}
 	}
-	ways[slot] = line{lineAddr: lineAddr, lru: c.tick, valid: true, dirty: write}
+	c.tags[base+slot] = tag
+	c.lru[base+slot] = c.tick
+	c.dirty[base+slot] = write
 	if c.policy == TreePLRU {
 		c.plruTouch(set, slot, c.ways)
 	}
@@ -224,22 +285,22 @@ func (c *Cache) Prefetch(addr uint64) {
 	lineAddr := addr / LineBytes
 	set := c.setIndex(lineAddr)
 	base := set * c.ways
-	ways := c.lines[base : base+c.ways]
+	tags := c.tags[base : base+c.ways]
+	tag := lineAddr + 1
 	var victim, empty = -1, -1
 	var oldest uint64 = ^uint64(0)
-	for i := range ways {
-		l := &ways[i]
-		if !l.valid {
+	for i, t := range tags {
+		if t == tag {
+			return // already resident; leave LRU state alone
+		}
+		if t == 0 {
 			if empty < 0 {
 				empty = i
 			}
 			continue
 		}
-		if l.lineAddr == lineAddr {
-			return // already resident; leave LRU state alone
-		}
-		if l.lru < oldest {
-			oldest = l.lru
+		if m := c.lru[base+i]; m < oldest {
+			oldest = m
 			victim = i
 		}
 	}
@@ -247,7 +308,7 @@ func (c *Cache) Prefetch(addr uint64) {
 	if slot < 0 {
 		slot = victim
 		c.stats.Evictions++
-		if ways[slot].dirty {
+		if c.dirty[base+slot] {
 			c.stats.Writebacks++
 		}
 	}
@@ -257,7 +318,9 @@ func (c *Cache) Prefetch(addr uint64) {
 	if lru > 0 {
 		lru--
 	}
-	ways[slot] = line{lineAddr: lineAddr, lru: lru, valid: true}
+	c.tags[base+slot] = tag
+	c.lru[base+slot] = lru
+	c.dirty[base+slot] = false
 }
 
 // Contains reports whether the line holding addr is present, without
@@ -265,8 +328,9 @@ func (c *Cache) Prefetch(addr uint64) {
 func (c *Cache) Contains(addr uint64) bool {
 	lineAddr := addr / LineBytes
 	base := c.setIndex(lineAddr) * c.ways
-	for _, l := range c.lines[base : base+c.ways] {
-		if l.valid && l.lineAddr == lineAddr {
+	tag := lineAddr + 1
+	for _, t := range c.tags[base : base+c.ways] {
+		if t == tag {
 			return true
 		}
 	}
@@ -276,8 +340,8 @@ func (c *Cache) Contains(addr uint64) bool {
 // ValidLines returns the number of valid lines (for invariant checks).
 func (c *Cache) ValidLines() int {
 	n := 0
-	for i := range c.lines {
-		if c.lines[i].valid {
+	for _, t := range c.tags {
+		if t != 0 {
 			n++
 		}
 	}
@@ -286,11 +350,13 @@ func (c *Cache) ValidLines() int {
 
 // Flush invalidates everything, counting writebacks for dirty lines.
 func (c *Cache) Flush() {
-	for i := range c.lines {
-		if c.lines[i].valid && c.lines[i].dirty {
+	for i := range c.tags {
+		if c.tags[i] != 0 && c.dirty[i] {
 			c.stats.Writebacks++
 		}
-		c.lines[i] = line{}
+		c.tags[i] = 0
+		c.lru[i] = 0
+		c.dirty[i] = false
 	}
 }
 
@@ -307,18 +373,23 @@ func (c *Cache) Resize(newSize int64) error {
 	if newSets == c.sets {
 		return nil
 	}
-	old := c.lines
+	oldTags, oldLRU, oldDirty := c.tags, c.lru, c.dirty
 	c.sets = newSets
-	c.lines = make([]line, newSets*c.ways)
+	c.modHi, c.modLo = reciprocal(uint64(newSets))
+	c.tags = make([]uint64, newSets*c.ways)
+	c.lru = make([]uint64, newSets*c.ways)
+	c.dirty = make([]bool, newSets*c.ways)
 	if c.plru != nil {
 		c.plru = make([]uint32, newSets)
 	}
 	// Reinsert surviving lines in LRU order (oldest first) so that when a
 	// new set overflows, the most recently used lines win.
-	survivors := make([]line, 0, len(old))
-	for i := range old {
-		if old[i].valid {
-			survivors = append(survivors, old[i])
+	survivors := make([]line, 0, len(oldTags))
+	for i, t := range oldTags {
+		if t != 0 {
+			survivors = append(survivors, line{
+				lineAddr: t - 1, lru: oldLRU[i], valid: true, dirty: oldDirty[i],
+			})
 		}
 	}
 	sort.Slice(survivors, func(i, j int) bool { return survivors[i].lru < survivors[j].lru })
@@ -328,14 +399,15 @@ func (c *Cache) Resize(newSize int64) error {
 		placed := false
 		slot, oldest := -1, ^uint64(0)
 		for i := 0; i < c.ways; i++ {
-			w := &c.lines[base+i]
-			if !w.valid {
-				*w = l
+			if c.tags[base+i] == 0 {
+				c.tags[base+i] = l.lineAddr + 1
+				c.lru[base+i] = l.lru
+				c.dirty[base+i] = l.dirty
 				placed = true
 				break
 			}
-			if w.lru < oldest {
-				oldest = w.lru
+			if m := c.lru[base+i]; m < oldest {
+				oldest = m
 				slot = i
 			}
 		}
@@ -343,12 +415,13 @@ func (c *Cache) Resize(newSize int64) error {
 			// Set over-full after shrink: replace the LRU occupant (which
 			// is older because we insert oldest-first). The displaced line
 			// is dropped; count its writeback if dirty.
-			displaced := c.lines[base+slot]
-			if displaced.lru < l.lru {
-				if displaced.dirty {
+			if oldest < l.lru {
+				if c.dirty[base+slot] {
 					c.stats.Writebacks++
 				}
-				c.lines[base+slot] = l
+				c.tags[base+slot] = l.lineAddr + 1
+				c.lru[base+slot] = l.lru
+				c.dirty[base+slot] = l.dirty
 			} else if l.dirty {
 				c.stats.Writebacks++
 			}

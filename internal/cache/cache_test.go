@@ -361,3 +361,100 @@ func TestStatsSub(t *testing.T) {
 		t.Errorf("Sub = %+v", a)
 	}
 }
+
+// reachableSets enumerates every set count the simulator can configure: the
+// 9 Table-3 LLC partition sizes at 16 ways, the L1 geometries, and the
+// monitor's sampled shadow sizes, plus adversarial small counts.
+func reachableSets(t *testing.T) []uint64 {
+	t.Helper()
+	var sets []uint64
+	for _, kb := range []int64{128, 256, 512, 1024, 2048, 3072, 4096, 6144, 8192} {
+		cfg := Config{SizeBytes: kb << 10, Ways: 16}
+		if err := cfg.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		sets = append(sets, uint64(cfg.Sets()))
+	}
+	// L1 (32kB/8-way), shadow arrays (down-sampled partitions), tiny caches.
+	for _, s := range []uint64{1, 2, 3, 4, 8, 64, 96, 512} {
+		sets = append(sets, s)
+	}
+	return sets
+}
+
+func TestFastmodAgreesWithModulo(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for _, d := range reachableSets(t) {
+		mHi, mLo := reciprocal(d)
+		// Edge operands plus a random spray of full-width line-address hashes.
+		xs := []uint64{0, 1, d - 1, d, d + 1, ^uint64(0), ^uint64(0) - 1, 1 << 63}
+		for i := 0; i < 5000; i++ {
+			xs = append(xs, r.Uint64())
+		}
+		for _, x := range xs {
+			if got, want := fastmod(x, mHi, mLo, d), x%d; got != want {
+				t.Fatalf("fastmod(%#x, d=%d) = %d, want %d", x, d, got, want)
+			}
+		}
+	}
+}
+
+func TestSetIndexMatchesModuloThroughResizes(t *testing.T) {
+	// The property the simulator actually relies on: after any Resize chain,
+	// setIndex still equals the mixed hash reduced by % over the live set
+	// count — i.e. the reciprocal is recomputed, never stale.
+	c := MustNew(Config{SizeBytes: 2 << 20, Ways: 16})
+	r := rand.New(rand.NewSource(7))
+	sizes := []int64{128 << 10, 3 << 20, 8 << 20, 256 << 10, 6 << 20, 1 << 20}
+	for _, size := range sizes {
+		if err := c.Resize(size); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2000; i++ {
+			lineAddr := r.Uint64() >> 6
+			h := lineAddr * 0x9E3779B97F4A7C15
+			h ^= h >> 32
+			if got, want := c.setIndex(lineAddr), int(h%uint64(c.sets)); got != want {
+				t.Fatalf("after Resize(%d): setIndex(%#x) = %d, want %d", size, lineAddr, got, want)
+			}
+		}
+	}
+}
+
+func TestResizeThenAccessRegression(t *testing.T) {
+	// Regression for the reciprocal lifecycle: grow and shrink across
+	// non-power-of-two sizes, then verify accesses behave (hit after miss,
+	// capacity bounded, Contains consistent with Access).
+	c := MustNew(Config{SizeBytes: 512 << 10, Ways: 16})
+	r := rand.New(rand.NewSource(11))
+	addrs := make([]uint64, 400)
+	for i := range addrs {
+		addrs[i] = uint64(r.Intn(1 << 24))
+	}
+	for _, size := range []int64{3 << 20, 128 << 10, 6 << 20, 256 << 10, 8 << 20} {
+		if err := c.Resize(size); err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range addrs {
+			c.Access(a, false)
+			if !c.Access(a, false) {
+				t.Fatalf("size %d: immediate re-access of %#x missed", size, a)
+			}
+			if !c.Contains(a) {
+				t.Fatalf("size %d: Contains(%#x) false right after hit", size, a)
+			}
+		}
+		if got, max := c.ValidLines(), c.Sets()*c.Ways(); got > max {
+			t.Fatalf("size %d: %d valid lines exceed capacity %d", size, got, max)
+		}
+	}
+}
+
+func BenchmarkSetIndex(b *testing.B) {
+	c := MustNew(Config{SizeBytes: 3 << 20, Ways: 16}) // non-power-of-two sets
+	var sink int
+	for i := 0; b.Loop(); i++ {
+		sink = c.setIndex(uint64(i) * 977)
+	}
+	_ = sink
+}

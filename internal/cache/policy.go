@@ -48,19 +48,21 @@ func (c *Cache) SetPolicy(p Policy) {
 func (c *Cache) Policy() Policy { return c.policy }
 
 // victimFor picks the eviction way index for a full set under the active
-// policy. ways is the set's slice; used only when no empty way exists.
-func (c *Cache) victimFor(set int, ways []line) int {
+// policy. base is the set's first index into the metadata array; used only
+// when no empty way exists.
+func (c *Cache) victimFor(set, base int) int {
 	switch c.policy {
 	case TreePLRU:
-		return c.plruVictim(set, len(ways))
+		return c.plruVictim(set, c.ways)
 	case Random:
 		c.rng = c.rng*6364136223846793005 + 1442695040888963407
-		return int((c.rng >> 33) % uint64(len(ways)))
+		return int((c.rng >> 33) % uint64(c.ways))
 	default:
+		lru := c.lru[base : base+c.ways]
 		victim, oldest := 0, ^uint64(0)
-		for i := range ways {
-			if ways[i].lru < oldest {
-				oldest = ways[i].lru
+		for i, v := range lru {
+			if v < oldest {
+				oldest = v
 				victim = i
 			}
 		}

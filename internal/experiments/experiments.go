@@ -10,11 +10,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"sync"
+	"sort"
 	"time"
 
 	"untangle/internal/isa"
+	"untangle/internal/parallel"
 	"untangle/internal/partition"
 	"untangle/internal/sim"
 	"untangle/internal/stats"
@@ -61,6 +63,13 @@ type Options struct {
 	TracerFor func(partition.Kind) *telemetry.Tracer
 	// MetricsFor, when non-nil, supplies a metrics registry per scheme.
 	MetricsFor func(partition.Kind) *telemetry.Registry
+	// Jobs bounds the experiment engine's worker pool: 0 uses GOMAXPROCS,
+	// 1 forces the legacy sequential path, N caps concurrency at N. Every
+	// fan-out point (scheme, seed, or size) owns its simulator, generators,
+	// and telemetry buffer, and results are always collected and folded in
+	// index order, so the value changes wall-clock time only — never
+	// results (see the equivalence tests in parallel_test.go).
+	Jobs int
 }
 
 func (o Options) kinds() []partition.Kind {
@@ -126,58 +135,55 @@ type MixResult struct {
 }
 
 // RunMix runs one mix under the selected schemes. The schemes are fully
-// independent simulations and run concurrently.
+// independent simulations and run on the experiment engine's worker pool,
+// bounded by Options.Jobs.
 func RunMix(mix workload.Mix, opts Options) (*MixResult, error) {
+	return RunMixContext(context.Background(), mix, opts)
+}
+
+// RunMixContext is RunMix with cancellation: canceling ctx stops schemes
+// that have not started yet and returns the context's error.
+func RunMixContext(ctx context.Context, mix workload.Mix, opts Options) (*MixResult, error) {
 	res := &MixResult{Mix: mix, Scale: opts.scale(), PerScheme: map[partition.Kind]*sim.Result{}}
 	kinds := opts.kinds()
-	results := make([]*sim.Result, len(kinds))
-	errs := make([]error, len(kinds))
-	var wg sync.WaitGroup
-	for i, kind := range kinds {
-		wg.Add(1)
-		go func(i int, kind partition.Kind) {
-			defer wg.Done()
-			scheme := partition.DefaultScheme(kind)
-			scheme.Annotated = !opts.DisableAnnotations
-			cfg := sim.Scaled(scheme, res.Scale)
-			cfg.OptimizeMaintain = !opts.WorstCaseAccounting
-			cfg.Budget = opts.Budget
-			if opts.WayPartitioned {
-				cfg.WayPartitioned = true
-				cfg.Sizes = cfg.WaySizes()
-			}
-			if opts.SimSeed != 0 {
-				cfg.Seed = opts.SimSeed
-			}
-			if opts.TracerFor != nil {
-				cfg.Tracer = opts.TracerFor(kind)
-			}
-			if opts.MetricsFor != nil {
-				cfg.Metrics = opts.MetricsFor(kind)
-			}
-			specs, err := BuildDomains(mix, res.Scale, opts.Secret)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			s, err := sim.New(cfg, specs)
-			if err != nil {
-				errs[i] = fmt.Errorf("mix %d, %v: %w", mix.ID, kind, err)
-				return
-			}
-			r, err := s.Run()
-			if err != nil {
-				errs[i] = fmt.Errorf("mix %d, %v: %w", mix.ID, kind, err)
-				return
-			}
-			results[i] = r
-		}(i, kind)
-	}
-	wg.Wait()
-	for i, kind := range kinds {
-		if errs[i] != nil {
-			return nil, errs[i]
+	results, err := parallel.Map(ctx, len(kinds), opts.Jobs, func(_ context.Context, i int) (*sim.Result, error) {
+		kind := kinds[i]
+		scheme := partition.DefaultScheme(kind)
+		scheme.Annotated = !opts.DisableAnnotations
+		cfg := sim.Scaled(scheme, res.Scale)
+		cfg.OptimizeMaintain = !opts.WorstCaseAccounting
+		cfg.Budget = opts.Budget
+		if opts.WayPartitioned {
+			cfg.WayPartitioned = true
+			cfg.Sizes = cfg.WaySizes()
 		}
+		if opts.SimSeed != 0 {
+			cfg.Seed = opts.SimSeed
+		}
+		if opts.TracerFor != nil {
+			cfg.Tracer = opts.TracerFor(kind)
+		}
+		if opts.MetricsFor != nil {
+			cfg.Metrics = opts.MetricsFor(kind)
+		}
+		specs, err := BuildDomains(mix, res.Scale, opts.Secret)
+		if err != nil {
+			return nil, err
+		}
+		s, err := sim.New(cfg, specs)
+		if err != nil {
+			return nil, fmt.Errorf("mix %d, %v: %w", mix.ID, kind, err)
+		}
+		r, err := s.Run()
+		if err != nil {
+			return nil, fmt.Errorf("mix %d, %v: %w", mix.ID, kind, err)
+		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, kind := range kinds {
 		res.PerScheme[kind] = results[i]
 	}
 	return res, nil
@@ -201,42 +207,59 @@ type Replication struct {
 // seed and summarizes the spread. It also checks the central determinism
 // property across seeds: the random delay perturbs only WHEN actions apply,
 // so the action sequences must be identical for every seed.
+//
+// The seeds fan out onto the worker pool (Options.Jobs); per-seed outputs
+// are collected by seed index and folded sequentially, so the summary is
+// identical to the legacy one-seed-at-a-time loop.
 func Replicate(mix workload.Mix, opts Options, seeds []uint64) (Replication, error) {
 	if len(seeds) == 0 {
 		seeds = []uint64{1, 2, 3}
 	}
 	rep := Replication{Seeds: seeds, ActionSequencesMatch: true}
+	type seedRun struct {
+		speed   float64
+		leak    float64
+		actions [][]int64
+	}
+	runs, err := parallel.Map(context.Background(), len(seeds), opts.Jobs,
+		func(ctx context.Context, i int) (seedRun, error) {
+			o := opts
+			o.SimSeed = seeds[i]
+			o.Kinds = []partition.Kind{partition.Static, partition.Untangle}
+			// The two schemes of each seed already saturate small pools;
+			// run them sequentially inside the seed-level fan-out so jobs
+			// bounds total concurrency instead of multiplying.
+			o.Jobs = 1
+			res, err := RunMixContext(ctx, mix, o)
+			if err != nil {
+				return seedRun{}, err
+			}
+			var run seedRun
+			if run.speed, err = res.SystemSpeedup(partition.Untangle); err != nil {
+				return seedRun{}, err
+			}
+			leak, err := res.LeakagePerAssessment(partition.Untangle)
+			if err != nil {
+				return seedRun{}, err
+			}
+			run.leak = stats.Mean(leak)
+			run.actions = make([][]int64, len(res.PerScheme[partition.Untangle].Domains))
+			for j, d := range res.PerScheme[partition.Untangle].Domains {
+				run.actions[j] = d.Trace.ActionSizes()
+			}
+			return run, nil
+		})
+	if err != nil {
+		return rep, err
+	}
 	var speeds, leaks []float64
-	var firstActions [][]int64
-	for _, seed := range seeds {
-		o := opts
-		o.SimSeed = seed
-		o.Kinds = []partition.Kind{partition.Static, partition.Untangle}
-		res, err := RunMix(mix, o)
-		if err != nil {
-			return rep, err
-		}
-		sp, err := res.SystemSpeedup(partition.Untangle)
-		if err != nil {
-			return rep, err
-		}
-		speeds = append(speeds, sp)
-		leak, err := res.LeakagePerAssessment(partition.Untangle)
-		if err != nil {
-			return rep, err
-		}
-		leaks = append(leaks, stats.Mean(leak))
-		actions := make([][]int64, len(res.PerScheme[partition.Untangle].Domains))
-		for i, d := range res.PerScheme[partition.Untangle].Domains {
-			actions[i] = d.Trace.ActionSizes()
-		}
-		if firstActions == nil {
-			firstActions = actions
-		} else {
-			for i := range actions {
-				if !equalInt64(actions[i], firstActions[i]) {
-					rep.ActionSequencesMatch = false
-				}
+	firstActions := runs[0].actions
+	for _, run := range runs {
+		speeds = append(speeds, run.speed)
+		leaks = append(leaks, run.leak)
+		for i := range run.actions {
+			if !equalInt64(run.actions[i], firstActions[i]) {
+				rep.ActionSequencesMatch = false
 			}
 		}
 	}
@@ -404,45 +427,46 @@ type SensitivityResult struct {
 	Sensitive bool
 }
 
-// Sensitivity runs the Figure 11 study for one benchmark: IPC with every
-// supported partition size, normalized to the 8MB maximum. instructions is
-// the measured slice length; an equally long warmup precedes it so the
-// partition reaches steady state before measurement (the paper's SimPoint
-// slices are long enough that warmup is negligible; at reduced scale it is
-// not). For classification-stable results use at least ~1.5M instructions.
-func Sensitivity(name string, instructions uint64) (SensitivityResult, error) {
-	p, err := workload.SPECByName(name)
+// sensitivitySizes returns the supported partition sizes of the study
+// (ascending, ending at the 8MB normalization point).
+func sensitivitySizes() []int64 {
+	return sim.DefaultConfig(partition.DefaultScheme(partition.Static)).Sizes
+}
+
+// sensitivityPoint simulates one benchmark at one static partition size and
+// returns its steady-state IPC. Every point owns its generator, simulator,
+// and cache hierarchy, which is what makes the study embarrassingly
+// parallel: points share no mutable state at all.
+func sensitivityPoint(p workload.Params, size int64, instructions uint64) (float64, error) {
+	scheme := partition.DefaultScheme(partition.Static)
+	scheme.StartSize = size
+	cfg := sim.DefaultConfig(scheme)
+	cfg.Warmup = 0
+	cfg.WarmupInstructions = instructions
+	cfg.SampleEvery = 100 * time.Microsecond
+	gen, err := workload.NewGenerator(p)
 	if err != nil {
-		return SensitivityResult{}, err
+		return 0, err
 	}
-	sizes := sim.DefaultConfig(partition.DefaultScheme(partition.Static)).Sizes
+	s, err := sim.New(cfg, []sim.DomainSpec{{
+		Name:   p.Name,
+		Stream: isa.NewLimited(gen, 2*instructions),
+		CPU:    p.CPUParams(),
+	}})
+	if err != nil {
+		return 0, err
+	}
+	r, err := s.Run()
+	if err != nil {
+		return 0, err
+	}
+	return r.Domains[0].IPC, nil
+}
+
+// assembleSensitivity folds a benchmark's per-size IPCs (ascending size
+// order) into the normalized curve and its adequacy classification.
+func assembleSensitivity(name string, sizes []int64, ipcs []float64) SensitivityResult {
 	res := SensitivityResult{Name: name, Sizes: sizes}
-	ipcs := make([]float64, len(sizes))
-	for i, size := range sizes {
-		scheme := partition.DefaultScheme(partition.Static)
-		scheme.StartSize = size
-		cfg := sim.DefaultConfig(scheme)
-		cfg.Warmup = 0
-		cfg.WarmupInstructions = instructions
-		cfg.SampleEvery = 100 * time.Microsecond
-		gen, err := workload.NewGenerator(p)
-		if err != nil {
-			return SensitivityResult{}, err
-		}
-		s, err := sim.New(cfg, []sim.DomainSpec{{
-			Name:   name,
-			Stream: isa.NewLimited(gen, 2*instructions),
-			CPU:    p.CPUParams(),
-		}})
-		if err != nil {
-			return SensitivityResult{}, err
-		}
-		r, err := s.Run()
-		if err != nil {
-			return SensitivityResult{}, err
-		}
-		ipcs[i] = r.Domains[0].IPC
-	}
 	maxIPC := ipcs[len(ipcs)-1]
 	res.NormIPC = make([]float64, len(sizes))
 	res.Adequate = sizes[len(sizes)-1]
@@ -456,20 +480,122 @@ func Sensitivity(name string, instructions uint64) (SensitivityResult, error) {
 		}
 	}
 	res.Sensitive = res.Adequate > 2<<20
+	return res
+}
+
+// Sensitivity runs the Figure 11 study for one benchmark: IPC with every
+// supported partition size, normalized to the 8MB maximum. instructions is
+// the measured slice length; an equally long warmup precedes it so the
+// partition reaches steady state before measurement (the paper's SimPoint
+// slices are long enough that warmup is negligible; at reduced scale it is
+// not). For classification-stable results use at least ~1.5M instructions.
+//
+// Every size is simulated to the full budget: Figure 11 plots the whole
+// normalized-IPC curve, so no point can be skipped here. When only the
+// adequate-size classification is needed, Classify short-circuits instead.
+func Sensitivity(name string, instructions uint64) (SensitivityResult, error) {
+	p, err := workload.SPECByName(name)
+	if err != nil {
+		return SensitivityResult{}, err
+	}
+	sizes := sensitivitySizes()
+	ipcs := make([]float64, len(sizes))
+	for i, size := range sizes {
+		if ipcs[i], err = sensitivityPoint(p, size, instructions); err != nil {
+			return SensitivityResult{}, err
+		}
+	}
+	return assembleSensitivity(name, sizes, ipcs), nil
+}
+
+// Classify computes only a benchmark's adequate LLC size (and the Sensitive
+// flag), short-circuiting the curve: it simulates the 8MB normalization
+// point first, then walks the sizes downward and stops at the first size
+// whose normalized IPC drops below the 0.9 adequacy threshold. The sizes
+// below it cannot be adequate because the normalized-IPC curve is
+// non-decreasing in partition size (a larger LRU partition's contents are a
+// superset of a smaller one's — the inclusion property the monitor's shadow
+// tags also rely on), so the ascending first-crossing the full study
+// computes equals this descending last-crossing. Skipped sizes are absent
+// from the returned Sizes/NormIPC, which hold only the simulated points.
+func Classify(name string, instructions uint64) (SensitivityResult, error) {
+	p, err := workload.SPECByName(name)
+	if err != nil {
+		return SensitivityResult{}, err
+	}
+	return classify(p, instructions)
+}
+
+func classify(p workload.Params, instructions uint64) (SensitivityResult, error) {
+	sizes := sensitivitySizes()
+	res := SensitivityResult{Name: p.Name}
+	maxIPC, err := sensitivityPoint(p, sizes[len(sizes)-1], instructions)
+	if err != nil {
+		return SensitivityResult{}, err
+	}
+	res.Adequate = sizes[len(sizes)-1]
+	res.Sizes = []int64{res.Adequate}
+	res.NormIPC = []float64{1}
+	for i := len(sizes) - 2; i >= 0; i-- {
+		ipc, err := sensitivityPoint(p, sizes[i], instructions)
+		if err != nil {
+			return SensitivityResult{}, err
+		}
+		norm := ipc / maxIPC
+		res.Sizes = append([]int64{sizes[i]}, res.Sizes...)
+		res.NormIPC = append([]float64{norm}, res.NormIPC...)
+		if norm < 0.9 {
+			break
+		}
+		res.Adequate = sizes[i]
+	}
+	res.Sensitive = res.Adequate > 2<<20
 	return res, nil
 }
 
-// SensitivityStudy runs Sensitivity for all 36 benchmarks.
-func SensitivityStudy(instructions uint64) ([]SensitivityResult, error) {
-	var out []SensitivityResult
-	for _, name := range workload.SortedSPECNames() {
-		r, err := Sensitivity(name, instructions)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
+// sortedSPECParams returns the benchmark table sorted by name — the Figure
+// 11 order — so the study indexes parameters directly instead of paying a
+// linear SPECByName lookup per benchmark.
+func sortedSPECParams() []workload.Params {
+	params := append([]workload.Params(nil), workload.SPECBenchmarks...)
+	sort.Slice(params, func(i, j int) bool { return params[i].Name < params[j].Name })
+	return params
+}
+
+// SensitivityStudy runs Sensitivity for all 36 benchmarks. All benchmark ×
+// size points — 36 × 9 independent single-domain simulations — fan out
+// onto the worker pool together, so the study's critical path is one point,
+// not one benchmark. IPCs are collected by point index and folded per
+// benchmark in ascending size order, exactly as the sequential loop folds
+// them, so the results are identical for every jobs value.
+func SensitivityStudy(instructions uint64, jobs int) ([]SensitivityResult, error) {
+	params := sortedSPECParams()
+	sizes := sensitivitySizes()
+	ipcs, err := parallel.Map(context.Background(), len(params)*len(sizes), jobs,
+		func(_ context.Context, i int) (float64, error) {
+			return sensitivityPoint(params[i/len(sizes)], sizes[i%len(sizes)], instructions)
+		})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SensitivityResult, len(params))
+	for b, p := range params {
+		out[b] = assembleSensitivity(p.Name, sizes, ipcs[b*len(sizes):(b+1)*len(sizes)])
 	}
 	return out, nil
+}
+
+// ClassifyStudy is the classification-only variant of SensitivityStudy:
+// benchmarks fan out onto the pool while each benchmark's descending
+// short-circuit walk (see Classify) runs sequentially inside its worker,
+// since each size decision depends on the previous one. At paper
+// calibration this skips roughly a third of the study's points.
+func ClassifyStudy(instructions uint64, jobs int) ([]SensitivityResult, error) {
+	params := sortedSPECParams()
+	return parallel.Map(context.Background(), len(params), jobs,
+		func(_ context.Context, i int) (SensitivityResult, error) {
+			return classify(params[i], instructions)
+		})
 }
 
 // TotalLLCDemand sums the adequate LLC sizes of a mix's SPEC members given a

@@ -90,6 +90,9 @@ func TestOptionsDefaults(t *testing.T) {
 }
 
 func TestMix1Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full simulations; skipped in -short mode")
+	}
 	res := mix1(t)
 
 	// Both dynamic schemes must beat Static system-wide (Figure 10 Mix 1).
@@ -125,6 +128,9 @@ func TestMix1Shapes(t *testing.T) {
 }
 
 func TestMix1Leakage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full simulations; skipped in -short mode")
+	}
 	res := mix1(t)
 	timeLeak, err := res.LeakagePerAssessment(partition.TimeBased)
 	if err != nil {
@@ -164,6 +170,9 @@ func TestMix1Leakage(t *testing.T) {
 }
 
 func TestMix1PartitionSummaries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full simulations; skipped in -short mode")
+	}
 	res := mix1(t)
 	sums, err := res.PartitionSummaries(partition.Untangle)
 	if err != nil {
@@ -189,6 +198,9 @@ func TestMix1PartitionSummaries(t *testing.T) {
 }
 
 func TestWorstCaseAccountingRaisesLeakage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full simulations; skipped in -short mode")
+	}
 	mix, _ := workload.MixByID(1)
 	normal := mix1(t)
 	worst, err := RunMix(mix, Options{
@@ -209,6 +221,9 @@ func TestWorstCaseAccountingRaisesLeakage(t *testing.T) {
 }
 
 func TestMissingSchemeErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full simulations; skipped in -short mode")
+	}
 	mix, _ := workload.MixByID(1)
 	res, err := RunMix(mix, Options{Scale: testScale, Kinds: []partition.Kind{partition.Untangle}})
 	if err != nil {
@@ -232,6 +247,9 @@ func TestMissingSchemeErrors(t *testing.T) {
 }
 
 func TestSensitivityClassification(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full simulations; skipped in -short mode")
+	}
 	// A cheap two-benchmark check: one known-sensitive, one known-
 	// insensitive benchmark classify correctly even at modest fidelity.
 	sens, err := Sensitivity("mcf_0", 800_000)
@@ -274,6 +292,9 @@ func TestTotalLLCDemand(t *testing.T) {
 }
 
 func TestAdaptationDynamicBeatsStaticOnBurstyWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full simulations; skipped in -short mode")
+	}
 	results, err := Adaptation(0.003, 1_500_000)
 	if err != nil {
 		t.Fatal(err)
@@ -308,6 +329,9 @@ func TestAdaptationDynamicBeatsStaticOnBurstyWorkload(t *testing.T) {
 }
 
 func TestCooldownSweepTradeoff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full simulations; skipped in -short mode")
+	}
 	mix, _ := workload.MixByID(1)
 	points, err := CooldownSweep(mix, testScale, []float64{1, 4, 16})
 	if err != nil {
@@ -337,6 +361,9 @@ func TestCooldownSweepTradeoff(t *testing.T) {
 }
 
 func TestBudgetExperimentFreezeCapsLeakage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full simulations; skipped in -short mode")
+	}
 	results, err := BudgetExperiment(testScale, 2_000_000, []float64{0, 2})
 	if err != nil {
 		t.Fatal(err)
@@ -366,6 +393,9 @@ func TestBudgetExperimentFreezeCapsLeakage(t *testing.T) {
 }
 
 func TestReplicateStableAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full simulations; skipped in -short mode")
+	}
 	mix, _ := workload.MixByID(1)
 	rep, err := Replicate(mix, Options{Scale: testScale}, []uint64{1, 7, 42})
 	if err != nil {
@@ -390,6 +420,9 @@ func TestReplicateStableAcrossSeeds(t *testing.T) {
 }
 
 func TestDelaySweepLowersLeakage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full simulations; skipped in -short mode")
+	}
 	mix, _ := workload.MixByID(1)
 	points, err := DelaySweep(mix, testScale, []float64{0.25, 1, 4})
 	if err != nil {

@@ -1,0 +1,128 @@
+// Package parallel is the experiment engine's worker pool: a bounded,
+// order-preserving fan-out for embarrassingly parallel simulation points.
+//
+// Every experiment in this repository decomposes into independent sim.Run
+// calls — each point owns its generator, cache hierarchy, and telemetry
+// buffer — so the only requirements on the pool are (1) a concurrency bound,
+// (2) results collected by index so aggregation order never depends on
+// goroutine scheduling, and (3) first-error cancellation so a 300-point
+// study does not grind on after a point fails. Determinism then follows
+// structurally: workers never share mutable state, and callers always fold
+// the index-ordered results sequentially, so a jobs=N run is bit-identical
+// to the jobs=1 run.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Jobs normalizes a user-facing jobs count: n <= 0 selects GOMAXPROCS (the
+// "use the machine" default for -jobs 0), anything else is taken literally.
+func Jobs(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach runs fn(ctx, i) for every i in [0, n) on at most Jobs(jobs)
+// concurrent workers and waits for them. The first error cancels the
+// context handed to the remaining calls and stops unstarted indices; calls
+// already in flight run to completion. With jobs == 1 the indices run
+// inline on the caller's goroutine in ascending order — the legacy
+// sequential path, with no goroutines involved.
+//
+// ForEach returns the first error observed (by completion time under
+// concurrency; by index when sequential), or ctx's error if the caller's
+// context was canceled before all indices ran.
+func ForEach(ctx context.Context, n, jobs int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	jobs = Jobs(jobs)
+	if jobs > n {
+		jobs = n
+	}
+	if jobs == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		mu       sync.Mutex
+		firstErr error
+		next     int
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		mu.Unlock()
+	}
+	claim := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= n || firstErr != nil {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i, ok := claim()
+				if !ok {
+					return
+				}
+				if err := fn(ctx, i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// Map runs fn over [0, n) like ForEach and collects the results in index
+// order. On error the returned slice still holds every result completed
+// before cancellation (zero values elsewhere), so callers that stream
+// results — cmd/experiments printing mixes as they finish — can report the
+// completed prefix of an interrupted run.
+func Map[T any](ctx context.Context, n, jobs int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(ctx, n, jobs, func(ctx context.Context, i int) error {
+		v, err := fn(ctx, i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	return out, err
+}

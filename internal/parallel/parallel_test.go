@@ -1,0 +1,181 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestJobs(t *testing.T) {
+	if got := Jobs(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Jobs(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Jobs(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Jobs(-3) = %d", got)
+	}
+	if got := Jobs(7); got != 7 {
+		t.Errorf("Jobs(7) = %d", got)
+	}
+}
+
+func TestMapOrderPreserved(t *testing.T) {
+	for _, jobs := range []int{1, 2, 4, 16} {
+		out, err := Map(context.Background(), 100, jobs, func(_ context.Context, i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("jobs=%d: out[%d] = %d, want %d", jobs, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestForEachRunsEveryIndexExactlyOnce(t *testing.T) {
+	for _, jobs := range []int{1, 3, 8} {
+		counts := make([]int32, 200)
+		err := ForEach(context.Background(), len(counts), jobs, func(_ context.Context, i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("jobs=%d: index %d ran %d times", jobs, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachZeroAndNegativeN(t *testing.T) {
+	if err := ForEach(context.Background(), 0, 4, func(context.Context, int) error {
+		t.Fatal("fn called for n=0")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForEach(context.Background(), -5, 4, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFirstErrorCancelsRemainingWork(t *testing.T) {
+	boom := errors.New("boom")
+	var started int32
+	err := ForEach(context.Background(), 1000, 2, func(ctx context.Context, i int) error {
+		atomic.AddInt32(&started, 1)
+		if i == 3 {
+			return boom
+		}
+		// Give the canceling worker time to record the error so the pool
+		// observably stops claiming new indices.
+		select {
+		case <-ctx.Done():
+		case <-time.After(time.Millisecond):
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n := atomic.LoadInt32(&started); n == 1000 {
+		t.Error("error did not stop the pool from claiming every index")
+	}
+}
+
+func TestSequentialErrorStopsAtFirstIndex(t *testing.T) {
+	var ran []int
+	err := ForEach(context.Background(), 10, 1, func(_ context.Context, i int) error {
+		ran = append(ran, i)
+		if i == 4 {
+			return fmt.Errorf("fail at %d", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "fail at 4" {
+		t.Fatalf("err = %v", err)
+	}
+	if len(ran) != 5 {
+		t.Fatalf("ran %v, want exactly indices 0..4", ran)
+	}
+}
+
+func TestCallerCancellationStopsPool(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started int32
+	errc := make(chan error, 1)
+	go func() {
+		errc <- ForEach(ctx, 10000, 2, func(ctx context.Context, i int) error {
+			if atomic.AddInt32(&started, 1) == 4 {
+				cancel()
+			}
+			select {
+			case <-ctx.Done():
+			case <-time.After(time.Millisecond):
+			}
+			return nil
+		})
+	}()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("pool did not stop after caller cancellation")
+	}
+	if n := atomic.LoadInt32(&started); n == 10000 {
+		t.Error("cancellation did not stop index claims")
+	}
+}
+
+func TestMapPartialResultsOnError(t *testing.T) {
+	// Sequential: indices before the failure keep their results.
+	out, err := Map(context.Background(), 10, 1, func(_ context.Context, i int) (int, error) {
+		if i == 6 {
+			return 0, errors.New("stop")
+		}
+		return i + 1, nil
+	})
+	if err == nil {
+		t.Fatal("no error")
+	}
+	for i := 0; i < 6; i++ {
+		if out[i] != i+1 {
+			t.Errorf("out[%d] = %d, want %d", i, out[i], i+1)
+		}
+	}
+	for i := 6; i < 10; i++ {
+		if out[i] != 0 {
+			t.Errorf("out[%d] = %d, want zero after error", i, out[i])
+		}
+	}
+}
+
+func TestMapParallelMatchesSequential(t *testing.T) {
+	fn := func(_ context.Context, i int) (string, error) {
+		return fmt.Sprintf("r%03d", i*7%31), nil
+	}
+	seq, err := Map(context.Background(), 64, 1, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Map(context.Background(), 64, 8, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("index %d: %q vs %q", i, seq[i], par[i])
+		}
+	}
+}

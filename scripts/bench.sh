@@ -1,0 +1,29 @@
+#!/bin/sh
+# Runs the repository's benchmark suites and writes the machine-readable
+# baseline to BENCH_PR2.json (override with the first argument). The same
+# recipe produced the numbers in docs/PERFORMANCE.md; re-run it after any
+# hot-path change and diff the JSON.
+#
+# Environment knobs:
+#   UNTANGLE_BENCH_SCALE  workload scale for the experiment benchmarks
+#                         (default 0.002; paper fidelity is 1.0)
+#   UNTANGLE_BENCH_JOBS   worker-pool size (default 0 = GOMAXPROCS;
+#                         set 1 to measure the sequential engine)
+#   BENCH_COUNT           -count passed to go test (default 1; use 5+
+#                         for publication-grade numbers)
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_PR2.json}"
+count="${BENCH_COUNT:-1}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+# The end-to-end experiment benchmarks take seconds per iteration; one
+# timed iteration per -count is the useful measurement. The cache
+# microbenchmarks are nanoseconds per op and need Go's default benchtime
+# to stabilize.
+go test -run '^$' -bench . -benchtime 1x -count "$count" -timeout 60m . | tee "$tmp"
+go test -run '^$' -bench . -count "$count" -timeout 20m ./internal/cache | tee -a "$tmp"
+go run ./cmd/benchjson < "$tmp" > "$out"
+echo "wrote $out"
