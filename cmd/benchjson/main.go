@@ -9,14 +9,21 @@
 // the same benchmark (-count > 1) are averaged. Non-benchmark lines are
 // ignored, so the full `go test` output can be piped in unfiltered.
 //
+// With -compare, benchjson instead reads two such JSON baselines and prints
+// a per-benchmark ns/op delta table (old → new, absolute and percent), so
+// PRs can show before/after numbers without benchstat. Benchmarks present
+// in only one file are listed as added/removed.
+//
 // Usage:
 //
 //	go test -run '^$' -bench . ./... | benchjson > BENCH.json
+//	benchjson -compare BENCH_PR2.json BENCH_PR3.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"regexp"
@@ -37,6 +44,19 @@ type Entry struct {
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
 
 func main() {
+	compare := flag.Bool("compare", false, "compare two baseline JSON files: benchjson -compare old.json new.json")
+	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		if err := compareBaselines(flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	entries := map[string]*Entry{}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -111,6 +131,74 @@ func main() {
 		fmt.Fprintf(out, "  %q: %s%s\n", name, b, comma)
 	}
 	fmt.Fprintln(out, "}")
+}
+
+// compareBaselines prints a per-benchmark ns/op delta table between two
+// baseline files previously produced by this command.
+func compareBaselines(oldPath, newPath string) error {
+	load := func(path string) (map[string]Entry, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var m map[string]Entry
+		if err := json.Unmarshal(data, &m); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return m, nil
+	}
+	oldE, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newE, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	names := map[string]bool{}
+	for n := range oldE {
+		names[n] = true
+	}
+	for n := range newE {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintf(w, "%-40s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, n := range sorted {
+		o, haveOld := oldE[n]
+		e, haveNew := newE[n]
+		switch {
+		case !haveOld:
+			fmt.Fprintf(w, "%-40s %14s %14s %9s\n", n, "-", humanNs(e.NsPerOp), "added")
+		case !haveNew:
+			fmt.Fprintf(w, "%-40s %14s %14s %9s\n", n, humanNs(o.NsPerOp), "-", "removed")
+		case o.NsPerOp <= 0:
+			fmt.Fprintf(w, "%-40s %14s %14s %9s\n", n, humanNs(o.NsPerOp), humanNs(e.NsPerOp), "?")
+		default:
+			pct := (e.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+			fmt.Fprintf(w, "%-40s %14s %14s %+8.1f%%\n", n, humanNs(o.NsPerOp), humanNs(e.NsPerOp), pct)
+		}
+	}
+	return nil
+}
+
+// humanNs renders a ns/op value compactly: nanoseconds for the
+// microbenchmarks, seconds for the end-to-end experiment benchmarks.
+func humanNs(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.3fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	default:
+		return fmt.Sprintf("%.2fns", ns)
+	}
 }
 
 // parseMeasurements splits the tail of a benchmark line — alternating

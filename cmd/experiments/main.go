@@ -7,11 +7,12 @@
 //
 // Everything the evaluation simulates is an independent run, so the whole
 // command executes on the experiment engine's worker pool: the sensitivity
-// study fans out its 36×9 benchmark×size points and the mix phase fans out
-// the mixes (each mix's four schemes plus its active-attacker rerun run
-// inside one worker). -jobs bounds the pool; 0 uses every core and 1 is
-// the legacy sequential path. The report is identical for every -jobs
-// value: results are collected by index and printed in mix order.
+// study fans out its 36 benchmarks (each one a single multi-lane pass
+// covering all 9 partition sizes) and the mix phase fans out the mixes
+// (each mix's four schemes plus its active-attacker rerun run inside one
+// worker). -jobs bounds the pool; 0 uses every core and 1 is the legacy
+// sequential path. The report is identical for every -jobs value: results
+// are collected by index and printed in mix order.
 //
 // Long runs can be watched and profiled: -telemetry streams each mix's
 // structured events as JSONL while the run progresses, and the
@@ -134,9 +135,9 @@ func main() {
 	// Figure 11.
 	var study []experiments.SensitivityResult
 	if *sensIns > 0 && ctx.Err() == nil {
-		log.Printf("running Figure 11 sensitivity study (%d instructions per point, %d jobs)...",
+		log.Printf("running Figure 11 sensitivity study (%d instructions per benchmark pass, %d jobs)...",
 			*sensIns, *jobs)
-		study, err = experiments.SensitivityStudy(*sensIns, *jobs)
+		study, err = experiments.SensitivityStudyContext(ctx, *sensIns, *jobs)
 		if err != nil {
 			if ctx.Err() != nil {
 				log.Print("interrupted during the sensitivity study")

@@ -3,9 +3,12 @@
 // sizes, reporting IPC normalized to the 8MB maximum and the resulting
 // adequate LLC size and sensitivity classification.
 //
-// The benchmark×size points are independent simulations and fan out onto
-// the experiment engine's worker pool; -jobs bounds the pool (0 =
-// GOMAXPROCS, 1 = sequential). Results are identical for every -jobs value.
+// Each benchmark is one multi-lane engine pass — the op stream and the
+// private L1 are simulated once and all 9 partition sizes ride on that
+// shared front-end — and the 36 passes fan out onto the experiment engine's
+// worker pool; -jobs bounds the pool (0 = GOMAXPROCS, 1 = sequential).
+// Results are identical for every -jobs value. SIGINT cancels the study:
+// in-flight passes stop at their next front-end chunk.
 //
 // Usage:
 //
@@ -13,13 +16,17 @@
 //	sensitivity -jobs 1               # sequential (legacy) execution
 //	sensitivity -bench mcf_0          # one benchmark
 //	sensitivity -instructions 3000000 # higher fidelity
-//	sensitivity -classify-only        # adequate sizes only, short-circuited
+//	sensitivity -classify-only        # adequate sizes only
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"syscall"
 
 	"untangle/internal/experiments"
 	"untangle/internal/report"
@@ -32,9 +39,12 @@ func main() {
 		bench        = flag.String("bench", "", "run a single benchmark (default: all 36)")
 		instructions = flag.Uint64("instructions", 1_500_000, "measured instructions per run (an equal warmup precedes)")
 		jobs         = flag.Int("jobs", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential)")
-		classifyOnly = flag.Bool("classify-only", false, "compute adequate sizes only, short-circuiting the IPC curve")
+		classifyOnly = flag.Bool("classify-only", false, "print adequate sizes only instead of the full curve")
 	)
 	flag.Parse()
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	var study []experiments.SensitivityResult
 	var err error
@@ -48,11 +58,14 @@ func main() {
 		r, err = experiments.Sensitivity(*bench, *instructions)
 		study = []experiments.SensitivityResult{r}
 	case *classifyOnly:
-		study, err = experiments.ClassifyStudy(*instructions, *jobs)
+		study, err = experiments.ClassifyStudyContext(ctx, *instructions, *jobs)
 	default:
-		study, err = experiments.SensitivityStudy(*instructions, *jobs)
+		study, err = experiments.SensitivityStudyContext(ctx, *instructions, *jobs)
 	}
 	if err != nil {
+		if ctx.Err() != nil {
+			log.Fatal("interrupted")
+		}
 		log.Fatal(err)
 	}
 	if *classifyOnly {

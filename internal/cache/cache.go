@@ -95,10 +95,10 @@ func (s *Stats) Sub(base Stats) {
 	s.Prefetches -= base.Prefetches
 }
 
-// line is one cache line in array-of-structs form. The resizable Cache
-// stores its state split (tags packed apart from metadata, below); line
-// remains the working representation for WayPartitioned and for the
-// transient survivor list a Resize builds.
+// line is one cache line in array-of-structs form. Both the resizable Cache
+// and WayPartitioned store their state split (tags packed apart from
+// metadata); line remains the working representation for the transient
+// survivor list a Resize builds.
 type line struct {
 	lineAddr uint64
 	lru      uint64
@@ -346,6 +346,22 @@ func (c *Cache) ValidLines() int {
 		}
 	}
 	return n
+}
+
+// Reset returns the cache to its freshly-constructed state at the current
+// geometry: all lines invalid, the LRU clock and statistics zeroed, and any
+// replacement-policy state (PLRU tree bits, random seed) back to its initial
+// value. Unlike Flush it counts nothing — it exists so long-running studies
+// can reuse one allocation across independent runs, and the contract is that
+// a Reset cache behaves bit-identically to a new one.
+func (c *Cache) Reset() {
+	clear(c.tags)
+	clear(c.lru)
+	clear(c.dirty)
+	clear(c.plru)
+	c.tick = 0
+	c.rng = 0
+	c.stats = Stats{}
 }
 
 // Flush invalidates everything, counting writebacks for dirty lines.

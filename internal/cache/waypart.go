@@ -11,15 +11,30 @@ import (
 // its 9 supported sizes go down to 128 kB; this type exists as the
 // comparison point for the granularity ablation — same total capacity,
 // coarser resizing alphabet.
+//
+// State shares the resizable Cache's hot-path layout: packed tags
+// (lineAddr+1, 0 = invalid) scanned apart from the LRU/dirty metadata, and
+// a precomputed Lemire reciprocal in place of the set-index divide. The
+// access semantics — scan order, empty-way preference, min-LRU
+// first-index-wins victims, and the Resize migration's most-recently-used
+// selection — are those of the original array-of-structs implementation.
 type WayPartitioned struct {
 	sets  int
 	ways  int
-	lines []line // sets*ways, set-major
-	tick  uint64
+	tags  []uint64 // sets*ways, set-major
+	lru   []uint64
+	dirty []bool
+	// modHi/modLo form the 128-bit Lemire reciprocal ceil(2^128/sets); the
+	// set count never changes, so it is computed once.
+	modHi, modLo uint64
+	tick         uint64
 	// wayStart/wayCount give each domain its contiguous way range.
 	wayStart []int
 	wayCount []int
 	stats    []Stats
+	// scratch marks selected source ways during a Resize migration; one
+	// allocation reused across every set × domain instead of one per call.
+	scratch []bool
 }
 
 // NewWayPartitioned builds the shared structure and grants each domain an
@@ -45,7 +60,10 @@ func NewWayPartitioned(cfg Config, initialWays []int) (*WayPartitioned, error) {
 		wayCount: append([]int(nil), initialWays...),
 		stats:    make([]Stats, len(initialWays)),
 	}
-	w.lines = make([]line, w.sets*w.ways)
+	w.tags = make([]uint64, w.sets*w.ways)
+	w.lru = make([]uint64, w.sets*w.ways)
+	w.dirty = make([]bool, w.sets*w.ways)
+	w.modHi, w.modLo = reciprocal(uint64(w.sets))
 	w.layout()
 	return w, nil
 }
@@ -72,61 +90,67 @@ func (w *WayPartitioned) SizeBytes(domain int) int64 {
 // Stats returns a domain's counters.
 func (w *WayPartitioned) Stats(domain int) Stats { return w.stats[domain] }
 
-// Access performs a load/store for a domain, confined to its ways.
-func (w *WayPartitioned) Access(domain int, addr uint64, write bool) bool {
+// setBase returns the index of addr's set-major row and the line tag.
+func (w *WayPartitioned) setBase(addr uint64) (base int, tag uint64) {
 	lineAddr := addr / LineBytes
 	h := lineAddr * 0x9E3779B97F4A7C15
 	h ^= h >> 32
-	set := int(h % uint64(w.sets))
-	base := set*w.ways + w.wayStart[domain]
-	ways := w.lines[base : base+w.wayCount[domain]]
+	return int(fastmod(h, w.modHi, w.modLo, uint64(w.sets))) * w.ways, lineAddr + 1
+}
+
+// Access performs a load/store for a domain, confined to its ways.
+func (w *WayPartitioned) Access(domain int, addr uint64, write bool) bool {
+	row, tag := w.setBase(addr)
+	base := row + w.wayStart[domain]
+	count := w.wayCount[domain]
+	tags := w.tags[base : base+count]
 	w.tick++
 	st := &w.stats[domain]
-	var victim, empty = -1, -1
-	var oldest uint64 = ^uint64(0)
-	for i := range ways {
-		l := &ways[i]
-		if !l.valid {
-			if empty < 0 {
-				empty = i
-			}
-			continue
-		}
-		if l.lineAddr == lineAddr {
-			l.lru = w.tick
+	empty := -1
+	for i, t := range tags {
+		if t == tag {
+			w.lru[base+i] = w.tick
 			if write {
-				l.dirty = true
+				w.dirty[base+i] = true
 			}
 			st.Hits++
 			return true
 		}
-		if l.lru < oldest {
-			oldest = l.lru
-			victim = i
+		if t == 0 && empty < 0 {
+			empty = i
 		}
 	}
 	st.Misses++
 	slot := empty
 	if slot < 0 {
+		// No empty way, so every entry is valid: the plain min-LRU scan
+		// (first index wins ties) matches the valid-only scan it replaces.
+		lru := w.lru[base : base+count]
+		victim, oldest := 0, ^uint64(0)
+		for i, v := range lru {
+			if v < oldest {
+				oldest = v
+				victim = i
+			}
+		}
 		slot = victim
 		st.Evictions++
-		if ways[slot].dirty {
+		if w.dirty[base+slot] {
 			st.Writebacks++
 		}
 	}
-	ways[slot] = line{lineAddr: lineAddr, lru: w.tick, valid: true, dirty: write}
+	w.tags[base+slot] = tag
+	w.lru[base+slot] = w.tick
+	w.dirty[base+slot] = write
 	return false
 }
 
 // Contains probes a domain's partition without side effects.
 func (w *WayPartitioned) Contains(domain int, addr uint64) bool {
-	lineAddr := addr / LineBytes
-	h := lineAddr * 0x9E3779B97F4A7C15
-	h ^= h >> 32
-	set := int(h % uint64(w.sets))
-	base := set*w.ways + w.wayStart[domain]
-	for _, l := range w.lines[base : base+w.wayCount[domain]] {
-		if l.valid && l.lineAddr == lineAddr {
+	row, tag := w.setBase(addr)
+	base := row + w.wayStart[domain]
+	for _, t := range w.tags[base : base+w.wayCount[domain]] {
+		if t == tag {
 			return true
 		}
 	}
@@ -134,9 +158,9 @@ func (w *WayPartitioned) Contains(domain int, addr uint64) bool {
 }
 
 // Resize changes every domain's way grant at once (way repartitioning is a
-// global operation: ranges shift). Lines are preserved where a domain's new
-// range overlaps its old one positionally; the rest are invalidated, with
-// dirty victims counted as writebacks against their owner.
+// global operation: ranges shift). Each domain keeps the most-recently-used
+// lines that fit its new range; the rest are invalidated, with dirty victims
+// counted as writebacks against their owner.
 func (w *WayPartitioned) Resize(newWays []int) error {
 	if len(newWays) != len(w.wayCount) {
 		return fmt.Errorf("cache: %d grants for %d domains", len(newWays), len(w.wayCount))
@@ -168,42 +192,54 @@ func (w *WayPartitioned) Resize(newWays []int) error {
 	oldCount := append([]int(nil), w.wayCount...)
 	w.wayCount = append(w.wayCount[:0], newWays...)
 	w.layout()
-	newLines := make([]line, len(w.lines))
+	newTags := make([]uint64, len(w.tags))
+	newLRU := make([]uint64, len(w.lru))
+	newDirty := make([]bool, len(w.dirty))
+	if w.scratch == nil {
+		w.scratch = make([]bool, w.ways)
+	}
 	for set := 0; set < w.sets; set++ {
 		base := set * w.ways
 		for d := range newWays {
-			src := w.lines[base+oldStart[d] : base+oldStart[d]+oldCount[d]]
-			dst := newLines[base+w.wayStart[d] : base+w.wayStart[d]+w.wayCount[d]]
-			keepTopLRU(src, dst, &w.stats[d])
+			w.migrate(base+oldStart[d], oldCount[d],
+				newTags, newLRU, newDirty, base+w.wayStart[d], w.wayCount[d],
+				&w.stats[d])
 		}
 	}
-	w.lines = newLines
+	w.tags, w.lru, w.dirty = newTags, newLRU, newDirty
 	return nil
 }
 
-// keepTopLRU copies the most-recently-used valid lines of src into dst
-// (which holds len(dst) slots), charging writebacks for dropped dirty lines.
-func keepTopLRU(src, dst []line, st *Stats) {
-	// Selection by repeated max; way counts are at most 16.
-	used := make([]bool, len(src))
-	for slot := range dst {
+// migrate copies the most-recently-used valid lines of the source range
+// (srcN ways at srcBase in the current arrays) into the destination range,
+// charging writebacks for dropped dirty lines. Selection is by repeated max
+// with first-index tie wins — way counts are at most the associativity, so
+// the quadratic scan is trivial.
+func (w *WayPartitioned) migrate(srcBase, srcN int, dstTags, dstLRU []uint64, dstDirty []bool, dstBase, dstN int, st *Stats) {
+	used := w.scratch[:srcN]
+	for i := range used {
+		used[i] = false
+	}
+	for slot := 0; slot < dstN; slot++ {
 		best, bestLRU := -1, uint64(0)
-		for i := range src {
-			if used[i] || !src[i].valid {
+		for i := 0; i < srcN; i++ {
+			if used[i] || w.tags[srcBase+i] == 0 {
 				continue
 			}
-			if best < 0 || src[i].lru > bestLRU {
-				best, bestLRU = i, src[i].lru
+			if best < 0 || w.lru[srcBase+i] > bestLRU {
+				best, bestLRU = i, w.lru[srcBase+i]
 			}
 		}
 		if best < 0 {
 			break
 		}
-		dst[slot] = src[best]
+		dstTags[dstBase+slot] = w.tags[srcBase+best]
+		dstLRU[dstBase+slot] = w.lru[srcBase+best]
+		dstDirty[dstBase+slot] = w.dirty[srcBase+best]
 		used[best] = true
 	}
-	for i := range src {
-		if src[i].valid && !used[i] && src[i].dirty {
+	for i := 0; i < srcN; i++ {
+		if w.tags[srcBase+i] != 0 && !used[i] && w.dirty[srcBase+i] {
 			st.Writebacks++
 		}
 	}

@@ -112,6 +112,15 @@ func (p Params) memCost(level Level) float64 {
 // Core accumulates retired instructions and cycles for one domain.
 type Core struct {
 	p Params
+	// perInstr and memCharge are the per-retirement cycle charges,
+	// precomputed once at construction so the retire hot path is a single
+	// multiply-add (non-memory runs) or add (memory): perInstr is
+	// BaseCPI + 1/CommitWidth, and memCharge[level] is perInstr +
+	// memCost(level). The sums are computed exactly as the per-call
+	// formulas evaluated them, so the accumulated cycle count is
+	// bit-identical to the unprecomputed model.
+	perInstr  float64
+	memCharge [Memory + 1]float64
 	// cycles is the running cycle count (fractional: the model charges
 	// sub-cycle costs per instruction).
 	cycles float64
@@ -125,7 +134,12 @@ func New(p Params) *Core {
 	if err := p.Validate(); err != nil {
 		panic(err)
 	}
-	return &Core{p: p}
+	c := &Core{p: p}
+	c.perInstr = p.BaseCPI + 1/float64(p.CommitWidth)
+	for level := L1Hit; level <= Memory; level++ {
+		c.memCharge[level] = c.perInstr + p.memCost(level)
+	}
+	return c
 }
 
 // Params returns the core's parameters.
@@ -137,13 +151,13 @@ func (c *Core) RetireNonMem(n uint32) {
 		return
 	}
 	c.retired += uint64(n)
-	c.cycles += float64(n) * (c.p.BaseCPI + 1/float64(c.p.CommitWidth))
+	c.cycles += float64(n) * c.perInstr
 }
 
 // RetireMem retires one memory instruction served at the given level.
 func (c *Core) RetireMem(level Level) {
 	c.retired++
-	c.cycles += c.p.BaseCPI + 1/float64(c.p.CommitWidth) + c.p.memCost(level)
+	c.cycles += c.memCharge[level]
 }
 
 // Cycles returns the accumulated cycle count.

@@ -157,6 +157,40 @@ func TestPropertyCyclesMonotone(t *testing.T) {
 	}
 }
 
+// The retirement charges are precomputed at construction; the model promises
+// they accumulate bit-identically to evaluating the per-call formulas
+// (BaseCPI + 1/CommitWidth [+ memCost]) on every retire. Replay a random
+// trace against a manual accumulator using the original expression shapes.
+func TestPropertyPrecomputedChargesBitIdentical(t *testing.T) {
+	params := []Params{
+		DefaultParams(),
+		{ClockHz: 2e9, CommitWidth: 8, L1HitCycles: 2, LLCHitCycles: 8, MemCycles: 100, MLP: 3.7, BaseCPI: 0.55},
+		{ClockHz: 3e9, CommitWidth: 6, L1HitCycles: 3, LLCHitCycles: 11, MemCycles: 87, MLP: 1.3, BaseCPI: 0.9},
+	}
+	f := func(pick uint8, ops []uint8) bool {
+		p := params[int(pick)%len(params)]
+		c := New(p)
+		var want float64
+		for _, op := range ops {
+			switch op % 4 {
+			case 0:
+				c.RetireNonMem(uint32(op))
+				if op != 0 {
+					want += float64(op) * (p.BaseCPI + 1/float64(p.CommitWidth))
+				}
+			default:
+				level := Level(op%4 - 1)
+				c.RetireMem(level)
+				want += p.BaseCPI + 1/float64(p.CommitWidth) + p.memCost(level)
+			}
+		}
+		return math.Float64bits(c.Cycles()) == math.Float64bits(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestPropertyRetiredCountExact(t *testing.T) {
 	f := func(nonMem []uint16, mems uint8) bool {
 		c := New(DefaultParams())

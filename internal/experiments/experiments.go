@@ -434,9 +434,10 @@ func sensitivitySizes() []int64 {
 }
 
 // sensitivityPoint simulates one benchmark at one static partition size and
-// returns its steady-state IPC. Every point owns its generator, simulator,
-// and cache hierarchy, which is what makes the study embarrassingly
-// parallel: points share no mutable state at all.
+// returns its steady-state IPC. It is the direct path through the full
+// simulator — kept as the ORACLE for the multi-lane engine: the engine must
+// reproduce this function's IPC bitwise at every size (multilane_test.go),
+// which is what makes the fused study a provable-equivalence optimization.
 func sensitivityPoint(p workload.Params, size int64, instructions uint64) (float64, error) {
 	scheme := partition.DefaultScheme(partition.Static)
 	scheme.StartSize = size
@@ -490,67 +491,34 @@ func assembleSensitivity(name string, sizes []int64, ipcs []float64) Sensitivity
 // slices are long enough that warmup is negligible; at reduced scale it is
 // not). For classification-stable results use at least ~1.5M instructions.
 //
-// Every size is simulated to the full budget: Figure 11 plots the whole
-// normalized-IPC curve, so no point can be skipped here. When only the
-// adequate-size classification is needed, Classify short-circuits instead.
+// All nine sizes are computed by the multi-lane engine in one pass over the
+// benchmark's op stream: the generator and the private L1 run once, and only
+// the per-size LLC lanes and cycle accounting replicate (see multilane.go).
+// The per-size IPCs are bitwise identical to running sensitivityPoint once
+// per size — the engine is an optimization, never an approximation.
 func Sensitivity(name string, instructions uint64) (SensitivityResult, error) {
 	p, err := workload.SPECByName(name)
 	if err != nil {
 		return SensitivityResult{}, err
 	}
-	sizes := sensitivitySizes()
-	ipcs := make([]float64, len(sizes))
-	for i, size := range sizes {
-		if ipcs[i], err = sensitivityPoint(p, size, instructions); err != nil {
-			return SensitivityResult{}, err
-		}
+	e := enginePool.Get().(*laneEngine)
+	defer enginePool.Put(e)
+	ipcs, err := e.run(context.Background(), p, instructions)
+	if err != nil {
+		return SensitivityResult{}, err
 	}
-	return assembleSensitivity(name, sizes, ipcs), nil
+	return assembleSensitivity(name, e.sizes, ipcs), nil
 }
 
-// Classify computes only a benchmark's adequate LLC size (and the Sensitive
-// flag), short-circuiting the curve: it simulates the 8MB normalization
-// point first, then walks the sizes downward and stops at the first size
-// whose normalized IPC drops below the 0.9 adequacy threshold. The sizes
-// below it cannot be adequate because the normalized-IPC curve is
-// non-decreasing in partition size (a larger LRU partition's contents are a
-// superset of a smaller one's — the inclusion property the monitor's shadow
-// tags also rely on), so the ascending first-crossing the full study
-// computes equals this descending last-crossing. Skipped sizes are absent
-// from the returned Sizes/NormIPC, which hold only the simulated points.
+// Classify computes a benchmark's adequate LLC size and Sensitive flag. It
+// used to short-circuit the curve with a descending walk that skipped sizes
+// below the first inadequate one; the multi-lane engine made that walk
+// obsolete — all nine sizes now cost one front-end pass together, which is
+// cheaper than even two sequential points of the old path — so Classify is
+// the full curve and its result carries every size, exactly like
+// Sensitivity.
 func Classify(name string, instructions uint64) (SensitivityResult, error) {
-	p, err := workload.SPECByName(name)
-	if err != nil {
-		return SensitivityResult{}, err
-	}
-	return classify(p, instructions)
-}
-
-func classify(p workload.Params, instructions uint64) (SensitivityResult, error) {
-	sizes := sensitivitySizes()
-	res := SensitivityResult{Name: p.Name}
-	maxIPC, err := sensitivityPoint(p, sizes[len(sizes)-1], instructions)
-	if err != nil {
-		return SensitivityResult{}, err
-	}
-	res.Adequate = sizes[len(sizes)-1]
-	res.Sizes = []int64{res.Adequate}
-	res.NormIPC = []float64{1}
-	for i := len(sizes) - 2; i >= 0; i-- {
-		ipc, err := sensitivityPoint(p, sizes[i], instructions)
-		if err != nil {
-			return SensitivityResult{}, err
-		}
-		norm := ipc / maxIPC
-		res.Sizes = append([]int64{sizes[i]}, res.Sizes...)
-		res.NormIPC = append([]float64{norm}, res.NormIPC...)
-		if norm < 0.9 {
-			break
-		}
-		res.Adequate = sizes[i]
-	}
-	res.Sensitive = res.Adequate > 2<<20
-	return res, nil
+	return Sensitivity(name, instructions)
 }
 
 // sortedSPECParams returns the benchmark table sorted by name — the Figure
@@ -562,40 +530,43 @@ func sortedSPECParams() []workload.Params {
 	return params
 }
 
-// SensitivityStudy runs Sensitivity for all 36 benchmarks. All benchmark ×
-// size points — 36 × 9 independent single-domain simulations — fan out
-// onto the worker pool together, so the study's critical path is one point,
-// not one benchmark. IPCs are collected by point index and folded per
-// benchmark in ascending size order, exactly as the sequential loop folds
-// them, so the results are identical for every jobs value.
+// SensitivityStudy runs Sensitivity for all 36 benchmarks on the multi-lane
+// engine: 36 benchmark-level tasks fan out onto the worker pool (each task
+// is one front-end pass feeding all nine sizes), instead of the 324
+// point-level tasks of the pre-engine study. Results are collected by
+// benchmark index, so they are identical for every jobs value.
 func SensitivityStudy(instructions uint64, jobs int) ([]SensitivityResult, error) {
-	params := sortedSPECParams()
-	sizes := sensitivitySizes()
-	ipcs, err := parallel.Map(context.Background(), len(params)*len(sizes), jobs,
-		func(_ context.Context, i int) (float64, error) {
-			return sensitivityPoint(params[i/len(sizes)], sizes[i%len(sizes)], instructions)
-		})
-	if err != nil {
-		return nil, err
-	}
-	out := make([]SensitivityResult, len(params))
-	for b, p := range params {
-		out[b] = assembleSensitivity(p.Name, sizes, ipcs[b*len(sizes):(b+1)*len(sizes)])
-	}
-	return out, nil
+	return SensitivityStudyContext(context.Background(), instructions, jobs)
 }
 
-// ClassifyStudy is the classification-only variant of SensitivityStudy:
-// benchmarks fan out onto the pool while each benchmark's descending
-// short-circuit walk (see Classify) runs sequentially inside its worker,
-// since each size decision depends on the previous one. At paper
-// calibration this skips roughly a third of the study's points.
-func ClassifyStudy(instructions uint64, jobs int) ([]SensitivityResult, error) {
+// SensitivityStudyContext is SensitivityStudy with cancellation: canceling
+// ctx stops benchmarks that have not started, interrupts in-flight engine
+// passes at their next front-end chunk, and returns the context's error.
+func SensitivityStudyContext(ctx context.Context, instructions uint64, jobs int) ([]SensitivityResult, error) {
 	params := sortedSPECParams()
-	return parallel.Map(context.Background(), len(params), jobs,
-		func(_ context.Context, i int) (SensitivityResult, error) {
-			return classify(params[i], instructions)
+	return parallel.Map(ctx, len(params), jobs,
+		func(ctx context.Context, i int) (SensitivityResult, error) {
+			e := enginePool.Get().(*laneEngine)
+			defer enginePool.Put(e)
+			ipcs, err := e.run(ctx, params[i], instructions)
+			if err != nil {
+				return SensitivityResult{}, err
+			}
+			return assembleSensitivity(params[i].Name, e.sizes, ipcs), nil
 		})
+}
+
+// ClassifyStudy computes all 36 classifications. With the multi-lane engine
+// the full curve and the classification cost the same single pass, so this
+// is SensitivityStudy under its historical name (kept because callers that
+// only need Adequate/Sensitive shouldn't care how the curve is produced).
+func ClassifyStudy(instructions uint64, jobs int) ([]SensitivityResult, error) {
+	return SensitivityStudyContext(context.Background(), instructions, jobs)
+}
+
+// ClassifyStudyContext is ClassifyStudy with cancellation.
+func ClassifyStudyContext(ctx context.Context, instructions uint64, jobs int) ([]SensitivityResult, error) {
+	return SensitivityStudyContext(ctx, instructions, jobs)
 }
 
 // TotalLLCDemand sums the adequate LLC sizes of a mix's SPEC members given a

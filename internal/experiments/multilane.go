@@ -1,0 +1,222 @@
+// The multi-lane sensitivity engine: one front-end pass per benchmark
+// serving all nine partition sizes of the Figure 11 study.
+//
+// Within one benchmark, the nine sensitivityPoint simulations differ ONLY in
+// the LLC partition's set count. Everything upstream of the LLC is
+// byte-identical across them: the generator (same parameters and seed emit
+// the same op sequence), the address-space offset, and the private L1 —
+// whose hit/miss decisions are a pure function of the access order, never of
+// the dirty bits or statistics the full cache also tracks. The engine
+// therefore generates the op stream once, simulates the L1 once, and records
+// a compact event per op (plain run / L1 hit / L1 miss at address); nine
+// lean LLC lanes (cache.Lane) and nine cycle-accounting replays then consume
+// the identical event sequence.
+//
+// The replay is not an approximation of sim.Run — it is a transliteration of
+// the driver's quantum machine for the exact configuration sensitivityPoint
+// builds (Static scheme, one domain, Warmup 0, WarmupInstructions set):
+// per-quantum horizons in cycles, the end-of-quantum warmup check against
+// retired instructions, the finish snapshot before the idle AdvanceTo, and
+// collect's instructions/cycles division, all in the same order with the
+// same floating-point expressions. sensitivityPoint is retained as the
+// oracle, and TestEngineMatchesOracle* require the engine to reproduce its
+// per-size IPCs bitwise.
+package experiments
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"untangle/internal/cache"
+	"untangle/internal/cpu"
+	"untangle/internal/isa"
+	"untangle/internal/partition"
+	"untangle/internal/sim"
+	"untangle/internal/workload"
+)
+
+// laneChunk is the front-end batch size. Stream determinism (isa.Stream's
+// Fill-size independence) makes the value invisible in results; it only
+// trades buffer footprint against per-chunk overhead.
+const laneChunk = 4096
+
+// feEvent kinds: what the shared front-end resolved one op to.
+const (
+	feNoMem  = iota // no memory access (or the op's access was truncated away)
+	feL1Hit         // access served by the private L1
+	feL1Miss        // access missed the L1; lanes look it up in their LLC
+)
+
+// feEvent is one op after L1 resolution. Only L1 misses carry an address —
+// they are the only events whose cost differs between lanes.
+type feEvent struct {
+	addr   uint64
+	nonMem uint32
+	kind   uint8
+}
+
+// laneState is one partition size's replay: its LLC lane plus a private copy
+// of the driver's per-domain quantum state machine. Each lane owns a real
+// cpu.Core, so cycle accumulation uses the very same code path (and float
+// expression shapes) as the oracle simulation.
+type laneState struct {
+	llc     *cache.Lane
+	core    *cpu.Core
+	now     time.Duration // end of the current quantum
+	horizon float64       // now, in this core's cycles
+	warm    bool
+	base    cpu.Snapshot
+}
+
+// endQuantum performs the driver's quantum-boundary work: the warmup check
+// (measurement starts at the first boundary where the domain has retired the
+// warmup budget), then the step to the next horizon. It mirrors sim.Run's
+// boundary exactly, including running after the finish snapshot — where a
+// degenerate tiny-budget run can place the measurement base after the idle
+// AdvanceTo, yielding IPC 0 just as the oracle does.
+func (l *laneState) endQuantum(warmup uint64, step time.Duration) {
+	if !l.warm && l.core.Retired() >= warmup {
+		l.warm = true
+		l.base = l.core.Snapshot()
+	}
+	l.now += step
+	l.horizon = l.core.DurationToCycles(l.now)
+}
+
+// replay consumes one chunk of front-end events. The boundary catch-up loop
+// before each event reproduces the driver's "consume ops only while the core
+// is inside the quantum" condition: quanta in which this lane retires
+// nothing still get their boundary (and warmup check), exactly as the driver
+// re-enters runDomainUntil with an advanced horizon.
+func (l *laneState) replay(events []feEvent, warmup uint64, step time.Duration) {
+	core := l.core
+	for _, ev := range events {
+		for core.Cycles() >= l.horizon {
+			l.endQuantum(warmup, step)
+		}
+		core.RetireNonMem(ev.nonMem)
+		switch ev.kind {
+		case feL1Hit:
+			core.RetireMem(cpu.L1Hit)
+		case feL1Miss:
+			if l.llc.Access(ev.addr) {
+				core.RetireMem(cpu.LLCHit)
+			} else {
+				core.RetireMem(cpu.Memory)
+			}
+		}
+	}
+}
+
+// finish runs the driver's stream-dry sequence — catch up to the quantum the
+// stream ends in, snapshot, idle forward to the quantum boundary, take that
+// boundary (the warmup check may fire there) — and returns the measured IPC
+// exactly as sim's collect computes it.
+func (l *laneState) finish(warmup uint64, step time.Duration) float64 {
+	for l.core.Cycles() >= l.horizon {
+		l.endQuantum(warmup, step)
+	}
+	fin := l.core.Snapshot()
+	l.core.AdvanceTo(l.now)
+	l.endQuantum(warmup, step)
+	instr := fin.Retired - l.base.Retired
+	cycles := fin.Cycles - l.base.Cycles
+	if cycles > 0 {
+		return float64(instr) / cycles
+	}
+	return 0
+}
+
+// laneEngine holds the shared front-end (L1 lane, chunk and event buffers)
+// and the nine per-size lanes. Engines are reused across benchmarks via
+// Reset, so a study allocates its tag arrays once per worker, not 324 times.
+type laneEngine struct {
+	sizes  []int64
+	step   time.Duration
+	l1     *cache.Lane
+	lanes  []laneState
+	events []feEvent
+}
+
+// newLaneEngine builds an engine with the exact geometry sensitivityPoint's
+// configuration implies: the Table 3 L1 and LLC associativity, one lane per
+// supported partition size, and the 100 µs sampling quantum.
+func newLaneEngine() *laneEngine {
+	cfg := sim.DefaultConfig(partition.DefaultScheme(partition.Static))
+	e := &laneEngine{
+		sizes:  cfg.Sizes,
+		step:   100 * time.Microsecond,
+		l1:     cache.MustNewLane(cache.Config{SizeBytes: cfg.L1Bytes, Ways: cfg.L1Ways}),
+		lanes:  make([]laneState, len(cfg.Sizes)),
+		events: make([]feEvent, 0, laneChunk),
+	}
+	for i, size := range cfg.Sizes {
+		e.lanes[i].llc = cache.MustNewLane(cache.Config{SizeBytes: size, Ways: cfg.LLCWays})
+	}
+	return e
+}
+
+// run produces the benchmark's IPC at every supported partition size
+// (ascending, matching e.sizes), bitwise equal to calling sensitivityPoint
+// once per size. ctx is checked once per chunk, so cancellation takes effect
+// within one front-end batch.
+func (e *laneEngine) run(ctx context.Context, p workload.Params, instructions uint64) ([]float64, error) {
+	gen, err := workload.NewGenerator(p)
+	if err != nil {
+		return nil, err
+	}
+	chunks := isa.NewChunks(isa.NewLimited(gen, 2*instructions), laneChunk)
+	e.l1.Reset()
+	cp := p.CPUParams()
+	for i := range e.lanes {
+		l := &e.lanes[i]
+		l.llc.Reset()
+		l.core = cpu.New(cp)
+		l.now = e.step
+		l.horizon = l.core.DurationToCycles(l.now)
+		// Warmup 0 + WarmupInstructions 0 means the driver begins
+		// measurement before the first quantum.
+		l.warm = instructions == 0
+		l.base = cpu.Snapshot{}
+	}
+	offset := sim.DomainAddrOffset(0)
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		ops := chunks.Next()
+		if len(ops) == 0 {
+			break
+		}
+		e.events = e.events[:0]
+		for _, op := range ops {
+			ev := feEvent{nonMem: op.NonMem}
+			if op.IsMem() {
+				addr := op.Addr + offset
+				if e.l1.Access(addr) {
+					ev.kind = feL1Hit
+				} else {
+					ev.kind = feL1Miss
+					ev.addr = addr
+				}
+			}
+			e.events = append(e.events, ev)
+		}
+		for i := range e.lanes {
+			e.lanes[i].replay(e.events, instructions, e.step)
+		}
+	}
+	ipcs := make([]float64, len(e.lanes))
+	for i := range e.lanes {
+		ipcs[i] = e.lanes[i].finish(instructions, e.step)
+	}
+	return ipcs, nil
+}
+
+// enginePool recycles engines across study workers: each worker grabs one
+// engine per benchmark and Reset gives it back fresh (the Reset ≡ fresh
+// property is covered by the cache package's property tests, and implicitly
+// by the oracle-equivalence test, whose sequential pass reuses one engine
+// for all 36 benchmarks).
+var enginePool = sync.Pool{New: func() any { return newLaneEngine() }}

@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"untangle/internal/workload"
+)
+
+// oracleStudy computes the study the pre-engine way: one full simulator run
+// per benchmark × size through the retained sensitivityPoint path.
+func oracleStudy(t *testing.T, params []workload.Params, instructions uint64) []SensitivityResult {
+	t.Helper()
+	sizes := sensitivitySizes()
+	out := make([]SensitivityResult, len(params))
+	for b, p := range params {
+		ipcs := make([]float64, len(sizes))
+		for i, size := range sizes {
+			ipc, err := sensitivityPoint(p, size, instructions)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ipcs[i] = ipc
+		}
+		out[b] = assembleSensitivity(p.Name, sizes, ipcs)
+	}
+	return out
+}
+
+// requireBitwiseEqual compares two study rows field by field, reporting the
+// first differing per-size value exactly (Float64bits, so NaN == NaN and
+// -0 != +0, the strictest possible notion of "same result").
+func requireBitwiseEqual(t *testing.T, got, want SensitivityResult) {
+	t.Helper()
+	if got.Name != want.Name {
+		t.Fatalf("name %q != %q", got.Name, want.Name)
+	}
+	if got.Adequate != want.Adequate || got.Sensitive != want.Sensitive {
+		t.Errorf("%s: classification (adequate %d, sensitive %v) != oracle (adequate %d, sensitive %v)",
+			got.Name, got.Adequate, got.Sensitive, want.Adequate, want.Sensitive)
+	}
+	if len(got.Sizes) != len(want.Sizes) || len(got.NormIPC) != len(want.NormIPC) {
+		t.Fatalf("%s: curve shape %d/%d sizes != oracle %d/%d", got.Name,
+			len(got.Sizes), len(got.NormIPC), len(want.Sizes), len(want.NormIPC))
+	}
+	for i := range got.Sizes {
+		if got.Sizes[i] != want.Sizes[i] {
+			t.Errorf("%s: size[%d] = %d, oracle %d", got.Name, i, got.Sizes[i], want.Sizes[i])
+		}
+		if math.Float64bits(got.NormIPC[i]) != math.Float64bits(want.NormIPC[i]) {
+			t.Errorf("%s: NormIPC[%d] = %x (%v), oracle %x (%v)", got.Name, i,
+				math.Float64bits(got.NormIPC[i]), got.NormIPC[i],
+				math.Float64bits(want.NormIPC[i]), want.NormIPC[i])
+		}
+	}
+}
+
+// TestEngineMatchesOracleQuick is the always-on (even -short) guard: one
+// benchmark, small budget, engine vs direct simulation, bitwise.
+func TestEngineMatchesOracleQuick(t *testing.T) {
+	p, err := workload.SPECByName("mcf_0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const instructions = 20_000
+	e := newLaneEngine()
+	ipcs, err := e.run(context.Background(), p, instructions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitwiseEqual(t,
+		assembleSensitivity(p.Name, e.sizes, ipcs),
+		oracleStudy(t, []workload.Params{p}, instructions)[0])
+}
+
+// TestEngineMatchesOracleAllBenchmarks is the PR's central acceptance test:
+// the multi-lane engine reproduces the sensitivityPoint oracle bitwise —
+// per-size normalized IPC, Adequate size, and the Sensitive verdict — for
+// every one of the 36 Figure 11 benchmarks, at a reduced instruction budget.
+// Bitwise equality at ANY budget implies the two paths compute the same
+// function, warmup boundary and measurement window included (budgets this
+// small exercise the degenerate boundary cases — IPC-0 windows, NaN
+// normalization — that a tolerance comparison would paper over). The study
+// side runs through the public parallel path, so under -race this also
+// covers the engine pool and the per-worker engine reuse.
+func TestEngineMatchesOracleAllBenchmarks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("36-benchmark oracle comparison; skipped in -short mode")
+	}
+	const instructions = 100_000
+	params := sortedSPECParams()
+	want := oracleStudy(t, params, instructions)
+	got, err := SensitivityStudyContext(context.Background(), instructions, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("engine study has %d rows, oracle %d", len(got), len(want))
+	}
+	for i := range got {
+		requireBitwiseEqual(t, got[i], want[i])
+	}
+}
+
+// TestEngineZeroInstructions pins the degenerate budget: the oracle begins
+// measurement before the first quantum when WarmupInstructions is 0, and the
+// engine must do the same instead of dividing by an empty window.
+func TestEngineZeroInstructions(t *testing.T) {
+	p, err := workload.SPECByName("imagick_0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newLaneEngine()
+	ipcs, err := e.run(context.Background(), p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, size := range e.sizes {
+		want, err := sensitivityPoint(p, size, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(ipcs[i]) != math.Float64bits(want) {
+			t.Errorf("size %d: engine IPC %v, oracle %v", size, ipcs[i], want)
+		}
+	}
+}
+
+// TestEngineCancellation: a pre-canceled context must abort the pass with
+// the context's error before any meaningful work.
+func TestEngineCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SensitivityStudyContext(ctx, 1_000_000, 0); err == nil {
+		t.Fatal("canceled study returned no error")
+	}
+	p, err := workload.SPECByName("mcf_0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := newLaneEngine().run(ctx, p, 1_000_000); err != context.Canceled {
+		t.Fatalf("engine run under canceled context: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestClassifyMatchesSensitivity pins the API change: Classify now returns
+// the identical full curve (it is the same engine pass).
+func TestClassifyMatchesSensitivity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two engine passes; skipped in -short mode")
+	}
+	full, err := Sensitivity("xz_1", 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls, err := Classify("xz_1", 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitwiseEqual(t, cls, full)
+}

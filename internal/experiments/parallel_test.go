@@ -126,25 +126,5 @@ func TestClassifyStudyParallelMatchesSequential(t *testing.T) {
 	}
 }
 
-// Classify must agree with the full sensitivity curve on the adequate size
-// and the sensitivity verdict — it only skips the points the verdict does
-// not need.
-func TestClassifyAgreesWithSensitivity(t *testing.T) {
-	if testing.Short() {
-		t.Skip("sensitivity curves; skipped in -short mode")
-	}
-	for _, name := range []string{"mcf_0", "imagick_0"} {
-		full, err := Sensitivity(name, 800_000)
-		if err != nil {
-			t.Fatal(err)
-		}
-		short, err := Classify(name, 800_000)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if short.Adequate != full.Adequate || short.Sensitive != full.Sensitive {
-			t.Errorf("%s: Classify (adequate %d, sensitive %v) != Sensitivity (adequate %d, sensitive %v)",
-				name, short.Adequate, short.Sensitive, full.Adequate, full.Sensitive)
-		}
-	}
-}
+// Classify ≡ Sensitivity (same multi-lane pass, full curve) is pinned
+// bitwise by TestClassifyMatchesSensitivity in multilane_test.go.

@@ -1,0 +1,30 @@
+package isa
+
+// Chunks adapts a Stream to a chunked pull interface for engines that fan
+// one op sequence out to several consumers: the caller drains the stream one
+// fixed-size chunk at a time and replays each chunk as often as it likes
+// before asking for the next. Because Streams promise Fill-size
+// independence (identical parameters yield identical op sequences however
+// Fill calls are sized), the concatenation of the chunks is exactly the
+// sequence any other consumer of the same stream would see.
+type Chunks struct {
+	s   Stream
+	buf []Op
+}
+
+// NewChunks wraps s with a chunk buffer of the given size. Size must be
+// positive; it only affects batching, never the op sequence.
+func NewChunks(s Stream, size int) *Chunks {
+	if size <= 0 {
+		panic("isa: chunk size must be positive")
+	}
+	return &Chunks{s: s, buf: make([]Op, size)}
+}
+
+// Next returns the next chunk of the stream, or an empty slice once the
+// stream is exhausted. The returned slice aliases the internal buffer and
+// is valid only until the following Next call.
+func (c *Chunks) Next() []Op {
+	n := c.s.Fill(c.buf)
+	return c.buf[:n]
+}

@@ -1,0 +1,84 @@
+package isa
+
+import (
+	"reflect"
+	"testing"
+)
+
+// scripted replays a fixed op slice through the Stream interface, honoring
+// whatever buffer size the caller offers (like a generator would).
+type scripted struct {
+	ops []Op
+	pos int
+}
+
+func (s *scripted) Fill(buf []Op) int {
+	n := copy(buf, s.ops[s.pos:])
+	s.pos += n
+	return n
+}
+
+func chunksDrain(s Stream, size int) []Op {
+	c := NewChunks(s, size)
+	var out []Op
+	for {
+		chunk := c.Next()
+		if len(chunk) == 0 {
+			return out
+		}
+		// The chunk aliases the internal buffer, so consumers that retain
+		// ops must copy — as this append does.
+		out = append(out, chunk...)
+	}
+}
+
+// TestChunksConcatenationInvariant: the concatenation of the chunks equals a
+// direct drain of an identical stream, for any chunk size — the property the
+// multi-lane engine's shared front-end is built on.
+func TestChunksConcatenationInvariant(t *testing.T) {
+	mkOps := func() []Op {
+		ops := make([]Op, 1000)
+		for i := range ops {
+			ops[i] = Op{Addr: uint64(i) * 64, NonMem: uint32(i % 7)}
+			if i%3 != 0 {
+				ops[i].Flags |= FlagMem
+			}
+		}
+		return ops
+	}
+	// Wrap in Limited so mid-stream short Fills (the truncated final op)
+	// are part of what the invariant covers.
+	want := chunksDrain(NewLimited(&scripted{ops: mkOps()}, 2500), len(mkOps())+1)
+	for _, size := range []int{1, 2, 7, 64, 1000, 4096} {
+		got := chunksDrain(NewLimited(&scripted{ops: mkOps()}, 2500), size)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("chunk size %d: drained sequence differs (%d ops vs %d)", size, len(got), len(want))
+		}
+	}
+}
+
+// TestChunksBufferReuse documents the aliasing contract: Next invalidates
+// the previous chunk.
+func TestChunksBufferReuse(t *testing.T) {
+	c := NewChunks(&scripted{ops: []Op{{NonMem: 1}, {NonMem: 2}}}, 1)
+	first := c.Next()
+	if len(first) != 1 || first[0].NonMem != 1 {
+		t.Fatalf("first chunk = %+v", first)
+	}
+	second := c.Next()
+	if len(second) != 1 || second[0].NonMem != 2 {
+		t.Fatalf("second chunk = %+v", second)
+	}
+	if first[0].NonMem != 2 {
+		t.Error("chunks did not alias the shared buffer; update the doc if this becomes a copy")
+	}
+}
+
+func TestChunksRejectsNonPositiveSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewChunks(s, 0) did not panic")
+		}
+	}()
+	NewChunks(&scripted{}, 0)
+}

@@ -29,6 +29,12 @@ import (
 // domainAddrShift separates domain address spaces in the shared LLC.
 const domainAddrShift = 44
 
+// DomainAddrOffset returns the address-space offset the simulator adds to
+// domain i's accesses before they reach the caches. Exported so replay
+// engines that reproduce a simulation outside the driver (the multi-lane
+// sensitivity engine) hash the exact addresses the driver would.
+func DomainAddrOffset(i int) uint64 { return uint64(i+1) << domainAddrShift }
+
 // Config describes one simulation.
 type Config struct {
 	// LLCBytes and LLCWays give the shared LLC geometry (Table 3: 16MB,
@@ -429,7 +435,7 @@ func New(cfg Config, specs []DomainSpec) (*Sim, error) {
 			stream: spec.Stream,
 			buf:    make([]isa.Op, 4096),
 			idx:    i,
-			offset: uint64(i+1) << domainAddrShift,
+			offset: DomainAddrOffset(i),
 			rng:    cfg.Seed*0x9E3779B97F4A7C15 + uint64(i+1),
 		}
 		d.l1, err = cache.New(cache.Config{SizeBytes: cfg.L1Bytes, Ways: cfg.L1Ways})

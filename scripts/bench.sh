@@ -1,8 +1,10 @@
 #!/bin/sh
 # Runs the repository's benchmark suites and writes the machine-readable
-# baseline to BENCH_PR2.json (override with the first argument). The same
+# baseline to BENCH_PR3.json (override with the first argument). The same
 # recipe produced the numbers in docs/PERFORMANCE.md; re-run it after any
-# hot-path change and diff the JSON.
+# hot-path change and diff the JSON. When the committed BENCH_PR2.json
+# baseline exists, a per-benchmark ns/op comparison against it is printed
+# after the run (benchjson -compare).
 #
 # Environment knobs:
 #   UNTANGLE_BENCH_SCALE  workload scale for the experiment benchmarks
@@ -14,7 +16,8 @@
 set -eu
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_PR2.json}"
+out="${1:-BENCH_PR3.json}"
+baseline="BENCH_PR2.json"
 count="${BENCH_COUNT:-1}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
@@ -27,3 +30,8 @@ go test -run '^$' -bench . -benchtime 1x -count "$count" -timeout 60m . | tee "$
 go test -run '^$' -bench . -count "$count" -timeout 20m ./internal/cache | tee -a "$tmp"
 go run ./cmd/benchjson < "$tmp" > "$out"
 echo "wrote $out"
+if [ -f "$baseline" ] && [ "$out" != "$baseline" ]; then
+    echo
+    echo "comparison against $baseline:"
+    go run ./cmd/benchjson -compare "$baseline" "$out"
+fi
