@@ -14,10 +14,12 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"testing"
 	"time"
 
+	"untangle/internal/checkpoint"
 	"untangle/internal/covert"
 	"untangle/internal/experiments"
 	"untangle/internal/parallel"
@@ -375,6 +377,44 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 	b.ReportMetric(disabled.Seconds()/float64(b.N), "s/run-disabled")
 	b.ReportMetric(nop.Seconds()/float64(b.N), "s/run-nop-sink")
 	b.ReportMetric(100*(nop.Seconds()-disabled.Seconds())/disabled.Seconds(), "overhead-%")
+}
+
+// Guard: -checkpoint must not tax the campaign it protects. The journal
+// appends one fsynced JSONL line per completed unit — 36 for the Figure 11
+// study — so its cost is a fixed number of small writes regardless of
+// scale, and must stay under 2% of the study itself. Each iteration opens
+// a fresh journal (resuming from a populated one would skip the work and
+// measure nothing).
+func BenchmarkCheckpointJournalOverhead(b *testing.B) {
+	dir := b.TempDir()
+	ins := sensitivityInstructions()
+	study := func(j *checkpoint.Journal) time.Duration {
+		start := time.Now()
+		if _, err := experiments.SensitivityStudyCheckpointed(context.Background(), ins, benchJobs(), j); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	study(nil) // warm caches before measuring
+	var plain, journaled time.Duration
+	for i := 0; i < b.N; i++ {
+		plain += study(nil)
+		j, err := checkpoint.Open(filepath.Join(dir, fmt.Sprintf("bench-%d.ckpt", i)), checkpoint.Fingerprint{
+			Instructions: ins,
+			Units:        "bench",
+			ParamsTag:    experiments.ParamsFingerprint(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		journaled += study(j)
+		if err := j.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(plain.Seconds()/float64(b.N), "s/run-plain")
+	b.ReportMetric(journaled.Seconds()/float64(b.N), "s/run-journaled")
+	b.ReportMetric(100*(journaled.Seconds()-plain.Seconds())/plain.Seconds(), "overhead-%")
 }
 
 // Ablation: annotations off (Edge 1 of Figure 2 restored). Performance is

@@ -28,6 +28,7 @@ import (
 	"strconv"
 	"strings"
 
+	"untangle/internal/fsutil"
 	"untangle/internal/isa"
 	"untangle/internal/lang"
 )
@@ -109,9 +110,11 @@ func main() {
 	var ops, instr, mem, secretUse, secretProg uint64
 	buf := make([]isa.Op, 4096)
 	var w *isa.TraceWriter
-	var f *os.File
+	var f *fsutil.AtomicFile
 	if *out != "" {
-		f, err = os.Create(*out)
+		// Atomic output: only a completely-compiled trace is published at
+		// the destination path (crash-safety, see internal/fsutil).
+		f, err = fsutil.CreateAtomic(*out)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -147,6 +150,9 @@ func main() {
 	}
 	if w != nil {
 		if err := w.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Commit(); err != nil {
 			log.Fatal(err)
 		}
 		log.Printf("wrote %s", *out)

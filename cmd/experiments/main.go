@@ -14,11 +14,27 @@
 // sequential path. The report is identical for every -jobs value: results
 // are collected by index and printed in mix order.
 //
+// Long campaigns survive faults (see docs/ROBUSTNESS.md). A panicking
+// point fails the run with a diagnosable parallel.PanicError instead of
+// crashing the process, transient unit failures are retried with
+// deterministic backoff, and -checkpoint journals every completed unit
+// (benchmark pass, mix outcome) to a crash-safe JSONL file:
+//
+//	experiments -scale 1.0 -checkpoint run.ckpt
+//	# ... crash, power loss, or ^C at hour three ...
+//	experiments -scale 1.0 -checkpoint run.ckpt   # redoes only unfinished units
+//
+// A resumed run's report and telemetry trace are byte-identical to an
+// uninterrupted run's. The -out report and -telemetry trace are written
+// atomically (complete file or old file, never torn), and every report
+// ends with a completeness manifest so an interrupted run is explicit
+// about what it covered.
+//
 // Long runs can be watched and profiled: -telemetry streams each mix's
 // structured events as JSONL while the run progresses, and the
 // -cpuprofile/-memprofile/-trace/-pprof flags profile the simulator
 // process itself. SIGINT stops cleanly: in-flight mixes finish, unstarted
-// ones are abandoned, and every writer is flushed and closed, so an
+// ones are abandoned, and every writer is flushed and committed, so an
 // interrupted run leaves a valid (truncated but parseable) report and
 // JSONL stream rather than torn lines. A second SIGINT kills the process
 // immediately.
@@ -28,11 +44,13 @@
 //	experiments -scale 0.01                 # all mixes, laptop-sized
 //	experiments -scale 0.01 -jobs 1         # sequential legacy execution
 //	experiments -scale 0.01 -mixes 1,2,3,4  # just the Figure 10 mixes
+//	experiments -scale 1.0 -checkpoint run.ckpt -out report.txt
 //	experiments -scale 0.01 -telemetry run.jsonl -pprof localhost:6060
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -43,7 +61,9 @@ import (
 	"strings"
 	"syscall"
 
+	"untangle/internal/checkpoint"
 	"untangle/internal/experiments"
+	"untangle/internal/fsutil"
 	"untangle/internal/parallel"
 	"untangle/internal/partition"
 	"untangle/internal/report"
@@ -56,15 +76,74 @@ import (
 // drain in this order so trace files are deterministic.
 var mixKinds = []partition.Kind{partition.Static, partition.TimeBased, partition.Untangle, partition.Shared}
 
-// mixOutcome is everything one worker produces for one mix.
-type mixOutcome struct {
-	res     *experiments.MixResult
-	buffers map[partition.Kind]*telemetry.Buffer
-	// activeRate is the worst-case per-assessment leakage, NaN-free only
-	// when the active-attacker rerun happened.
-	activeRate float64
-	haveActive bool
+// config is one campaign's validated settings — main parses flags into it,
+// run executes it, and the tests drive run directly.
+type config struct {
+	scale    float64
+	ids      []int
+	sensIns  uint64
+	jobs     int
+	active   bool
+	traced   bool
+	outPath  string
+	telePath string
+	ckptPath string
+
+	// unitHook, when set (tests only), runs after each mix unit completes
+	// and journals — the injection point for kill-at-unit-k.
+	unitHook func(key string)
 }
+
+// savedMix is one mix's journaled outcome: everything the final report
+// needs, in rendered or JSON-stable form, so a resumed run can replay the
+// unit byte-for-byte without re-simulating. Events holds the telemetry
+// lines exactly as the JSONL sink would write them; all floats journal as
+// IEEE-754 bit patterns (checkpoint.F64) so the round trip is bit-exact and
+// a NaN outcome — possible at extreme scales — still journals.
+type savedMix struct {
+	Group      string            `json:"group"`
+	Row        savedRow          `json:"table6"`
+	Events     []json.RawMessage `json:"events,omitempty"`
+	ActiveRate checkpoint.F64    `json:"active_rate"`
+	HaveActive bool              `json:"have_active"`
+}
+
+// savedRow is experiments.Table6Row in journal encoding.
+type savedRow struct {
+	MixID                  int            `json:"mix_id"`
+	TimeAvgPerAssessment   checkpoint.F64 `json:"time_per"`
+	TimeAvgTotal           checkpoint.F64 `json:"time_total"`
+	UntangleAvgPerAssess   checkpoint.F64 `json:"untangle_per"`
+	UntangleAvgTotal       checkpoint.F64 `json:"untangle_total"`
+	UntangleMaintainFrac   checkpoint.F64 `json:"maintain_frac"`
+	ReductionPerAssessment checkpoint.F64 `json:"reduction_per"`
+}
+
+func toSavedRow(r experiments.Table6Row) savedRow {
+	return savedRow{
+		MixID:                  r.MixID,
+		TimeAvgPerAssessment:   checkpoint.F64(r.TimeAvgPerAssessment),
+		TimeAvgTotal:           checkpoint.F64(r.TimeAvgTotal),
+		UntangleAvgPerAssess:   checkpoint.F64(r.UntangleAvgPerAssess),
+		UntangleAvgTotal:       checkpoint.F64(r.UntangleAvgTotal),
+		UntangleMaintainFrac:   checkpoint.F64(r.UntangleMaintainFrac),
+		ReductionPerAssessment: checkpoint.F64(r.ReductionPerAssessment),
+	}
+}
+
+func (r savedRow) row() experiments.Table6Row {
+	return experiments.Table6Row{
+		MixID:                  r.MixID,
+		TimeAvgPerAssessment:   float64(r.TimeAvgPerAssessment),
+		TimeAvgTotal:           float64(r.TimeAvgTotal),
+		UntangleAvgPerAssess:   float64(r.UntangleAvgPerAssess),
+		UntangleAvgTotal:       float64(r.UntangleAvgTotal),
+		UntangleMaintainFrac:   float64(r.UntangleMaintainFrac),
+		ReductionPerAssessment: float64(r.ReductionPerAssessment),
+	}
+}
+
+func mixKey(id int) string { return fmt.Sprintf("mix/%d", id) }
 
 func main() {
 	log.SetFlags(0)
@@ -73,13 +152,33 @@ func main() {
 		scale    = flag.Float64("scale", 0.01, "scale factor (1.0 = paper fidelity)")
 		mixList  = flag.String("mixes", "", "comma-separated mix ids (default: all 16)")
 		sensIns  = flag.Uint64("sensitivity-instructions", 1_500_000, "instructions per sensitivity run (0 skips Figure 11)")
-		outPath  = flag.String("out", "", "also write the report to this file")
+		outPath  = flag.String("out", "", "also write the report to this file (atomically)")
 		skipAct  = flag.Bool("skip-active", false, "skip the active-attacker accounting runs")
 		telemOut = flag.String("telemetry", "", "stream a JSONL telemetry event trace of every mix to this file")
 		jobs     = flag.Int("jobs", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+		ckpt     = flag.String("checkpoint", "", "journal completed units to this file and resume from it on restart")
 	)
 	profile := telemetry.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
+
+	ids, err := parseMixes(*mixList)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := config{
+		scale:    *scale,
+		ids:      ids,
+		sensIns:  *sensIns,
+		jobs:     *jobs,
+		active:   !*skipAct,
+		traced:   *telemOut != "",
+		outPath:  *outPath,
+		telePath: *telemOut,
+		ckptPath: *ckpt,
+	}
+	if err := cfg.validate(); err != nil {
+		log.Fatal(err)
+	}
 
 	if profile.Enabled() {
 		stop, err := profile.Start()
@@ -94,56 +193,104 @@ func main() {
 	}
 
 	// SIGINT/SIGTERM stop the run: the pool hands no further work out and
-	// the deferred closers flush every output so partial files end on
-	// whole lines. The signal is captured (not default-fatal) while the
-	// context is live, so an in-flight write always completes.
+	// the completed prefix is reported and committed. The signal is
+	// captured (not default-fatal) while the context is live, so an
+	// in-flight write always completes.
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
 
-	var w io.Writer = os.Stdout
-	if *outPath != "" {
-		f, err := os.Create(*outPath)
+	if err := run(ctx, cfg, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// validate rejects configurations that would otherwise panic deep in the
+// engine or silently simulate nothing.
+func (c config) validate() error {
+	if c.scale <= 0 || c.scale > 1 {
+		return fmt.Errorf("-scale must be in (0, 1], got %v", c.scale)
+	}
+	if c.jobs < 0 {
+		return fmt.Errorf("-jobs must be >= 0 (0 = all cores), got %d", c.jobs)
+	}
+	return nil
+}
+
+// fingerprint pins the checkpoint journal to this exact campaign: results
+// journaled under any other scale, instruction budget, unit set, or
+// compiled-in parameter table must not be resumed.
+func (c config) fingerprint() checkpoint.Fingerprint {
+	schemes := make([]string, len(mixKinds))
+	for i, k := range mixKinds {
+		schemes[i] = k.String()
+	}
+	return checkpoint.Fingerprint{
+		Scale:        c.scale,
+		Instructions: c.sensIns,
+		Schemes:      schemes,
+		Units:        fmt.Sprintf("mixes=%v active=%t telemetry=%t", c.ids, c.active, c.traced),
+		ParamsTag:    experiments.ParamsFingerprint(),
+	}
+}
+
+// run executes the campaign and writes the report to stdout (and, per
+// cfg, atomically to a file). It returns nil for complete and for cleanly
+// interrupted runs — both leave committed, self-describing outputs — and
+// an error when a unit failed, in which case the -out and -telemetry
+// targets keep their previous contents (the journal, if any, keeps the
+// completed units for a resume).
+func run(ctx context.Context, cfg config, stdout io.Writer) error {
+	var w io.Writer = stdout
+	var outFile *fsutil.AtomicFile
+	if cfg.outPath != "" {
+		f, err := fsutil.CreateAtomic(cfg.outPath)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		defer f.Close()
-		w = io.MultiWriter(os.Stdout, f)
+		outFile = f
+		w = io.MultiWriter(stdout, f)
 	}
 
 	var telemSink *telemetry.JSONL
-	if *telemOut != "" {
-		f, err := os.Create(*telemOut)
+	var telemFile *fsutil.AtomicFile
+	if cfg.telePath != "" {
+		f, err := fsutil.CreateAtomic(cfg.telePath)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
+		defer f.Close()
+		telemFile = f
 		telemSink = telemetry.NewJSONL(f)
-		defer func() {
-			if err := telemSink.Close(); err != nil {
-				log.Printf("telemetry: %v", err)
-			}
-			if err := f.Close(); err != nil {
-				log.Printf("telemetry: %v", err)
-			}
-		}()
 	}
 
-	ids, err := parseMixes(*mixList)
-	if err != nil {
-		log.Fatal(err)
+	var journal *checkpoint.Journal
+	if cfg.ckptPath != "" {
+		j, err := checkpoint.Open(cfg.ckptPath, cfg.fingerprint())
+		if err != nil {
+			return err
+		}
+		defer j.Close()
+		if n := j.Resumed(); n > 0 {
+			log.Printf("resuming from %s: %d units already complete", cfg.ckptPath, n)
+		}
+		journal = j
 	}
 
 	// Figure 11.
 	var study []experiments.SensitivityResult
-	if *sensIns > 0 && ctx.Err() == nil {
+	if cfg.sensIns > 0 && ctx.Err() == nil {
 		log.Printf("running Figure 11 sensitivity study (%d instructions per benchmark pass, %d jobs)...",
-			*sensIns, *jobs)
-		study, err = experiments.SensitivityStudyContext(ctx, *sensIns, *jobs)
+			cfg.sensIns, cfg.jobs)
+		var err error
+		study, err = experiments.SensitivityStudyCheckpointed(ctx, cfg.sensIns, cfg.jobs, journal)
 		if err != nil {
 			if ctx.Err() != nil {
 				log.Print("interrupted during the sensitivity study")
-				return
+				writeManifest(w, cfg, study, 0)
+				return commit(telemSink, telemFile, outFile)
 			}
-			log.Fatal(err)
+			return err
 		}
 		fmt.Fprintln(w, report.Figure11(study))
 	}
@@ -151,10 +298,10 @@ func main() {
 	// Figures 10 and 12-17 plus Table 6 inputs: one worker per mix. Each
 	// worker runs its mix's four schemes (sequentially when several mixes
 	// share the pool, so -jobs bounds total concurrency) and then the
-	// worst-case accounting rerun.
-	outcomes, runErr := runMixes(ctx, ids, *scale, *jobs, !*skipAct, telemSink != nil)
+	// worst-case accounting rerun, and journals the finished unit.
+	outcomes, runErr := runMixes(ctx, cfg, study, journal)
 	if runErr != nil && ctx.Err() == nil {
-		log.Fatal(runErr)
+		return runErr
 	}
 
 	// Report in mix order regardless of completion order. After an
@@ -162,38 +309,29 @@ func main() {
 	var rows []experiments.Table6Row
 	var activeRates, maintainFracs []float64
 	done := 0
-	for _, oc := range outcomes {
-		if oc.res == nil {
+	for _, sv := range outcomes {
+		if sv == nil {
 			continue
 		}
 		done++
 		if telemSink != nil {
-			for _, kind := range mixKinds {
-				for _, ev := range oc.buffers[kind].Events() {
-					telemSink.Emit(ev)
-				}
+			for _, line := range sv.Events {
+				telemSink.EmitRaw(line)
 			}
 			if err := telemSink.Flush(); err != nil {
-				log.Fatal(err)
+				return err
 			}
 		}
-		group, err := report.MixGroup(oc.res, study)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Fprintln(w, group)
-		row, err := oc.res.Table6()
-		if err != nil {
-			log.Fatal(err)
-		}
+		fmt.Fprintln(w, sv.Group)
+		row := sv.Row.row()
 		rows = append(rows, row)
 		maintainFracs = append(maintainFracs, row.UntangleMaintainFrac)
-		if oc.haveActive {
-			activeRates = append(activeRates, oc.activeRate)
+		if sv.HaveActive {
+			activeRates = append(activeRates, float64(sv.ActiveRate))
 		}
 	}
-	if done < len(ids) {
-		log.Printf("interrupted; reporting %d of %d mixes", done, len(ids))
+	if done < len(cfg.ids) {
+		log.Printf("interrupted; reporting %d of %d mixes", done, len(cfg.ids))
 	}
 
 	fmt.Fprintln(w, report.Table6(rows))
@@ -210,65 +348,160 @@ func main() {
 		fmt.Fprintf(w, "Active attacker (no Maintain optimization): %.1f bits per assessment on average\n",
 			stats.Mean(activeRates))
 	}
+	writeManifest(w, cfg, study, done)
+	return commit(telemSink, telemFile, outFile)
+}
+
+// writeManifest ends the report with an explicit statement of coverage, so
+// a degraded or interrupted run can never be mistaken for a complete one.
+func writeManifest(w io.Writer, cfg config, study []experiments.SensitivityResult, mixesDone int) {
+	sens := "sensitivity study skipped"
+	if cfg.sensIns > 0 {
+		doneSens := 0
+		for _, r := range study {
+			if r.Name != "" {
+				doneSens++
+			}
+		}
+		total := len(workload.SPECBenchmarks)
+		sens = fmt.Sprintf("%d/%d sensitivity benchmarks", doneSens, total)
+	}
+	fmt.Fprintf(w, "Completed: %s, %d/%d mixes.\n", sens, mixesDone, len(cfg.ids))
+}
+
+// commit publishes the atomic outputs. Called on complete and on cleanly
+// interrupted runs; error paths skip it, leaving previous file contents.
+func commit(telemSink *telemetry.JSONL, telemFile, outFile *fsutil.AtomicFile) error {
+	if telemSink != nil {
+		if err := telemSink.Close(); err != nil {
+			return fmt.Errorf("telemetry: %w", err)
+		}
+		if err := telemFile.Commit(); err != nil {
+			return fmt.Errorf("telemetry: %w", err)
+		}
+	}
+	if outFile != nil {
+		if err := outFile.Commit(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // runMixes fans the mixes onto the worker pool and collects each mix's
-// outcome by index. A canceled context abandons unstarted mixes; the
-// returned slice still holds every completed outcome.
-func runMixes(ctx context.Context, ids []int, scale float64, jobs int, active, traced bool) ([]mixOutcome, error) {
+// rendered outcome by index. Units already in the journal are replayed
+// without simulating; fresh units retry transient failures, then journal.
+// A canceled context abandons unstarted mixes; the returned slice still
+// holds every completed outcome. A unit the cancellation cut short (main
+// run done, active rerun not) is reported but never journaled, so a resume
+// re-runs it in full rather than recording a truncated outcome.
+func runMixes(ctx context.Context, cfg config, study []experiments.SensitivityResult, journal *checkpoint.Journal) ([]*savedMix, error) {
 	// Scheme-level concurrency only helps when the mixes themselves cannot
 	// fill the pool.
 	innerJobs := 1
-	if len(ids) == 1 {
-		innerJobs = jobs
+	if len(cfg.ids) == 1 {
+		innerJobs = cfg.jobs
 	}
-	return parallel.Map(ctx, len(ids), jobs, func(ctx context.Context, i int) (mixOutcome, error) {
-		id := ids[i]
+	return parallel.Map(ctx, len(cfg.ids), cfg.jobs, func(ctx context.Context, i int) (*savedMix, error) {
+		id := cfg.ids[i]
+		key := mixKey(id)
+		if journal != nil {
+			var sv savedMix
+			if ok, err := journal.Lookup(key, &sv); err != nil {
+				return nil, fmt.Errorf("checkpoint %s: %w", key, err)
+			} else if ok {
+				log.Printf("mix %d: resumed from checkpoint", id)
+				return &sv, nil
+			}
+		}
 		mix, err := workload.MixByID(id)
 		if err != nil {
-			return mixOutcome{}, err
+			return nil, err
 		}
-		log.Printf("running mix %d at scale %v...", id, scale)
-		opts := experiments.Options{Scale: scale, Jobs: innerJobs}
-		var oc mixOutcome
-		if traced {
-			// Telemetry: per-scheme buffers keep concurrent schemes from
-			// interleaving; the buffers drain to the shared JSONL stream
-			// in fixed scheme order once the mix completes, so the file
-			// content is deterministic however the goroutines raced.
-			oc.buffers = map[partition.Kind]*telemetry.Buffer{}
-			for _, kind := range mixKinds {
-				oc.buffers[kind] = telemetry.NewBuffer()
+		log.Printf("running mix %d at scale %v...", id, cfg.scale)
+		var res *experiments.MixResult
+		var buffers map[partition.Kind]*telemetry.Buffer
+		err = parallel.Retry(ctx, experiments.RetryAttempts, experiments.RetryBackoff, func(ctx context.Context, _ int) error {
+			opts := experiments.Options{Scale: cfg.scale, Jobs: innerJobs}
+			if cfg.traced {
+				// Telemetry: per-scheme buffers keep concurrent schemes
+				// from interleaving; the buffers drain to the shared JSONL
+				// stream in fixed scheme order once the mix completes, so
+				// the file content is deterministic however the goroutines
+				// raced. Fresh buffers per attempt keep a retried run from
+				// double-recording the failed attempt's events.
+				buffers = map[partition.Kind]*telemetry.Buffer{}
+				for _, kind := range mixKinds {
+					buffers[kind] = telemetry.NewBuffer()
+				}
+				opts.TracerFor = func(k partition.Kind) *telemetry.Tracer {
+					return telemetry.New(buffers[k], nil, fmt.Sprintf("mix%d/%s", id, k))
+				}
 			}
-			opts.TracerFor = func(k partition.Kind) *telemetry.Tracer {
-				return telemetry.New(oc.buffers[k], nil, fmt.Sprintf("mix%d/%s", id, k))
-			}
+			var err error
+			res, err = experiments.RunMixContext(ctx, mix, opts)
+			return err
+		})
+		if err != nil {
+			return nil, err
 		}
-		if oc.res, err = experiments.RunMixContext(ctx, mix, opts); err != nil {
-			return mixOutcome{}, err
-		}
-		if active && ctx.Err() == nil {
+		var sv savedMix
+		if cfg.active && ctx.Err() == nil {
 			log.Printf("running mix %d with worst-case (active-attacker) accounting...", id)
-			act, err := experiments.RunMixContext(ctx, mix, experiments.Options{
-				Scale:               scale,
-				Kinds:               []partition.Kind{partition.Untangle},
-				WorstCaseAccounting: true,
-				Jobs:                innerJobs,
+			var act *experiments.MixResult
+			err = parallel.Retry(ctx, experiments.RetryAttempts, experiments.RetryBackoff, func(ctx context.Context, _ int) error {
+				var err error
+				act, err = experiments.RunMixContext(ctx, mix, experiments.Options{
+					Scale:               cfg.scale,
+					Kinds:               []partition.Kind{partition.Untangle},
+					WorstCaseAccounting: true,
+					Jobs:                innerJobs,
+				})
+				return err
 			})
 			if err != nil {
-				return mixOutcome{}, err
+				return nil, err
 			}
 			leak, err := act.LeakagePerAssessment(partition.Untangle)
 			if err != nil {
-				return mixOutcome{}, err
+				return nil, err
 			}
-			oc.activeRate = stats.Mean(leak)
-			oc.haveActive = true
+			sv.ActiveRate = checkpoint.F64(stats.Mean(leak))
+			sv.HaveActive = true
 		}
-		return oc, nil
+		if sv.Group, err = report.MixGroup(res, study); err != nil {
+			return nil, err
+		}
+		row, err := res.Table6()
+		if err != nil {
+			return nil, err
+		}
+		sv.Row = toSavedRow(row)
+		if cfg.traced {
+			for _, kind := range mixKinds {
+				for _, ev := range buffers[kind].Events() {
+					line, err := telemetry.MarshalEvent(ev)
+					if err != nil {
+						return nil, err
+					}
+					sv.Events = append(sv.Events, json.RawMessage(line))
+				}
+			}
+		}
+		if journal != nil && (!cfg.active || sv.HaveActive) {
+			if err := journal.Record(key, sv); err != nil {
+				return nil, fmt.Errorf("checkpoint %s: %w", key, err)
+			}
+		}
+		if cfg.unitHook != nil {
+			cfg.unitHook(key)
+		}
+		return &sv, nil
 	})
 }
 
+// parseMixes expands and validates the -mixes flag: every id must be an
+// integer naming one of the paper's mixes.
 func parseMixes(s string) ([]int, error) {
 	if s == "" {
 		ids := make([]int, len(workload.Mixes))
@@ -282,6 +515,9 @@ func parseMixes(s string) ([]int, error) {
 		id, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil {
 			return nil, fmt.Errorf("bad mix id %q", part)
+		}
+		if _, err := workload.MixByID(id); err != nil {
+			return nil, fmt.Errorf("bad mix id %d: %w", id, err)
 		}
 		ids = append(ids, id)
 	}

@@ -16,6 +16,7 @@ import (
 	"os"
 	"time"
 
+	"untangle/internal/fsutil"
 	"untangle/internal/report"
 	"untangle/internal/scenario"
 )
@@ -72,7 +73,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+		if err := fsutil.WriteFileAtomic(*jsonOut, data, 0o644); err != nil {
 			log.Fatal(err)
 		}
 		log.Printf("wrote %s", *jsonOut)

@@ -12,11 +12,19 @@
 //
 // Usage:
 //
+// A full-fidelity study can journal its progress: -checkpoint records each
+// completed benchmark pass to a crash-safe JSONL file, and a restarted
+// study with the same flags skips the journaled passes and reproduces the
+// identical output (see docs/ROBUSTNESS.md).
+//
+// Usage:
+//
 //	sensitivity                       # all 36 benchmarks, all cores
 //	sensitivity -jobs 1               # sequential (legacy) execution
 //	sensitivity -bench mcf_0          # one benchmark
 //	sensitivity -instructions 3000000 # higher fidelity
 //	sensitivity -classify-only        # adequate sizes only
+//	sensitivity -checkpoint study.ckpt # journal passes; resume on restart
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"untangle/internal/checkpoint"
 	"untangle/internal/experiments"
 	"untangle/internal/report"
 )
@@ -40,11 +49,35 @@ func main() {
 		instructions = flag.Uint64("instructions", 1_500_000, "measured instructions per run (an equal warmup precedes)")
 		jobs         = flag.Int("jobs", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 		classifyOnly = flag.Bool("classify-only", false, "print adequate sizes only instead of the full curve")
+		ckpt         = flag.String("checkpoint", "", "journal completed benchmark passes to this file and resume from it on restart")
 	)
 	flag.Parse()
+	if *jobs < 0 {
+		log.Fatalf("-jobs must be >= 0 (0 = all cores), got %d", *jobs)
+	}
 
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
+
+	var journal *checkpoint.Journal
+	if *ckpt != "" {
+		if *bench != "" {
+			log.Fatal("-checkpoint journals the full study; it cannot be combined with -bench")
+		}
+		var err error
+		journal, err = checkpoint.Open(*ckpt, checkpoint.Fingerprint{
+			Instructions: *instructions,
+			Units:        "sensitivity",
+			ParamsTag:    experiments.ParamsFingerprint(),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer journal.Close()
+		if n := journal.Resumed(); n > 0 {
+			log.Printf("resuming from %s: %d benchmark passes already complete", *ckpt, n)
+		}
+	}
 
 	var study []experiments.SensitivityResult
 	var err error
@@ -57,10 +90,8 @@ func main() {
 		var r experiments.SensitivityResult
 		r, err = experiments.Sensitivity(*bench, *instructions)
 		study = []experiments.SensitivityResult{r}
-	case *classifyOnly:
-		study, err = experiments.ClassifyStudyContext(ctx, *instructions, *jobs)
 	default:
-		study, err = experiments.SensitivityStudyContext(ctx, *instructions, *jobs)
+		study, err = experiments.SensitivityStudyCheckpointed(ctx, *instructions, *jobs, journal)
 	}
 	if err != nil {
 		if ctx.Err() != nil {

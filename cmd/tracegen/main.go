@@ -13,9 +13,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
+	"untangle/internal/fsutil"
 	"untangle/internal/isa"
 	"untangle/internal/monitor"
 	"untangle/internal/mrc"
@@ -61,12 +63,16 @@ func record(bench string, instructions uint64, out string, secret uint64) error 
 	if err != nil {
 		return err
 	}
-	f, err := os.Create(out)
+	// Atomic output: the trace streams into a temp file and only a
+	// complete recording is renamed to the destination, so a crash
+	// mid-record never leaves a torn trace where a good one stood.
+	f, err := fsutil.CreateAtomic(out)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	w, err := isa.NewTraceWriter(f)
+	cw := &countingWriter{w: f}
+	w, err := isa.NewTraceWriter(cw)
 	if err != nil {
 		return err
 	}
@@ -78,13 +84,25 @@ func record(bench string, instructions uint64, out string, secret uint64) error 
 	if err := w.Flush(); err != nil {
 		return err
 	}
-	st, err := f.Stat()
-	if err != nil {
+	if err := f.Commit(); err != nil {
 		return err
 	}
 	log.Printf("recorded %d ops (%d instructions requested) to %s (%d bytes, %.2f bytes/op)",
-		n, instructions, out, st.Size(), float64(st.Size())/float64(n))
+		n, instructions, out, cw.n, float64(cw.n)/float64(n))
 	return nil
+}
+
+// countingWriter tracks bytes written, replacing the Stat call the
+// pre-atomic writer used for the size log line.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }
 
 func printInfo(path string) error {

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"untangle/internal/experiments"
+	"untangle/internal/fsutil"
 	"untangle/internal/partition"
 	"untangle/internal/report"
 	"untangle/internal/telemetry"
@@ -89,13 +90,15 @@ func main() {
 	}
 
 	// Open the trace file before the (potentially long) run so a bad path
-	// fails in milliseconds, not after the simulation.
-	var telemFile *os.File
+	// fails in milliseconds, not after the simulation. The write is atomic:
+	// the trace appears at *telemOut only once complete.
+	var telemFile *fsutil.AtomicFile
 	if *telemOut != "" {
-		telemFile, err = os.Create(*telemOut)
+		telemFile, err = fsutil.CreateAtomic(*telemOut)
 		if err != nil {
 			log.Fatal(err)
 		}
+		defer telemFile.Close()
 	}
 
 	res, err := experiments.RunMix(mix, opts)
@@ -117,7 +120,7 @@ func main() {
 				log.Fatal(err)
 			}
 		}
-		if err := telemFile.Close(); err != nil {
+		if err := telemFile.Commit(); err != nil {
 			log.Fatal(err)
 		}
 		var n int
@@ -133,7 +136,7 @@ func main() {
 				log.Fatal(err)
 			}
 			path := fmt.Sprintf("%s-%s.json", *metricsOut, kind)
-			if err := os.WriteFile(path, data, 0o644); err != nil {
+			if err := fsutil.WriteFileAtomic(path, data, 0o644); err != nil {
 				log.Fatal(err)
 			}
 			log.Printf("wrote %s", path)
@@ -151,7 +154,7 @@ func main() {
 				log.Fatal(err)
 			}
 			path := fmt.Sprintf("%s-%s.json", *traceOut, kind)
-			if err := os.WriteFile(path, data, 0o644); err != nil {
+			if err := fsutil.WriteFileAtomic(path, data, 0o644); err != nil {
 				log.Fatal(err)
 			}
 			log.Printf("wrote %s", path)

@@ -1,0 +1,296 @@
+// Package checkpoint is the experiment engine's crash-recovery journal: an
+// append-only JSONL file that records each completed unit of a campaign (a
+// sensitivity benchmark pass, a mix outcome) as a self-describing record,
+// keyed by a configuration fingerprint so a resumed process can prove it is
+// continuing the same run before skipping any work.
+//
+// # Format
+//
+// Line 1 is a header record carrying the fingerprint and format version.
+// Every further line is a unit record:
+//
+//	{"kind":"header","version":1,"fingerprint":{...}}
+//	{"kind":"unit","key":"sens/mcf_0","value":{...}}
+//	{"kind":"unit","key":"mix/3","value":{...}}
+//
+// Units are journaled as they complete (concurrently, under an internal
+// lock) and each append is flushed and fsynced before Record returns, so a
+// process killed at any instant loses at most the unit in flight. A torn
+// final line — the record the crash interrupted — is detected on open and
+// truncated away before appending resumes.
+//
+// # Resume semantics
+//
+// Opening an existing journal with a matching fingerprint yields the set
+// of completed units; the caller skips those and re-emits their journaled
+// values, which is what makes an interrupted-and-resumed campaign
+// byte-identical to an uninterrupted one (the equivalence is tested in
+// cmd/experiments). Opening with a different fingerprint fails loudly:
+// silently mixing results from two configurations is precisely the failure
+// mode a checkpoint exists to prevent. See docs/ROBUSTNESS.md.
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"sync"
+)
+
+// F64 is a float64 that journals as its IEEE-754 bit pattern (a decimal
+// uint64), giving two guarantees plain JSON floats cannot: the round trip is
+// bit-exact by construction, and non-finite values survive — encoding/json
+// rejects NaN and ±Inf outright, and a sensitivity curve at a tiny
+// instruction budget is full of NaN (0/0 IPC normalization). A journal must
+// be able to record whatever the engine produced, so unit values store their
+// floats as F64.
+type F64 float64
+
+// MarshalJSON implements json.Marshaler.
+func (f F64) MarshalJSON() ([]byte, error) {
+	return strconv.AppendUint(nil, math.Float64bits(float64(f)), 10), nil
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (f *F64) UnmarshalJSON(b []byte) error {
+	u, err := strconv.ParseUint(string(b), 10, 64)
+	if err != nil {
+		return fmt.Errorf("checkpoint: F64 %q: %w", b, err)
+	}
+	*f = F64(math.Float64frombits(u))
+	return nil
+}
+
+// F64s converts a float slice to its journal representation.
+func F64s(xs []float64) []F64 {
+	if xs == nil {
+		return nil
+	}
+	out := make([]F64, len(xs))
+	for i, x := range xs {
+		out[i] = F64(x)
+	}
+	return out
+}
+
+// Floats converts a journaled slice back to float64s, bit-identical to what
+// was recorded.
+func Floats(xs []F64) []float64 {
+	if xs == nil {
+		return nil
+	}
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// Version is the journal format version; bumped on incompatible changes.
+const Version = 1
+
+// Fingerprint pins down everything that determines a campaign's results.
+// Two runs with equal fingerprints produce identical units, so completed
+// work from one may be reused by the other.
+type Fingerprint struct {
+	// Scale is the workload scale factor (1.0 = paper fidelity).
+	Scale float64 `json:"scale"`
+	// Instructions is the per-benchmark sensitivity instruction budget.
+	Instructions uint64 `json:"instructions"`
+	// Seed is the simulation seed driving the schemes' random delays.
+	Seed uint64 `json:"seed"`
+	// Schemes lists the partitioning schemes under evaluation, in order.
+	Schemes []string `json:"schemes,omitempty"`
+	// Units names the unit set of the campaign (mix ids, benchmark set) so
+	// a -mixes 1,2 journal is not resumed by a full 16-mix run.
+	Units string `json:"units,omitempty"`
+	// ParamsTag fingerprints the workload/scheme parameter tables compiled
+	// into the binary (experiments.ParamsFingerprint) — the stand-in for a
+	// git describe, so a journal never silently spans a params change.
+	ParamsTag string `json:"params_tag,omitempty"`
+}
+
+func (fp Fingerprint) String() string {
+	b, _ := json.Marshal(fp)
+	return string(b)
+}
+
+type record struct {
+	Kind        string          `json:"kind"`
+	Version     int             `json:"version,omitempty"`
+	Fingerprint *Fingerprint    `json:"fingerprint,omitempty"`
+	Key         string          `json:"key,omitempty"`
+	Value       json.RawMessage `json:"value,omitempty"`
+}
+
+// Journal is an open checkpoint file. All methods are safe for concurrent
+// use; Record serializes appends internally.
+type Journal struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	fp      Fingerprint
+	done    map[string]json.RawMessage
+	resumed int
+}
+
+// Open creates path as a fresh journal for fp, or resumes an existing one
+// after verifying its fingerprint matches. A file whose header disagrees
+// with fp returns an error naming both fingerprints.
+func Open(path string, fp Fingerprint) (*Journal, error) {
+	data, err := os.ReadFile(path)
+	switch {
+	case os.IsNotExist(err):
+		return create(path, fp)
+	case err != nil:
+		return nil, err
+	case len(data) == 0 || !bytes.ContainsRune(data, '\n'):
+		// An empty file, or one torn inside its very first line, is a
+		// journal whose header write never landed: no units can have been
+		// recorded, so start it over.
+		return create(path, fp)
+	}
+
+	lines := bytes.Split(data, []byte("\n"))
+	var hdr record
+	if err := json.Unmarshal(lines[0], &hdr); err != nil || hdr.Kind != "header" || hdr.Fingerprint == nil {
+		return nil, fmt.Errorf("checkpoint: %s is not a checkpoint journal", path)
+	}
+	if hdr.Version != Version {
+		return nil, fmt.Errorf("checkpoint: %s has format version %d, this binary writes %d", path, hdr.Version, Version)
+	}
+	if hdr.Fingerprint.String() != fp.String() {
+		return nil, fmt.Errorf("checkpoint: %s was written by a different configuration\n  journal: %s\n  this run: %s",
+			path, hdr.Fingerprint, fp)
+	}
+
+	j := &Journal{path: path, fp: fp, done: map[string]json.RawMessage{}}
+	// Replay unit records. good tracks the byte length of the valid prefix;
+	// anything past it (a torn final line from a crash mid-append) is
+	// truncated away so new appends start on a clean boundary.
+	good := len(lines[0]) + 1
+	for _, line := range lines[1:] {
+		var rec record
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Kind != "unit" || rec.Key == "" {
+			break
+		}
+		j.done[rec.Key] = rec.Value
+		good += len(line) + 1
+	}
+	if good > len(data) {
+		good = len(data)
+	}
+	j.resumed = len(j.done)
+
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(int64(good)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(int64(good), 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	j.f = f
+	return j, nil
+}
+
+func create(path string, fp Fingerprint) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{f: f, path: path, fp: fp, done: map[string]json.RawMessage{}}
+	if err := j.append(record{Kind: "header", Version: Version, Fingerprint: &fp}); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// append marshals rec, writes it as one line, and makes it durable. The
+// caller must hold no lock; append takes it.
+func (j *Journal) append(rec record) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// Record journals the completed unit key with its result value. Keys are
+// recorded at most once; re-recording a resumed key is a silent no-op so
+// callers need not special-case replayed units.
+func (j *Journal) Record(key string, value any) error {
+	raw, err := json.Marshal(value)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	if _, ok := j.done[key]; ok {
+		j.mu.Unlock()
+		return nil
+	}
+	j.done[key] = raw
+	j.mu.Unlock()
+	return j.append(record{Kind: "unit", Key: key, Value: raw})
+}
+
+// Lookup returns the journaled value for key, if the unit completed in a
+// previous (or the current) process.
+func (j *Journal) Lookup(key string, value any) (bool, error) {
+	j.mu.Lock()
+	raw, ok := j.done[key]
+	j.mu.Unlock()
+	if !ok {
+		return false, nil
+	}
+	if value == nil {
+		return true, nil
+	}
+	return true, json.Unmarshal(raw, value)
+}
+
+// Done reports whether key's unit is journaled.
+func (j *Journal) Done(key string) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_, ok := j.done[key]
+	return ok
+}
+
+// Resumed returns how many units the journal held when it was opened —
+// the work a restart skipped.
+func (j *Journal) Resumed() int { return j.resumed }
+
+// Len returns the number of journaled units.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.done)
+}
+
+// Close releases the journal file. The data is already durable — every
+// Record fsynced — so Close after a successful campaign is cosmetic; the
+// file is typically deleted by the operator once the report is in hand.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}

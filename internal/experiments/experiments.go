@@ -542,18 +542,11 @@ func SensitivityStudy(instructions uint64, jobs int) ([]SensitivityResult, error
 // SensitivityStudyContext is SensitivityStudy with cancellation: canceling
 // ctx stops benchmarks that have not started, interrupts in-flight engine
 // passes at their next front-end chunk, and returns the context's error.
+// It is the uncheckpointed special case of SensitivityStudyCheckpointed,
+// so every study — journaled or not — retries transient per-pass failures
+// and isolates panics to the failing benchmark.
 func SensitivityStudyContext(ctx context.Context, instructions uint64, jobs int) ([]SensitivityResult, error) {
-	params := sortedSPECParams()
-	return parallel.Map(ctx, len(params), jobs,
-		func(ctx context.Context, i int) (SensitivityResult, error) {
-			e := enginePool.Get().(*laneEngine)
-			defer enginePool.Put(e)
-			ipcs, err := e.run(ctx, params[i], instructions)
-			if err != nil {
-				return SensitivityResult{}, err
-			}
-			return assembleSensitivity(params[i].Name, e.sizes, ipcs), nil
-		})
+	return SensitivityStudyCheckpointed(ctx, instructions, jobs, nil)
 }
 
 // ClassifyStudy computes all 36 classifications. With the multi-lane engine

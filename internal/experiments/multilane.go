@@ -26,6 +26,7 @@ package experiments
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"untangle/internal/cache"
@@ -185,6 +186,11 @@ func (e *laneEngine) run(ctx context.Context, p workload.Params, instructions ui
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		if h := engineChunkHook.Load(); h != nil {
+			if err := (*h)(); err != nil {
+				return nil, err
+			}
+		}
 		ops := chunks.Next()
 		if len(ops) == 0 {
 			break
@@ -220,3 +226,22 @@ func (e *laneEngine) run(ctx context.Context, p workload.Params, instructions ui
 // by the oracle-equivalence test, whose sequential pass reuses one engine
 // for all 36 benchmarks).
 var enginePool = sync.Pool{New: func() any { return newLaneEngine() }}
+
+// engineChunkHook is the multi-lane engine's fault-injection point: when
+// set, it runs once per front-end chunk of every pass, and a returned error
+// aborts the pass exactly like a mid-stream failure would. It exists so the
+// robustness tests (internal/faultinject) can place a deterministic fault
+// inside an engine pass without build tags; production runs never set it,
+// and the load is a single atomic pointer read per chunk.
+var engineChunkHook atomic.Pointer[func() error]
+
+// SetEngineChunkHook installs the per-chunk fault hook (nil removes it).
+// Test-only; the hook must be installed before passes start and not
+// swapped while any run is in flight.
+func SetEngineChunkHook(h func() error) {
+	if h == nil {
+		engineChunkHook.Store(nil)
+		return
+	}
+	engineChunkHook.Store(&h)
+}

@@ -1,0 +1,134 @@
+// Package faultinject is the deterministic fault harness behind the
+// robustness tests: it arms a single, precisely-placed fault — a panic, an
+// error, a context cancellation, or a misbehaving io.Writer — at the Nth
+// call of an instrumented hook, with no randomness and no wall-clock
+// involvement, so every injected failure is reproducible down to the call
+// index under -race and across machines.
+//
+// The injection points are ordinary test hooks, present in release builds
+// (no build tags): the worker pool's task function, the multi-lane engine's
+// per-chunk hook (experiments.SetEngineChunkHook), and the telemetry sinks'
+// underlying writers. docs/ROBUSTNESS.md catalogs the faults and the
+// recovery property each one proves.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// ErrInjected is the default error delivered by error-mode injectors.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Injector fires one kind of fault at a chosen call number. The zero value
+// never fires. Injectors are safe for concurrent use: the call counter is
+// atomic, and exactly one caller observes each armed call number.
+type Injector struct {
+	calls atomic.Uint64
+	// at is the 1-based call number that faults; 0 disarms the injector.
+	at     uint64
+	count  uint64 // consecutive calls (starting at `at`) that fault
+	panicV any
+	err    error
+	onFire func()
+}
+
+// PanicAt returns an injector whose nth call (1-based) panics with value v.
+func PanicAt(n uint64, v any) *Injector {
+	return &Injector{at: n, count: 1, panicV: v}
+}
+
+// ErrorAt returns an injector whose calls n..n+count-1 (1-based) return
+// err — `count` consecutive failures model a transient fault that a
+// bounded retry must outlast. A nil err becomes ErrInjected.
+func ErrorAt(n, count uint64, err error) *Injector {
+	if err == nil {
+		err = ErrInjected
+	}
+	return &Injector{at: n, count: count, err: err}
+}
+
+// CancelAt returns an injector whose nth call (1-based) invokes cancel —
+// typically a context.CancelFunc, modeling an operator interrupt landing at
+// an exact point in the run.
+func CancelAt(n uint64, cancel func()) *Injector {
+	return &Injector{at: n, count: 1, onFire: cancel}
+}
+
+// Seeded derives a deterministic call index in [1, period] from seed via a
+// splitmix64 step, for sweeping fault placements without hand-picking call
+// numbers. The same (seed, period) always faults at the same call.
+func Seeded(seed, period uint64) uint64 {
+	z := seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return z%period + 1
+}
+
+// Fire records one call and delivers the armed fault if this call is the
+// one. Error-mode injectors return the injected error; panic-mode ones
+// panic; cancel-mode ones call their function and return nil (the
+// cancellation is observed through the context, as in a real interrupt).
+// All other calls return nil.
+func (j *Injector) Fire() error {
+	if j == nil || j.at == 0 {
+		return nil
+	}
+	n := j.calls.Add(1)
+	end := j.at + j.count
+	if end < j.at { // saturate: ErrorAt(n, ^uint64(0), …) means "fail forever"
+		end = ^uint64(0)
+	}
+	if n < j.at || n >= end {
+		return nil
+	}
+	if j.panicV != nil {
+		panic(j.panicV)
+	}
+	if j.onFire != nil {
+		j.onFire()
+		return nil
+	}
+	return j.err
+}
+
+// Calls returns how many times Fire has been invoked.
+func (j *Injector) Calls() uint64 { return j.calls.Load() }
+
+// Writer wraps an io.Writer and corrupts the Nth Write call: in short mode
+// it writes only half the buffer and reports the truncated count with an
+// error (the classic torn write); otherwise it writes nothing and fails.
+// Subsequent writes fail too — a crashed device stays crashed — which is
+// exactly the behaviour WriteFileAtomic must mask.
+type Writer struct {
+	W       io.Writer
+	FailAt  uint64 // 1-based Write call that fails; 0 = never
+	Short   bool   // deliver a torn half-write instead of a clean failure
+	Err     error  // error to return; nil = ErrInjected
+	calls   atomic.Uint64
+	tripped atomic.Bool
+}
+
+// Write implements io.Writer.
+func (w *Writer) Write(p []byte) (int, error) {
+	err := w.Err
+	if err == nil {
+		err = ErrInjected
+	}
+	if w.tripped.Load() {
+		return 0, err
+	}
+	n := w.calls.Add(1)
+	if w.FailAt != 0 && n >= w.FailAt {
+		w.tripped.Store(true)
+		if w.Short {
+			k, _ := w.W.Write(p[:len(p)/2])
+			return k, fmt.Errorf("faultinject: short write after %d bytes: %w", k, err)
+		}
+		return 0, err
+	}
+	return w.W.Write(p)
+}

@@ -1,0 +1,131 @@
+package faultinject
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestErrorAtFiresExactly(t *testing.T) {
+	j := ErrorAt(3, 2, nil)
+	var errs []int
+	for i := 1; i <= 6; i++ {
+		if err := j.Fire(); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("call %d: %v", i, err)
+			}
+			errs = append(errs, i)
+		}
+	}
+	if len(errs) != 2 || errs[0] != 3 || errs[1] != 4 {
+		t.Errorf("faulting calls = %v, want [3 4]", errs)
+	}
+	if j.Calls() != 6 {
+		t.Errorf("Calls = %d", j.Calls())
+	}
+}
+
+func TestPanicAt(t *testing.T) {
+	j := PanicAt(2, "boom")
+	if err := j.Fire(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Errorf("recovered %v", r)
+		}
+	}()
+	j.Fire()
+	t.Fatal("second call did not panic")
+}
+
+func TestCancelAt(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	j := CancelAt(2, cancel)
+	j.Fire()
+	if ctx.Err() != nil {
+		t.Fatal("canceled too early")
+	}
+	if err := j.Fire(); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Err() == nil {
+		t.Fatal("nth call did not cancel")
+	}
+}
+
+func TestZeroValueAndNilNeverFire(t *testing.T) {
+	var zero Injector
+	var nilInj *Injector
+	for i := 0; i < 10; i++ {
+		if zero.Fire() != nil || nilInj.Fire() != nil {
+			t.Fatal("disarmed injector fired")
+		}
+	}
+}
+
+// Exactly one concurrent caller observes an armed single-shot fault.
+func TestConcurrentFireDeliversOnce(t *testing.T) {
+	j := ErrorAt(50, 1, nil)
+	var hits atomic.Int32
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if j.Fire() != nil {
+					hits.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if hits.Load() != 1 {
+		t.Errorf("fault delivered %d times", hits.Load())
+	}
+}
+
+func TestSeededDeterministicInRange(t *testing.T) {
+	for seed := uint64(0); seed < 100; seed++ {
+		n := Seeded(seed, 17)
+		if n < 1 || n > 17 {
+			t.Fatalf("Seeded(%d, 17) = %d out of range", seed, n)
+		}
+		if n != Seeded(seed, 17) {
+			t.Fatalf("Seeded(%d, 17) not deterministic", seed)
+		}
+	}
+}
+
+func TestWriterCleanFailAndStaysTripped(t *testing.T) {
+	var buf bytes.Buffer
+	w := &Writer{W: &buf, FailAt: 2}
+	if _, err := w.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("lost")); err == nil {
+		t.Fatal("second write did not fail")
+	}
+	if _, err := w.Write([]byte("also lost")); err == nil {
+		t.Fatal("tripped writer recovered")
+	}
+	if buf.String() != "ok" {
+		t.Errorf("buffer = %q", buf.String())
+	}
+}
+
+func TestWriterShortWrite(t *testing.T) {
+	var buf bytes.Buffer
+	w := &Writer{W: &buf, FailAt: 1, Short: true}
+	n, err := w.Write([]byte("abcdef"))
+	if err == nil || n != 3 {
+		t.Fatalf("short write: n=%d err=%v", n, err)
+	}
+	if buf.String() != "abc" {
+		t.Errorf("buffer = %q, want the torn half", buf.String())
+	}
+}

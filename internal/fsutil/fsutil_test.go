@@ -1,0 +1,125 @@
+package fsutil
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"untangle/internal/faultinject"
+)
+
+// listDir returns the names in dir, for asserting no temp-file debris.
+func listDir(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	return names
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFileAtomic(path, []byte("hello"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	if names := listDir(t, dir); len(names) != 1 {
+		t.Errorf("temp debris left behind: %v", names)
+	}
+	// Overwrite.
+	if err := WriteFileAtomic(path, []byte("world"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "world" {
+		t.Errorf("after overwrite: %q", got)
+	}
+}
+
+// The atomicity contract: a write that never commits — a crash, an abort,
+// an injected fault — leaves the previous file byte-identical, and a
+// commit publishes the whole new content. The destination is never torn.
+func TestAbortPreservesOldFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "report.txt")
+	if err := os.WriteFile(path, []byte("old report"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a, err := CreateAtomic(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Write([]byte("new repo")); err != nil { // torn mid-"report"
+		t.Fatal(err)
+	}
+	// Old content stays visible while the new write is staged.
+	if got, _ := os.ReadFile(path); string(got) != "old report" {
+		t.Errorf("destination changed before commit: %q", got)
+	}
+	if err := a.Close(); err != nil { // the "crash": never committed
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "old report" {
+		t.Errorf("aborted write tore the destination: %q", got)
+	}
+	if names := listDir(t, dir); len(names) != 1 {
+		t.Errorf("abort left temp debris: %v", names)
+	}
+}
+
+// An injected device fault mid-stream (short write, then persistent
+// failure) aborts the transaction; the destination keeps the old content.
+func TestInjectedShortWriteLeavesOldOrNew(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.jsonl")
+	if err := os.WriteFile(path, []byte("line1\nline2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a, err := CreateAtomic(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw := &faultinject.Writer{W: a, FailAt: 2, Short: true}
+	_, err1 := io.WriteString(fw, "newline1\n")
+	_, err2 := io.WriteString(fw, "newline2\n")
+	if err1 != nil || err2 == nil {
+		t.Fatalf("injector misfired: %v, %v", err1, err2)
+	}
+	a.Close() // writer failed; the command aborts instead of committing
+	got, _ := os.ReadFile(path)
+	if string(got) != "line1\nline2\n" {
+		t.Errorf("fault tore the destination: %q", got)
+	}
+}
+
+func TestCommitThenCloseAndLateWrites(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x")
+	a, err := CreateAtomic(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.WriteString(a, "done")
+	if err := a.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil { // no-op after Commit
+		t.Fatal(err)
+	}
+	if _, err := a.Write([]byte("late")); err == nil || !strings.Contains(err.Error(), "after Commit") {
+		t.Errorf("write after Commit: err = %v", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "done" {
+		t.Errorf("content %q", got)
+	}
+}

@@ -1,0 +1,130 @@
+package parallel
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPanicBecomesPanicErrorSequential(t *testing.T) {
+	var ran []int
+	err := ForEach(context.Background(), 10, 1, func(_ context.Context, i int) error {
+		ran = append(ran, i)
+		if i == 4 {
+			panic("corrupt point")
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v (%T), want *PanicError", err, err)
+	}
+	if pe.Index != 4 {
+		t.Errorf("Index = %d, want 4", pe.Index)
+	}
+	if pe.Value != "corrupt point" {
+		t.Errorf("Value = %v", pe.Value)
+	}
+	if !bytes.Contains(pe.Stack, []byte("panic_test.go")) {
+		t.Errorf("Stack does not point at the panic site:\n%s", pe.Stack)
+	}
+	if len(ran) != 5 {
+		t.Errorf("indices after the panic still ran: %v", ran)
+	}
+}
+
+func TestPanicBecomesPanicErrorConcurrent(t *testing.T) {
+	var started int32
+	err := ForEach(context.Background(), 500, 4, func(ctx context.Context, i int) error {
+		atomic.AddInt32(&started, 1)
+		if i == 0 {
+			panic(errors.New("wrapped cause"))
+		}
+		// Give the panicking worker time to cancel the pool so the claim
+		// counter observably stops short of every index.
+		select {
+		case <-ctx.Done():
+		case <-time.After(time.Millisecond):
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v (%T), want *PanicError", err, err)
+	}
+	if pe.Index != 0 {
+		t.Errorf("Index = %d, want 0", pe.Index)
+	}
+	if cause, ok := pe.Value.(error); !ok || cause.Error() != "wrapped cause" {
+		t.Errorf("Value = %v", pe.Value)
+	}
+	if n := atomic.LoadInt32(&started); n == 500 {
+		t.Error("panic did not stop the pool from claiming every index")
+	}
+}
+
+func TestPanicErrorMessageNamesIndex(t *testing.T) {
+	e := &PanicError{Index: 12, Value: "boom", Stack: []byte("goroutine 9 ...")}
+	msg := e.Error()
+	for _, want := range []string{"task 12", "boom", "goroutine 9"} {
+		if !bytes.Contains([]byte(msg), []byte(want)) {
+			t.Errorf("message %q missing %q", msg, want)
+		}
+	}
+}
+
+// The contract pinned down by the ForEach doc comment: a cancellation that
+// arrives after every index has completed stops nothing, so it is not an
+// error. Before this was fixed, a parent canceled in the gap between the
+// last completion and wg.Wait() could fail a fully-successful ForEach.
+func TestCompletedWorkBeatsLateCancellation(t *testing.T) {
+	for _, jobs := range []int{1, 2, 8} {
+		ctx, cancel := context.WithCancel(context.Background())
+		const n = 64
+		var done int32
+		err := ForEach(ctx, n, jobs, func(_ context.Context, i int) error {
+			if atomic.AddInt32(&done, 1) == n {
+				cancel() // parent cancels just as the last index finishes
+			}
+			return nil
+		})
+		if err != nil {
+			t.Errorf("jobs=%d: fully-completed run reported %v", jobs, err)
+		}
+		cancel()
+	}
+}
+
+func TestPreCanceledContextStillFails(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran int32
+	err := ForEach(ctx, 8, 4, func(context.Context, int) error {
+		atomic.AddInt32(&ran, 1)
+		return nil
+	})
+	// Not every index can have completed under a dead context, so the
+	// cancellation must surface.
+	if atomic.LoadInt32(&ran) == 8 && err != nil {
+		t.Skip("scheduler let every index run; contract says nil is fine then")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestMapPropagatesPanicError(t *testing.T) {
+	_, err := Map(context.Background(), 4, 2, func(_ context.Context, i int) (int, error) {
+		if i == 2 {
+			panic(i)
+		}
+		return i, nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Index != 2 {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -14,9 +14,40 @@ package parallel
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
+
+// PanicError is a worker panic converted into a value: a task function that
+// panicked fails its ForEach/Map with this error instead of crashing the
+// process, so a multi-hour campaign survives one bad point and reports
+// which index it was. It flows through the pool's first-error cancellation
+// like any other failure.
+type PanicError struct {
+	// Index is the task index whose function panicked.
+	Index int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack, captured at recovery.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: task %d panicked: %v\n%s", e.Index, e.Value, e.Stack)
+}
+
+// guard runs fn(ctx, i) and converts a panic into a *PanicError.
+func guard(ctx context.Context, i int, fn func(ctx context.Context, i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(ctx, i)
+}
 
 // Jobs normalizes a user-facing jobs count: n <= 0 selects GOMAXPROCS (the
 // "use the machine" default for -jobs 0), anything else is taken literally.
@@ -34,12 +65,22 @@ func Jobs(n int) int {
 // inline on the caller's goroutine in ascending order — the legacy
 // sequential path, with no goroutines involved.
 //
+// A panicking fn does not crash the process: the panic is recovered into a
+// *PanicError carrying the failing index, value, and stack, and fails the
+// ForEach exactly like a returned error.
+//
 // ForEach returns the first error observed (by completion time under
-// concurrency; by index when sequential), or ctx's error if the caller's
-// context was canceled before all indices ran.
+// concurrency; by index when sequential), or ctx's error if the
+// cancellation prevented indices from running. Completed work wins the
+// cancellation race: when every index already ran to completion
+// successfully, ForEach returns nil even if ctx was canceled before the
+// call or while the last calls were finishing — a cancellation that stopped
+// nothing is not an error. (Before this contract was pinned down, a parent
+// context canceled after the last index completed could still surface as
+// ctx.Err(); see TestCompletedWorkBeatsLateCancellation.)
 func ForEach(ctx context.Context, n, jobs int, fn func(ctx context.Context, i int) error) error {
 	if n <= 0 {
-		return ctx.Err()
+		return nil
 	}
 	jobs = Jobs(jobs)
 	if jobs > n {
@@ -50,7 +91,7 @@ func ForEach(ctx context.Context, n, jobs int, fn func(ctx context.Context, i in
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := fn(ctx, i); err != nil {
+			if err := guard(ctx, i, fn); err != nil {
 				return err
 			}
 		}
@@ -60,10 +101,11 @@ func ForEach(ctx context.Context, n, jobs int, fn func(ctx context.Context, i in
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var (
-		mu       sync.Mutex
-		firstErr error
-		next     int
-		wg       sync.WaitGroup
+		mu        sync.Mutex
+		firstErr  error
+		next      int
+		completed int
+		wg        sync.WaitGroup
 	)
 	fail := func(err error) {
 		mu.Lock()
@@ -95,16 +137,24 @@ func ForEach(ctx context.Context, n, jobs int, fn func(ctx context.Context, i in
 				if !ok {
 					return
 				}
-				if err := fn(ctx, i); err != nil {
+				if err := guard(ctx, i, fn); err != nil {
 					fail(err)
 					return
 				}
+				mu.Lock()
+				completed++
+				mu.Unlock()
 			}
 		}()
 	}
 	wg.Wait()
 	if firstErr != nil {
 		return firstErr
+	}
+	// Completed work beats the cancellation race: only report ctx.Err()
+	// when the cancellation actually prevented indices from completing.
+	if completed == n {
+		return nil
 	}
 	return ctx.Err()
 }

@@ -1,0 +1,82 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// Retry runs fn up to attempts times, sleeping between tries with
+// jittered exponential backoff, and returns nil on the first success or
+// the last attempt's error. It is the recovery half of the resilience
+// layer: a transient failure (an injected fault, a flaky filesystem, a
+// starved descriptor) costs one deterministic re-run of the failed unit
+// instead of the whole campaign — and because every simulation in this
+// repository is a pure function of its configuration, a retried unit
+// produces bit-identical results to an untroubled first attempt (proved by
+// the fault-injection suite).
+//
+// Two error classes are never retried, because retrying cannot help:
+// context cancellation (the operator or the first-error cancellation asked
+// the run to stop) and *PanicError (a panic is a bug in the point, not a
+// transient condition; rerunning a deterministic simulation would panic
+// again).
+//
+// The backoff doubles per attempt from the base delay and adds a jitter
+// derived deterministically from the attempt index (splitmix64, no
+// time.Now, no math/rand globals), so two processes retrying the same unit
+// de-synchronize while any given retry schedule is exactly reproducible.
+// The sleep — never the result — is the only thing the wall clock touches.
+// A canceled context cuts the sleep short and returns ctx.Err().
+func Retry(ctx context.Context, attempts int, backoff time.Duration, fn func(ctx context.Context, attempt int) error) error {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		if err = fn(ctx, attempt); err == nil {
+			return nil
+		}
+		if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		var pe *PanicError
+		if errors.As(err, &pe) {
+			return err
+		}
+		if attempt == attempts-1 {
+			break
+		}
+		if d := backoffDelay(backoff, attempt); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			case <-t.C:
+			}
+		}
+	}
+	return err
+}
+
+// backoffDelay computes base<<attempt plus a deterministic jitter of up to
+// +50%, derived from the attempt index alone.
+func backoffDelay(base time.Duration, attempt int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	d := base << uint(attempt)
+	if d <= 0 { // shift overflow on absurd attempt counts
+		return base
+	}
+	// splitmix64 of the attempt index: a fixed, well-mixed jitter source.
+	z := uint64(attempt) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return d + time.Duration(z%uint64(d)/2)
+}

@@ -65,7 +65,30 @@ func (s *JSONL) Emit(ev Event) {
 	}
 }
 
-// Flush pushes buffered lines to the underlying writer.
+// EmitRaw writes one pre-marshaled event line (no trailing newline) under
+// the sink's lock, exactly as Emit would have written it. It exists for
+// the checkpoint/resume path: a resumed run replays the event lines its
+// journal recorded, byte for byte, instead of re-marshaling events — which
+// is what makes a resumed run's trace provably identical to an
+// uninterrupted one. Like Emit, errors stick and later calls no-op.
+func (s *JSONL) EmitRaw(line []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.err != nil {
+		return
+	}
+	if _, err := s.w.Write(line); err != nil {
+		s.err = err
+		return
+	}
+	if err := s.w.WriteByte('\n'); err != nil {
+		s.err = err
+	}
+}
+
+// Flush pushes buffered lines to the underlying writer. A flush failure
+// sticks like an emit failure: the sink stops accepting events and Err
+// keeps reporting it.
 func (s *JSONL) Flush() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -75,7 +98,8 @@ func (s *JSONL) Flush() error {
 	if s.closed {
 		return nil
 	}
-	return s.w.Flush()
+	s.err = s.w.Flush()
+	return s.err
 }
 
 // Err returns the first error encountered.

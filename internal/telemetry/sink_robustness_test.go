@@ -1,0 +1,79 @@
+package telemetry
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"untangle/internal/faultinject"
+)
+
+// EmitRaw replaying pre-marshaled lines must produce the same bytes Emit
+// would — the property the checkpoint/resume path stands on.
+func TestEmitRawMatchesEmit(t *testing.T) {
+	events := oneOfEach()
+
+	var live bytes.Buffer
+	s1 := NewJSONL(&live)
+	for _, ev := range events {
+		s1.Emit(ev)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var replayed bytes.Buffer
+	s2 := NewJSONL(&replayed)
+	for _, ev := range events {
+		line, err := MarshalEvent(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2.EmitRaw(line)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(live.Bytes(), replayed.Bytes()) {
+		t.Errorf("replayed stream differs from live stream:\nlive:     %q\nreplayed: %q",
+			live.Bytes(), replayed.Bytes())
+	}
+}
+
+// A failing underlying writer surfaces through Flush/Err/Close and sticks;
+// later emits are dropped instead of panicking or spinning on the dead file.
+func TestJSONLInjectedWriterErrorSticks(t *testing.T) {
+	fw := &faultinject.Writer{W: &bytes.Buffer{}, FailAt: 1}
+	s := NewJSONL(fw)
+	s.Emit(&CooldownExpired{Header: Header{AtNs: 1}})
+	if err := s.Flush(); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("Flush = %v, want the injected error", err)
+	}
+	if !errors.Is(s.Err(), faultinject.ErrInjected) {
+		t.Fatalf("Err = %v", s.Err())
+	}
+	s.Emit(&CooldownExpired{Header: Header{AtNs: 2}}) // must be a silent no-op
+	s.EmitRaw([]byte(`{"type":"x"}`))
+	if err := s.Close(); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("Close = %v, want the sticky injected error", err)
+	}
+}
+
+// A torn half-line from a short device write is still an error the sink
+// reports — the reader side (ReadJSONL) separately tolerates the torn tail.
+func TestJSONLShortWriteReported(t *testing.T) {
+	var out bytes.Buffer
+	fw := &faultinject.Writer{W: &out, FailAt: 1, Short: true}
+	s := NewJSONL(fw)
+	s.Emit(&CooldownExpired{Header: Header{AtNs: 1}})
+	if err := s.Close(); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("Close = %v", err)
+	}
+	if out.Len() == 0 {
+		t.Skip("bufio flushed nothing before the fault")
+	}
+	if bytes.HasSuffix(out.Bytes(), []byte("\n")) {
+		t.Error("short write unexpectedly delivered the full line")
+	}
+}

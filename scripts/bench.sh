@@ -1,12 +1,15 @@
 #!/bin/sh
 # Runs the repository's benchmark suites and writes the machine-readable
-# baseline to BENCH_PR3.json (override with the first argument). The same
-# recipe produced the numbers in docs/PERFORMANCE.md; re-run it after any
-# hot-path change and diff the JSON. When the committed BENCH_PR2.json
-# baseline exists, a per-benchmark ns/op comparison against it is printed
-# after the run (benchjson -compare).
+# baseline. The output file is BENCH_OUT (or the first argument), defaulting
+# to BENCH_PR4.json; the comparison baseline is BENCH_BASELINE, defaulting
+# to the previous PR's committed BENCH_PR3.json. The same recipe produced
+# the numbers in docs/PERFORMANCE.md; re-run it after any hot-path change
+# and diff the JSON. When the baseline file exists, a per-benchmark ns/op
+# comparison against it is printed after the run (benchjson -compare).
 #
 # Environment knobs:
+#   BENCH_OUT             output JSON path (default BENCH_PR4.json)
+#   BENCH_BASELINE        comparison baseline (default BENCH_PR3.json)
 #   UNTANGLE_BENCH_SCALE  workload scale for the experiment benchmarks
 #                         (default 0.002; paper fidelity is 1.0)
 #   UNTANGLE_BENCH_JOBS   worker-pool size (default 0 = GOMAXPROCS;
@@ -16,8 +19,8 @@
 set -eu
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_PR3.json}"
-baseline="BENCH_PR2.json"
+out="${BENCH_OUT:-${1:-BENCH_PR4.json}}"
+baseline="${BENCH_BASELINE:-BENCH_PR3.json}"
 count="${BENCH_COUNT:-1}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT

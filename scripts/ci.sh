@@ -1,0 +1,43 @@
+#!/bin/sh
+# The repository's verification gate, in two tiers:
+#
+#   tier 1  build + vet + the fast (-short) test suite — what every change
+#           must keep green (see ROADMAP.md)
+#   tier 2  the race detector over the concurrency-bearing packages: the
+#           worker pool, the fault-injection harness, the checkpoint
+#           journal, the experiment engine's resilience layer, and the
+#           cmd/experiments kill-and-resume equivalence test
+#
+# Everything is hermetic (no network, no external services); the whole
+# script runs in a few minutes on a laptop. CI=full additionally runs the
+# long-form (non-short) suite.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test -short ./..."
+go test -short ./...
+
+echo "==> go test -race (concurrency-bearing packages)"
+go test -race -short \
+    ./internal/parallel/... \
+    ./internal/faultinject/... \
+    ./internal/checkpoint/... \
+    ./internal/telemetry/...
+
+echo "==> go test -race (kill-and-resume equivalence)"
+go test -race -run 'TestCheckpointResumeEquivalence|TestStudyCheckpointResume|TestTransientFault' \
+    ./internal/experiments/ ./cmd/experiments/
+
+if [ "${CI:-}" = "full" ]; then
+    echo "==> go test ./... (long suite)"
+    go test -timeout 60m ./...
+fi
+
+echo "ci: all green"
