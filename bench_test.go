@@ -13,6 +13,7 @@ package untangle_test
 import (
 	"context"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -22,6 +23,7 @@ import (
 	"untangle/internal/checkpoint"
 	"untangle/internal/covert"
 	"untangle/internal/experiments"
+	"untangle/internal/obs"
 	"untangle/internal/parallel"
 	"untangle/internal/partition"
 	"untangle/internal/stats"
@@ -415,6 +417,45 @@ func BenchmarkCheckpointJournalOverhead(b *testing.B) {
 	b.ReportMetric(plain.Seconds()/float64(b.N), "s/run-plain")
 	b.ReportMetric(journaled.Seconds()/float64(b.N), "s/run-journaled")
 	b.ReportMetric(100*(journaled.Seconds()-plain.Seconds())/plain.Seconds(), "overhead-%")
+}
+
+// Guard: the operational observability layer (internal/obs) must be
+// effectively free when disabled and under 2% when fully enabled.
+// "disabled" is the default: no unit observer installed, so every
+// experiments.ObserveUnit site costs one atomic load. "enabled" installs a
+// complete obs.Campaign — span tracer into a discarding writer, progress
+// tracking, unit-latency histograms, pool gauges — the same wiring the
+// -http/-obs-trace flags produce, minus the HTTP listener (which does no
+// per-unit work). The Figure 11 study is the workload: 36 units plus their
+// engine-pass sub-spans per run.
+func BenchmarkObsOverhead(b *testing.B) {
+	ins := sensitivityInstructions()
+	study := func() time.Duration {
+		start := time.Now()
+		if _, err := experiments.SensitivityStudyCheckpointed(context.Background(), ins, benchJobs(), nil); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	observed := func() time.Duration {
+		campaign := obs.NewCampaign("bench", obs.NewTracer(io.Discard), obs.NewProgress(), telemetry.NewRegistry())
+		campaign.Phase("sensitivity", 36)
+		experiments.SetUnitObserver(campaign.Unit)
+		defer func() {
+			experiments.SetUnitObserver(nil)
+			campaign.End(nil)
+		}()
+		return study()
+	}
+	study() // warm caches before measuring
+	var disabled, enabled time.Duration
+	for i := 0; i < b.N; i++ {
+		disabled += study()
+		enabled += observed()
+	}
+	b.ReportMetric(disabled.Seconds()/float64(b.N), "s/run-disabled")
+	b.ReportMetric(enabled.Seconds()/float64(b.N), "s/run-observed")
+	b.ReportMetric(100*(enabled.Seconds()-disabled.Seconds())/disabled.Seconds(), "overhead-%")
 }
 
 // Ablation: annotations off (Edge 1 of Figure 2 restored). Performance is

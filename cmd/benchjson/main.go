@@ -12,12 +12,17 @@
 // With -compare, benchjson instead reads two such JSON baselines and prints
 // a per-benchmark ns/op delta table (old → new, absolute and percent), so
 // PRs can show before/after numbers without benchstat. Benchmarks present
-// in only one file are listed as added/removed.
+// in only one file are listed as added/removed. Adding -threshold N turns
+// the comparison into a gate: any benchmark more than N percent slower in
+// the new baseline is flagged in the table and makes benchjson exit
+// nonzero, so CI can fail a PR on a real regression while tolerating noise
+// below the threshold.
 //
 // Usage:
 //
 //	go test -run '^$' -bench . ./... | benchjson > BENCH.json
 //	benchjson -compare BENCH_PR2.json BENCH_PR3.json
+//	benchjson -compare -threshold 10 BENCH_PR5.json BENCH_PR6.json  # gate at +10%
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"sort"
@@ -45,17 +51,32 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
 
 func main() {
 	compare := flag.Bool("compare", false, "compare two baseline JSON files: benchjson -compare old.json new.json")
+	threshold := flag.Float64("threshold", 0, "with -compare: exit nonzero when any benchmark regresses by more than this percent (0 = report only)")
 	flag.Parse()
 	if *compare {
 		if flag.NArg() != 2 {
 			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: old.json new.json")
 			os.Exit(2)
 		}
-		if err := compareBaselines(flag.Arg(0), flag.Arg(1)); err != nil {
+		if *threshold < 0 {
+			fmt.Fprintln(os.Stderr, "benchjson: -threshold must be >= 0")
+			os.Exit(2)
+		}
+		regressed, err := compareBaselines(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
+		if *threshold > 0 && len(regressed) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.1f%%: %s\n",
+				len(regressed), *threshold, strings.Join(regressed, ", "))
+			os.Exit(1)
+		}
 		return
+	}
+	if *threshold != 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: -threshold only applies with -compare")
+		os.Exit(2)
 	}
 	entries := map[string]*Entry{}
 	sc := bufio.NewScanner(os.Stdin)
@@ -133,9 +154,12 @@ func main() {
 	fmt.Fprintln(out, "}")
 }
 
-// compareBaselines prints a per-benchmark ns/op delta table between two
-// baseline files previously produced by this command.
-func compareBaselines(oldPath, newPath string) error {
+// compareBaselines writes a per-benchmark ns/op delta table between two
+// baseline files previously produced by this command, and returns the names
+// of benchmarks whose ns/op regressed by more than threshold percent
+// (threshold 0 gates nothing). Added and removed benchmarks never count as
+// regressions — a gate must not fail a PR for introducing a benchmark.
+func compareBaselines(out io.Writer, oldPath, newPath string, threshold float64) ([]string, error) {
 	load := func(path string) (map[string]Entry, error) {
 		data, err := os.ReadFile(path)
 		if err != nil {
@@ -149,11 +173,11 @@ func compareBaselines(oldPath, newPath string) error {
 	}
 	oldE, err := load(oldPath)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	newE, err := load(newPath)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	names := map[string]bool{}
 	for n := range oldE {
@@ -167,7 +191,8 @@ func compareBaselines(oldPath, newPath string) error {
 		sorted = append(sorted, n)
 	}
 	sort.Strings(sorted)
-	w := bufio.NewWriter(os.Stdout)
+	var regressed []string
+	w := bufio.NewWriter(out)
 	defer w.Flush()
 	fmt.Fprintf(w, "%-40s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
 	for _, n := range sorted {
@@ -182,10 +207,15 @@ func compareBaselines(oldPath, newPath string) error {
 			fmt.Fprintf(w, "%-40s %14s %14s %9s\n", n, humanNs(o.NsPerOp), humanNs(e.NsPerOp), "?")
 		default:
 			pct := (e.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
-			fmt.Fprintf(w, "%-40s %14s %14s %+8.1f%%\n", n, humanNs(o.NsPerOp), humanNs(e.NsPerOp), pct)
+			mark := ""
+			if threshold > 0 && pct > threshold {
+				regressed = append(regressed, n)
+				mark = "  REGRESSED"
+			}
+			fmt.Fprintf(w, "%-40s %14s %14s %+8.1f%%%s\n", n, humanNs(o.NsPerOp), humanNs(e.NsPerOp), pct, mark)
 		}
 	}
-	return nil
+	return regressed, nil
 }
 
 // humanNs renders a ns/op value compactly: nanoseconds for the

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"slices"
+	"strings"
+	"testing"
+)
+
+func writeBaseline(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareBaselinesThreshold(t *testing.T) {
+	oldPath := writeBaseline(t, "old.json", `{
+  "BenchmarkFast": {"iterations": 1000, "ns_per_op": 100, "ops_per_sec": 1e7},
+  "BenchmarkSlow": {"iterations": 10, "ns_per_op": 1000000, "ops_per_sec": 1000},
+  "BenchmarkGone": {"iterations": 10, "ns_per_op": 50, "ops_per_sec": 2e7}
+}`)
+	newPath := writeBaseline(t, "new.json", `{
+  "BenchmarkFast": {"iterations": 1000, "ns_per_op": 125, "ops_per_sec": 8e6},
+  "BenchmarkSlow": {"iterations": 10, "ns_per_op": 1020000, "ops_per_sec": 980},
+  "BenchmarkNew": {"iterations": 10, "ns_per_op": 75, "ops_per_sec": 1.3e7}
+}`)
+
+	// Threshold 10%: only Fast (+25%) regresses; Slow (+2%) is noise, and
+	// the added/removed benchmarks are not regressions.
+	var out strings.Builder
+	regressed, err := compareBaselines(&out, oldPath, newPath, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(regressed, []string{"BenchmarkFast"}) {
+		t.Errorf("regressed = %v, want [BenchmarkFast]", regressed)
+	}
+	table := out.String()
+	for _, want := range []string{"BenchmarkFast", "REGRESSED", "added", "removed", "+25.0%"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+	if strings.Count(table, "REGRESSED") != 1 {
+		t.Errorf("want exactly one REGRESSED mark:\n%s", table)
+	}
+
+	// Threshold 0: report-only, nothing flagged.
+	out.Reset()
+	regressed, err = compareBaselines(&out, oldPath, newPath, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressed) != 0 {
+		t.Errorf("threshold 0 flagged %v", regressed)
+	}
+	if strings.Contains(out.String(), "REGRESSED") {
+		t.Errorf("threshold 0 printed a REGRESSED mark:\n%s", out.String())
+	}
+
+	// A generous threshold tolerates the +25%.
+	out.Reset()
+	regressed, err = compareBaselines(&out, oldPath, newPath, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressed) != 0 {
+		t.Errorf("threshold 30 flagged %v", regressed)
+	}
+}
+
+func TestCompareBaselinesBadFiles(t *testing.T) {
+	good := writeBaseline(t, "good.json", `{"BenchmarkX": {"iterations": 1, "ns_per_op": 1, "ops_per_sec": 1e9}}`)
+	bad := writeBaseline(t, "bad.json", `not json`)
+	var out strings.Builder
+	if _, err := compareBaselines(&out, good, bad, 0); err == nil {
+		t.Error("corrupt new baseline accepted")
+	}
+	if _, err := compareBaselines(&out, filepath.Join(t.TempDir(), "missing.json"), good, 0); err == nil {
+		t.Error("missing old baseline accepted")
+	}
+}
+
+func TestParseMeasurements(t *testing.T) {
+	m := parseMeasurements("123.4 ns/op 5 allocs/op 0.95 ipc")
+	if m["ns/op"] != 123.4 || m["allocs/op"] != 5 || m["ipc"] != 0.95 {
+		t.Errorf("m = %v", m)
+	}
+}

@@ -89,9 +89,19 @@ type config struct {
 	telePath string
 	ckptPath string
 
+	// Observability (docs/TELEMETRY.md): all wall-clock, none of it touches
+	// the report or telemetry bytes.
+	httpAddr string // -http: serve /metrics, /progress, /healthz, pprof
+	obsPath  string // -obs-trace: wall-clock span JSONL
+	quiet    bool   // -quiet: suppress the live TTY progress line
+
 	// unitHook, when set (tests only), runs after each mix unit completes
 	// and journals — the injection point for kill-at-unit-k.
 	unitHook func(key string)
+	// httpReady, when set (tests only), receives the observability server's
+	// bound address once it is scrapable — how tests reach an ephemeral
+	// -http 127.0.0.1:0 port mid-campaign.
+	httpReady func(addr string)
 }
 
 // savedMix is one mix's journaled outcome: everything the final report
@@ -157,6 +167,9 @@ func main() {
 		telemOut = flag.String("telemetry", "", "stream a JSONL telemetry event trace of every mix to this file")
 		jobs     = flag.Int("jobs", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 		ckpt     = flag.String("checkpoint", "", "journal completed units to this file and resume from it on restart")
+		httpAddr = flag.String("http", "", "serve /metrics, /progress, /healthz and pprof on this address (e.g. :8080)")
+		obsTrace = flag.String("obs-trace", "", "write a wall-clock span trace (JSONL) of the campaign to this file")
+		quiet    = flag.Bool("quiet", false, "suppress the live progress line on stderr")
 	)
 	profile := telemetry.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
@@ -175,6 +188,9 @@ func main() {
 		outPath:  *outPath,
 		telePath: *telemOut,
 		ckptPath: *ckpt,
+		httpAddr: *httpAddr,
+		obsPath:  *obsTrace,
+		quiet:    *quiet,
 	}
 	if err := cfg.validate(); err != nil {
 		log.Fatal(err)
@@ -239,7 +255,7 @@ func (c config) fingerprint() checkpoint.Fingerprint {
 // an error when a unit failed, in which case the -out and -telemetry
 // targets keep their previous contents (the journal, if any, keeps the
 // completed units for a resume).
-func run(ctx context.Context, cfg config, stdout io.Writer) error {
+func run(ctx context.Context, cfg config, stdout io.Writer) (retErr error) {
 	var w io.Writer = stdout
 	var outFile *fsutil.AtomicFile
 	if cfg.outPath != "" {
@@ -276,6 +292,15 @@ func run(ctx context.Context, cfg config, stdout io.Writer) error {
 		}
 		journal = j
 	}
+
+	// Operational observability (progress, spans, /metrics) — wall-clock
+	// surfaces only, torn down with the campaign's final error so the root
+	// span records the outcome.
+	obsSt, err := startObs(cfg, journal)
+	if err != nil {
+		return err
+	}
+	defer func() { obsSt.stop(retErr) }()
 
 	// Figure 11.
 	var study []experiments.SensitivityResult
@@ -402,15 +427,23 @@ func runMixes(ctx context.Context, cfg config, study []experiments.SensitivityRe
 	if len(cfg.ids) == 1 {
 		innerJobs = cfg.jobs
 	}
-	return parallel.Map(ctx, len(cfg.ids), cfg.jobs, func(ctx context.Context, i int) (*savedMix, error) {
+	return parallel.Map(ctx, len(cfg.ids), cfg.jobs, func(ctx context.Context, i int) (out *savedMix, err error) {
 		id := cfg.ids[i]
 		key := mixKey(id)
+		// Observability: report the unit's begin/end (with its cached and
+		// error status) to whatever observer the command installed. No-op
+		// when observability is off — unitDone is nil.
+		cached := false
+		if unitDone := experiments.ObserveUnit("mix", key); unitDone != nil {
+			defer func() { unitDone(cached, err) }()
+		}
 		if journal != nil {
 			var sv savedMix
 			if ok, err := journal.Lookup(key, &sv); err != nil {
 				return nil, fmt.Errorf("checkpoint %s: %w", key, err)
 			} else if ok {
 				log.Printf("mix %d: resumed from checkpoint", id)
+				cached = true
 				return &sv, nil
 			}
 		}
@@ -421,7 +454,8 @@ func runMixes(ctx context.Context, cfg config, study []experiments.SensitivityRe
 		log.Printf("running mix %d at scale %v...", id, cfg.scale)
 		var res *experiments.MixResult
 		var buffers map[partition.Kind]*telemetry.Buffer
-		err = parallel.Retry(ctx, experiments.RetryAttempts, experiments.RetryBackoff, func(ctx context.Context, _ int) error {
+		err = parallel.Retry(ctx, experiments.RetryAttempts, experiments.RetryBackoff, func(ctx context.Context, attempt int) error {
+			passDone := experiments.ObserveUnit("mix/pass", fmt.Sprintf("%s#%d", key, attempt))
 			opts := experiments.Options{Scale: cfg.scale, Jobs: innerJobs}
 			if cfg.traced {
 				// Telemetry: per-scheme buffers keep concurrent schemes
@@ -440,6 +474,9 @@ func runMixes(ctx context.Context, cfg config, study []experiments.SensitivityRe
 			}
 			var err error
 			res, err = experiments.RunMixContext(ctx, mix, opts)
+			if passDone != nil {
+				passDone(false, err)
+			}
 			return err
 		})
 		if err != nil {
@@ -449,7 +486,8 @@ func runMixes(ctx context.Context, cfg config, study []experiments.SensitivityRe
 		if cfg.active && ctx.Err() == nil {
 			log.Printf("running mix %d with worst-case (active-attacker) accounting...", id)
 			var act *experiments.MixResult
-			err = parallel.Retry(ctx, experiments.RetryAttempts, experiments.RetryBackoff, func(ctx context.Context, _ int) error {
+			err = parallel.Retry(ctx, experiments.RetryAttempts, experiments.RetryBackoff, func(ctx context.Context, attempt int) error {
+				passDone := experiments.ObserveUnit("mix/active", fmt.Sprintf("%s#%d", key, attempt))
 				var err error
 				act, err = experiments.RunMixContext(ctx, mix, experiments.Options{
 					Scale:               cfg.scale,
@@ -457,6 +495,9 @@ func runMixes(ctx context.Context, cfg config, study []experiments.SensitivityRe
 					WorstCaseAccounting: true,
 					Jobs:                innerJobs,
 				})
+				if passDone != nil {
+					passDone(false, err)
+				}
 				return err
 			})
 			if err != nil {

@@ -17,18 +17,35 @@ import (
 	"time"
 
 	"untangle/internal/fsutil"
+	"untangle/internal/obs"
 	"untangle/internal/report"
 	"untangle/internal/scenario"
+	"untangle/internal/telemetry"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("scenario: ")
 	jsonOut := flag.String("json", "", "also write the full result as JSON")
+	httpAddr := flag.String("http", "", "serve /metrics, /healthz and pprof on this address while the scenario runs")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *httpAddr != "" {
+		// Pool gauges and pprof for long-running scenario files; wall-clock
+		// only, the printed result is unaffected.
+		reg := telemetry.NewRegistry()
+		campaign := obs.NewCampaign("scenario", nil, obs.NewProgress(), reg)
+		defer campaign.End(nil)
+		srv, err := obs.StartServer(*httpAddr, campaign.Progress,
+			obs.NamedRegistry{Namespace: "untangle", Registry: reg})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Shutdown()
+		log.Printf("observability: http://%s/{metrics,healthz,debug/pprof}", srv.Addr())
 	}
 	sc, err := scenario.Load(flag.Arg(0))
 	if err != nil {

@@ -31,14 +31,19 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"untangle/internal/checkpoint"
 	"untangle/internal/experiments"
+	"untangle/internal/obs"
 	"untangle/internal/report"
+	"untangle/internal/telemetry"
+	"untangle/internal/workload"
 )
 
 func main() {
@@ -50,6 +55,8 @@ func main() {
 		jobs         = flag.Int("jobs", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 		classifyOnly = flag.Bool("classify-only", false, "print adequate sizes only instead of the full curve")
 		ckpt         = flag.String("checkpoint", "", "journal completed benchmark passes to this file and resume from it on restart")
+		httpAddr     = flag.String("http", "", "serve /metrics, /progress, /healthz and pprof on this address (e.g. :8080)")
+		quiet        = flag.Bool("quiet", false, "suppress the live progress line on stderr")
 	)
 	flag.Parse()
 	if *jobs < 0 {
@@ -76,6 +83,46 @@ func main() {
 		defer journal.Close()
 		if n := journal.Resumed(); n > 0 {
 			log.Printf("resuming from %s: %d benchmark passes already complete", *ckpt, n)
+		}
+	}
+
+	// Operational observability: progress/ETA and metrics for the full
+	// study. Wall-clock only — the printed figure is unchanged by any of it.
+	if *bench == "" && (*httpAddr != "" || journal != nil || (!*quiet && obs.IsTTY(os.Stderr))) {
+		progress := obs.NewProgress()
+		var hb *obs.Heartbeat
+		if journal != nil {
+			var err error
+			if hb, err = obs.OpenHeartbeat(obs.HeartbeatPath(journal)); err != nil {
+				log.Printf("heartbeat: %v (continuing without)", err)
+			} else {
+				defer hb.Close()
+				progress.SetPrior(hb.Prior())
+			}
+		}
+		reg := telemetry.NewRegistry()
+		campaign := obs.NewCampaign("sensitivity", nil, progress, reg)
+		campaign.Phase("sensitivity", len(workload.SPECBenchmarks))
+		experiments.SetUnitObserver(campaign.Unit)
+		defer func() {
+			experiments.SetUnitObserver(nil)
+			campaign.End(nil)
+		}()
+		if *httpAddr != "" {
+			srv, err := obs.StartServer(*httpAddr, progress,
+				obs.NamedRegistry{Namespace: "untangle", Registry: reg})
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer srv.Shutdown()
+			log.Printf("observability: http://%s/{metrics,progress,healthz,debug/pprof}", srv.Addr())
+		}
+		var line io.Writer
+		if !*quiet && obs.IsTTY(os.Stderr) {
+			line = os.Stderr
+		}
+		if r := obs.StartReporter(progress, hb, line, time.Second); r != nil {
+			defer r.Stop()
 		}
 	}
 

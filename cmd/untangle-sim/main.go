@@ -25,6 +25,7 @@ import (
 
 	"untangle/internal/experiments"
 	"untangle/internal/fsutil"
+	"untangle/internal/obs"
 	"untangle/internal/partition"
 	"untangle/internal/report"
 	"untangle/internal/telemetry"
@@ -43,6 +44,7 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write per-scheme JSON traces to this file prefix (<prefix>-<scheme>.json)")
 		telemOut   = flag.String("telemetry", "", "write a JSONL telemetry event trace of all schemes to this file")
 		metricsOut = flag.String("metrics-out", "", "write per-scheme metrics snapshots to this file prefix (<prefix>-<scheme>.json)")
+		httpAddr   = flag.String("http", "", "serve /metrics (per-scheme + pool), /healthz and pprof on this address")
 	)
 	profile := telemetry.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
@@ -75,7 +77,9 @@ func main() {
 	// the fixed scheme order below, keeping the trace file byte-identical
 	// across repetitions.
 	kinds := []partition.Kind{partition.Static, partition.TimeBased, partition.Untangle, partition.Shared}
-	instrumented := *telemOut != "" || *metricsOut != "" || *traceOut != ""
+	// -http needs the per-scheme registries populated, so it forces
+	// instrumentation on even when no trace or metrics file was asked for.
+	instrumented := *telemOut != "" || *metricsOut != "" || *traceOut != "" || *httpAddr != ""
 	sinks := map[partition.Kind]*telemetry.Buffer{}
 	regs := map[partition.Kind]*telemetry.Registry{}
 	if instrumented {
@@ -87,6 +91,28 @@ func main() {
 			return telemetry.New(sinks[k], nil, k.String())
 		}
 		opts.MetricsFor = func(k partition.Kind) *telemetry.Registry { return regs[k] }
+	}
+
+	// Observability server: a scrape sees both layers — each scheme's
+	// simulation registry under its own namespace, plus the process-level
+	// pool gauges. Wall-clock only; the printed group is unaffected.
+	if *httpAddr != "" {
+		obsReg := telemetry.NewRegistry()
+		campaign := obs.NewCampaign("untangle-sim", nil, obs.NewProgress(), obsReg)
+		defer campaign.End(nil)
+		named := []obs.NamedRegistry{{Namespace: "untangle", Registry: obsReg}}
+		for _, kind := range kinds {
+			named = append(named, obs.NamedRegistry{
+				Namespace: "untangle_" + kind.String(),
+				Registry:  regs[kind],
+			})
+		}
+		srv, err := obs.StartServer(*httpAddr, campaign.Progress, named...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Shutdown()
+		log.Printf("observability: http://%s/{metrics,healthz,debug/pprof}", srv.Addr())
 	}
 
 	// Open the trace file before the (potentially long) run so a bad path

@@ -274,6 +274,10 @@ func (j *Journal) Done(key string) bool {
 // the work a restart skipped.
 func (j *Journal) Resumed() int { return j.resumed }
 
+// Path returns the journal's file path, so sidecar files (the observability
+// heartbeat) can be placed next to it.
+func (j *Journal) Path() string { return j.path }
+
 // Len returns the number of journaled units.
 func (j *Journal) Len() int {
 	j.mu.Lock()

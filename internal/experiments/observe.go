@@ -1,0 +1,50 @@
+// The evaluation's observability seam. The experiments package must not
+// import internal/obs (obs depends on checkpoint and telemetry; experiments
+// is the layer commands compose with obs), so campaign progress flows out
+// through a process-wide observer hook instead — the same atomic.Pointer
+// pattern as the engine-chunk fault hook in multilane.go. Commands install
+// obs.Campaign.Unit when any observability surface is enabled; when nothing
+// is installed, ObserveUnit costs one atomic load and returns nil.
+package experiments
+
+import "sync/atomic"
+
+// UnitObserver is notified when a unit of campaign work (a sensitivity
+// benchmark, a mix) begins. It returns the completion callback, invoked
+// exactly once with whether the unit was replayed from a checkpoint journal
+// and the error it ended with. Phases whose name contains '/' (for example
+// "sensitivity/pass") are sub-unit work: traced but not counted toward
+// campaign progress. A nil completion callback is valid and means "not
+// observed".
+type UnitObserver func(phase, unit string) func(cached bool, err error)
+
+var unitObserver atomic.Pointer[UnitObserver]
+
+// SetUnitObserver installs (or with nil clears) the process-wide unit
+// observer. Campaign commands call it once at startup; tests may swap it
+// around individual runs. Not synchronized with in-flight units beyond the
+// atomic swap — install before the campaign starts.
+func SetUnitObserver(o UnitObserver) {
+	if o == nil {
+		unitObserver.Store(nil)
+		return
+	}
+	unitObserver.Store(&o)
+}
+
+// ObserveUnit notifies the installed observer that a unit began, returning
+// its completion callback, or nil when unobserved. Callers must tolerate a
+// nil return:
+//
+//	done := ObserveUnit("sensitivity", key)
+//	...
+//	if done != nil {
+//		done(cached, err)
+//	}
+func ObserveUnit(phase, unit string) func(cached bool, err error) {
+	p := unitObserver.Load()
+	if p == nil {
+		return nil
+	}
+	return (*p)(phase, unit)
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"untangle/internal/checkpoint"
+)
+
+// unitLog is a thread-safe recorder standing in for an obs.Campaign.
+type unitLog struct {
+	mu     sync.Mutex
+	began  map[string]int // phase -> begins
+	done   int
+	cached int
+	failed int
+	passes int
+}
+
+func (l *unitLog) observer(phase, unit string) func(cached bool, err error) {
+	l.mu.Lock()
+	if l.began == nil {
+		l.began = map[string]int{}
+	}
+	l.began[phase]++
+	l.mu.Unlock()
+	if strings.ContainsRune(phase, '/') {
+		return func(cached bool, err error) {
+			l.mu.Lock()
+			l.passes++
+			l.mu.Unlock()
+		}
+	}
+	return func(cached bool, err error) {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		l.done++
+		if cached {
+			l.cached++
+		}
+		if err != nil {
+			l.failed++
+		}
+	}
+}
+
+// With no observer installed, ObserveUnit is nil; with one installed, every
+// sensitivity unit and engine pass reports exactly once, and journal
+// replays are flagged cached.
+func TestUnitObserverSeam(t *testing.T) {
+	if ObserveUnit("sensitivity", "x") != nil {
+		t.Fatal("ObserveUnit returned a callback with no observer installed")
+	}
+
+	var l unitLog
+	SetUnitObserver(l.observer)
+	defer SetUnitObserver(nil)
+
+	fp := checkpoint.Fingerprint{
+		Instructions: resilienceTestInstructions,
+		Units:        "sensitivity",
+		ParamsTag:    ParamsFingerprint(),
+	}
+	j, err := checkpoint.Open(filepath.Join(t.TempDir(), "obs.ckpt"), fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+
+	if _, err := SensitivityStudyCheckpointed(context.Background(), resilienceTestInstructions, 2, j); err != nil {
+		t.Fatal(err)
+	}
+	l.mu.Lock()
+	firstDone, firstCached, firstPasses := l.done, l.cached, l.passes
+	l.mu.Unlock()
+	if firstDone != 36 {
+		t.Errorf("units done = %d, want 36", firstDone)
+	}
+	if firstCached != 0 {
+		t.Errorf("fresh run reported %d cached units", firstCached)
+	}
+	if firstPasses != 36 {
+		t.Errorf("engine passes = %d, want 36 (one attempt each)", firstPasses)
+	}
+
+	// Re-run against the full journal: every unit replays as cached, and no
+	// engine pass runs.
+	if _, err := SensitivityStudyCheckpointed(context.Background(), resilienceTestInstructions, 2, j); err != nil {
+		t.Fatal(err)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if got := l.done - firstDone; got != 36 {
+		t.Errorf("replay units done = %d, want 36", got)
+	}
+	if l.cached != 36 {
+		t.Errorf("replay cached = %d, want 36", l.cached)
+	}
+	if l.passes != firstPasses {
+		t.Errorf("replay ran %d engine passes, want 0", l.passes-firstPasses)
+	}
+	if l.failed != 0 {
+		t.Errorf("failed = %d, want 0", l.failed)
+	}
+}

@@ -97,11 +97,18 @@ func SensitivityStudyCheckpointed(ctx context.Context, instructions uint64, jobs
 	return parallel.Map(ctx, len(params), jobs,
 		func(ctx context.Context, i int) (SensitivityResult, error) {
 			key := SensitivityKey(params[i].Name)
+			unitDone := ObserveUnit("sensitivity", params[i].Name)
 			if j != nil {
 				var u sensUnit
 				if ok, err := j.Lookup(key, &u); err != nil {
+					if unitDone != nil {
+						unitDone(false, err)
+					}
 					return SensitivityResult{}, fmt.Errorf("checkpoint %s: %w", key, err)
 				} else if ok {
+					if unitDone != nil {
+						unitDone(true, nil)
+					}
 					return u.result(), nil
 				}
 			}
@@ -109,22 +116,35 @@ func SensitivityStudyCheckpointed(ctx context.Context, instructions uint64, jobs
 				sizes []int64
 				ipcs  []float64
 			)
-			err := parallel.Retry(ctx, RetryAttempts, RetryBackoff, func(ctx context.Context, _ int) error {
+			err := parallel.Retry(ctx, RetryAttempts, RetryBackoff, func(ctx context.Context, attempt int) error {
+				passDone := ObserveUnit("sensitivity/pass", fmt.Sprintf("%s#%d", params[i].Name, attempt))
 				e := enginePool.Get().(*laneEngine)
 				defer enginePool.Put(e)
 				sizes = e.sizes
 				var err error
 				ipcs, err = e.run(ctx, params[i], instructions)
+				if passDone != nil {
+					passDone(false, err)
+				}
 				return err
 			})
 			if err != nil {
+				if unitDone != nil {
+					unitDone(false, err)
+				}
 				return SensitivityResult{}, err
 			}
 			r := assembleSensitivity(params[i].Name, sizes, ipcs)
 			if j != nil {
 				if err := j.Record(key, toSensUnit(r)); err != nil {
+					if unitDone != nil {
+						unitDone(false, err)
+					}
 					return SensitivityResult{}, fmt.Errorf("checkpoint %s: %w", key, err)
 				}
+			}
+			if unitDone != nil {
+				unitDone(false, nil)
 			}
 			return r, nil
 		})

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"untangle/internal/parallel"
+	"untangle/internal/telemetry"
+)
+
+// unitSecondsBuckets spans 1ms to ~70min exponentially — wide enough for a
+// smoke-scale benchmark pass and a paper-fidelity one in the same layout.
+var unitSecondsBuckets = telemetry.ExpBuckets(0.001, 4, 12)
+
+// Campaign binds the observability surfaces for one campaign run: a span
+// tracer (may be nil — spans off), a progress tracker, and a telemetry
+// registry holding the obs metrics (worker-pool gauges, per-phase unit
+// latency histograms). A nil *Campaign disables everything it touches.
+type Campaign struct {
+	Tracer   *Tracer
+	Progress *Progress
+	Registry *telemetry.Registry
+
+	root *Span
+
+	mu         sync.Mutex
+	phaseSpans map[string]*Span
+}
+
+// NewCampaign opens a campaign named name. The root span is emitted
+// immediately (if tracer is non-nil); worker-pool gauges are registered on
+// the registry as lazy GaugeFuncs sampling internal/parallel's process-wide
+// counters, so they cost nothing until a snapshot or scrape evaluates them.
+func NewCampaign(name string, tracer *Tracer, progress *Progress, reg *telemetry.Registry) *Campaign {
+	c := &Campaign{
+		Tracer:     tracer,
+		Progress:   progress,
+		Registry:   reg,
+		phaseSpans: map[string]*Span{},
+	}
+	c.root = tracer.Start(nil, "campaign", name)
+	if reg != nil {
+		reg.GaugeFunc("obs.pool.active_workers", func() float64 {
+			return float64(parallel.Stats().Active)
+		})
+		reg.GaugeFunc("obs.pool.queue_depth", func() float64 {
+			return float64(parallel.Stats().Queued)
+		})
+		reg.GaugeFunc("obs.pool.tasks_started", func() float64 {
+			return float64(parallel.Stats().Started)
+		})
+		reg.GaugeFunc("obs.pool.tasks_completed", func() float64 {
+			return float64(parallel.Stats().Completed)
+		})
+		reg.GaugeFunc("obs.pool.tasks_failed", func() float64 {
+			return float64(parallel.Stats().Failed)
+		})
+		// Utilization: active tasks over the machine's parallelism budget.
+		// Can exceed 1 with nested pools; that over-subscription is itself
+		// the signal an operator wants to see.
+		reg.GaugeFunc("obs.pool.utilization", func() float64 {
+			return float64(parallel.Stats().Active) / float64(runtime.GOMAXPROCS(0))
+		})
+	}
+	return c
+}
+
+// Phase declares a counted phase with a known unit total: it registers the
+// phase on the progress tracker and opens a phase span under the campaign
+// root, which subsequent units of that phase nest under. Nil-safe.
+func (c *Campaign) Phase(name string, total int) {
+	if c == nil {
+		return
+	}
+	c.Progress.Phase(name, total)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.phaseSpans[name]; !ok {
+		c.phaseSpans[name] = c.Tracer.Start(c.root, "phase", name)
+	}
+}
+
+// Unit opens one unit of work and returns the completion callback. Its
+// signature is the experiments.UnitObserver contract: the engine calls
+// Unit(phase, name) when a unit begins and the returned func(cached, err)
+// when it ends.
+//
+// Counted phases (declared via Phase) advance the progress tracker and feed
+// the per-phase latency histogram "obs.<phase>.unit_seconds" — cached
+// (journal-replayed) units are counted as done but kept out of the
+// histogram and the rate estimate, since replay latency says nothing about
+// simulation latency. Sub-unit phases — names containing '/', like
+// "sensitivity/pass" for one retry attempt inside a benchmark unit — are
+// traced as spans but neither counted nor histogrammed: their parent unit
+// already accounts for the work.
+//
+// Unit on a nil *Campaign returns nil; callers treat a nil callback as
+// "observability off" (see experiments.ObserveUnit).
+func (c *Campaign) Unit(phase, name string) func(cached bool, err error) {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	parent := c.phaseSpans[phase]
+	c.mu.Unlock()
+	if parent == nil {
+		parent = c.root
+	}
+	span := c.Tracer.Start(parent, phase, name)
+	start := time.Now()
+	subUnit := strings.ContainsRune(phase, '/')
+	var ph *Phase
+	if !subUnit && c.Progress != nil {
+		c.Progress.mu.Lock()
+		ph = c.Progress.byName[phase]
+		c.Progress.mu.Unlock()
+	}
+	return func(cached bool, err error) {
+		if span != nil {
+			span.Cached = cached
+			span.End(err)
+		}
+		if subUnit {
+			return
+		}
+		ph.UnitDone(cached)
+		if !cached && c.Registry != nil {
+			c.Registry.Histogram("obs."+phase+".unit_seconds", unitSecondsBuckets).
+				Observe(time.Since(start).Seconds())
+		}
+	}
+}
+
+// End closes every open phase span and the campaign root. Call once, after
+// the campaign's last unit. Nil-safe.
+func (c *Campaign) End(err error) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	spans := c.phaseSpans
+	c.phaseSpans = map[string]*Span{}
+	c.mu.Unlock()
+	for _, s := range spans {
+		s.End(nil)
+	}
+	c.root.End(err)
+}

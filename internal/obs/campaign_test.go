@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"untangle/internal/telemetry"
+)
+
+func TestCampaignUnitCountsAndTraces(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	reg := telemetry.NewRegistry()
+	c := NewCampaign("experiments", tr, NewProgress(), reg)
+	c.Phase("sensitivity", 3)
+
+	// A real unit with a traced-but-uncounted engine pass inside it.
+	done := c.Unit("sensitivity", "mcf_0")
+	passDone := c.Unit("sensitivity/pass", "mcf_0#1")
+	passDone(false, nil)
+	done(false, nil)
+
+	// A cached unit and a failed unit.
+	c.Unit("sensitivity", "lbm_0")(true, nil)
+	c.Unit("sensitivity", "omnetpp_0")(false, errors.New("transient"))
+
+	s := c.Progress.Snapshot()
+	if s.Done != 3 || s.Total != 3 {
+		t.Fatalf("done/total = %d/%d, want 3/3", s.Done, s.Total)
+	}
+	if s.Phases[0].Resumed != 1 {
+		t.Fatalf("resumed = %d, want 1", s.Phases[0].Resumed)
+	}
+	// The sub-unit pass must not have minted a phase of its own.
+	if len(s.Phases) != 1 {
+		t.Fatalf("phases = %d, want 1 (pass is uncounted)", len(s.Phases))
+	}
+
+	// The latency histogram holds the two real units; the cached one stayed
+	// out.
+	h := reg.Histogram("obs.sensitivity.unit_seconds", unitSecondsBuckets)
+	if got := h.Count(); got != 2 {
+		t.Fatalf("histogram count = %d, want 2 (cached unit excluded)", got)
+	}
+
+	c.End(nil)
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs := decodeSpans(t, &buf)
+	// 1 campaign + 1 phase + 3 units + 1 pass, each with start and end.
+	if len(recs) != 12 {
+		t.Fatalf("got %d span records, want 12", len(recs))
+	}
+	var rootID, phaseID uint64
+	byID := map[uint64]spanRecord{}
+	for _, r := range recs {
+		if r.Ev != "start" {
+			continue
+		}
+		byID[r.ID] = r
+		switch r.Phase {
+		case "campaign":
+			rootID = r.ID
+		case "phase":
+			phaseID = r.ID
+		}
+	}
+	if rootID == 0 || phaseID == 0 {
+		t.Fatalf("missing campaign or phase span: %+v", recs)
+	}
+	for _, r := range byID {
+		switch r.Phase {
+		case "sensitivity":
+			if r.Parent != phaseID {
+				t.Errorf("unit %s parented under %d, want phase %d", r.Name, r.Parent, phaseID)
+			}
+		case "sensitivity/pass":
+			// The pass phase was never declared, so it nests under the root.
+			if r.Parent != rootID {
+				t.Errorf("pass %s parented under %d, want root %d", r.Name, r.Parent, rootID)
+			}
+		}
+	}
+}
+
+func TestCampaignPoolGauges(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := NewCampaign("x", nil, NewProgress(), reg)
+	defer c.End(nil)
+	s := reg.Snapshot()
+	for _, name := range []string{
+		"obs.pool.active_workers", "obs.pool.queue_depth", "obs.pool.utilization",
+		"obs.pool.tasks_started", "obs.pool.tasks_completed", "obs.pool.tasks_failed",
+	} {
+		if _, ok := s.Gauges[name]; !ok {
+			t.Errorf("gauge %q not registered", name)
+		}
+	}
+	var out strings.Builder
+	if err := s.WritePrometheus(&out, "untangle"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "untangle_obs_pool_active_workers") {
+		t.Errorf("prometheus output missing pool gauge:\n%s", out.String())
+	}
+}
+
+func TestCampaignNilSafety(t *testing.T) {
+	var c *Campaign
+	c.Phase("p", 1)
+	done := c.Unit("p", "n")
+	if done != nil {
+		t.Fatal("nil campaign returned a callback")
+	}
+	c.End(nil)
+
+	// Tracer-less campaign still counts.
+	c2 := NewCampaign("x", nil, NewProgress(), nil)
+	c2.Phase("p", 1)
+	c2.Unit("p", "n")(false, nil)
+	if s := c2.Progress.Snapshot(); s.Done != 1 {
+		t.Fatalf("done = %d, want 1", s.Done)
+	}
+	c2.End(nil)
+}

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestHeartbeatPriorRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl.heartbeat")
+
+	// Session 1: fresh file, no prior.
+	h1, err := OpenHeartbeat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1.Prior() != 0 {
+		t.Fatalf("fresh heartbeat prior = %v, want 0", h1.Prior())
+	}
+	h1.Beat(Snapshot{ElapsedSeconds: 10, TotalElapsedSeconds: 10, Done: 3, Total: 36})
+	h1.Beat(Snapshot{ElapsedSeconds: 25, TotalElapsedSeconds: 25, Done: 8, Total: 36})
+	if err := h1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a kill mid-beat: a torn trailing line.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"at_unix_ns":123,"total_se`)
+	f.Close()
+
+	// Session 2 recovers the last complete beat's total.
+	h2, err := OpenHeartbeat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Close()
+	if got := h2.Prior(); got != 25*time.Second {
+		t.Fatalf("prior = %v, want 25s", got)
+	}
+
+	// And its beats stack the recovered prior into total_seconds.
+	h2.Beat(Snapshot{ElapsedSeconds: 5, TotalElapsedSeconds: 30, Done: 12, Total: 36})
+	h3, err := OpenHeartbeat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h3.Close()
+	if got := h3.Prior(); got != 30*time.Second {
+		t.Fatalf("prior after second session = %v, want 30s", got)
+	}
+}
+
+func TestHeartbeatNilSafety(t *testing.T) {
+	var h *Heartbeat
+	if h.Prior() != 0 {
+		t.Fatal("nil heartbeat has a prior")
+	}
+	h.Beat(Snapshot{}) // must not panic
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeartbeatPathConvention(t *testing.T) {
+	if got := HeartbeatPath(nil); got != "" {
+		t.Fatalf("HeartbeatPath(nil) = %q, want empty", got)
+	}
+}

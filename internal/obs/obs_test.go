@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced time source for deterministic rate and
+// duration assertions.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func decodeSpans(t *testing.T, buf *bytes.Buffer) []spanRecord {
+	t.Helper()
+	var out []spanRecord
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	for sc.Scan() {
+		var rec spanRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad span line %q: %v", sc.Text(), err)
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+func TestTracerEmitsStartAndEndRecords(t *testing.T) {
+	var buf bytes.Buffer
+	clk := newFakeClock()
+	tr := NewTracer(&buf)
+	tr.now = clk.now
+
+	root := tr.Start(nil, "campaign", "experiments")
+	clk.advance(time.Second)
+	unit := tr.Start(root, "sensitivity", "mcf_0")
+	clk.advance(2 * time.Second)
+	unit.Cached = true
+	unit.End(errors.New("boom"))
+	clk.advance(time.Second)
+	root.End(nil)
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs := decodeSpans(t, &buf)
+	if len(recs) != 4 {
+		t.Fatalf("got %d records, want 4 (2 starts + 2 ends)", len(recs))
+	}
+	if recs[0].Ev != "start" || recs[0].Phase != "campaign" || recs[0].Parent != 0 {
+		t.Errorf("root start record wrong: %+v", recs[0])
+	}
+	if recs[1].Ev != "start" || recs[1].Parent != recs[0].ID || recs[1].Name != "mcf_0" {
+		t.Errorf("unit start record wrong: %+v", recs[1])
+	}
+	if recs[2].Ev != "end" || recs[2].ID != recs[1].ID || recs[2].DurNs != int64(2*time.Second) ||
+		!recs[2].Cached || recs[2].Err != "boom" {
+		t.Errorf("unit end record wrong: %+v", recs[2])
+	}
+	if recs[3].Ev != "end" || recs[3].ID != recs[0].ID || recs[3].DurNs != int64(4*time.Second) {
+		t.Errorf("root end record wrong: %+v", recs[3])
+	}
+}
+
+func TestTracerNilSafety(t *testing.T) {
+	var tr *Tracer
+	s := tr.Start(nil, "p", "n")
+	if s != nil {
+		t.Fatal("nil tracer returned a span")
+	}
+	s.End(nil) // must not panic
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProgressRateAndETA(t *testing.T) {
+	clk := newFakeClock()
+	p := NewProgress()
+	p.now = clk.now
+	p.start = clk.now()
+
+	ph := p.Phase("sens", 10)
+	ph.now = clk.now
+	ph.started = clk.now()
+
+	// Three journal replays land instantly: done advances, rate stays 0.
+	for i := 0; i < 3; i++ {
+		ph.UnitDone(true)
+	}
+	s := p.Snapshot()
+	if s.Done != 3 || s.Total != 10 {
+		t.Fatalf("done/total = %d/%d, want 3/10", s.Done, s.Total)
+	}
+	if s.ETASeconds != -1 {
+		t.Fatalf("ETA before any real completion = %v, want -1 (unknown)", s.ETASeconds)
+	}
+
+	// Real completions at one per 2s: rate converges to 0.5/s.
+	for i := 0; i < 4; i++ {
+		clk.advance(2 * time.Second)
+		ph.UnitDone(false)
+	}
+	s = p.Snapshot()
+	if s.Done != 7 {
+		t.Fatalf("done = %d, want 7", s.Done)
+	}
+	if s.Phases[0].Resumed != 3 {
+		t.Fatalf("resumed = %d, want 3", s.Phases[0].Resumed)
+	}
+	if r := s.Phases[0].RatePerSec; r < 0.4 || r > 0.6 {
+		t.Fatalf("rate = %v, want ~0.5", r)
+	}
+	// 3 units remain at ~0.5/s -> ~6s ETA.
+	if s.ETASeconds < 4 || s.ETASeconds > 9 {
+		t.Fatalf("ETA = %v, want ~6s", s.ETASeconds)
+	}
+
+	// Finish the phase: ETA collapses to 0.
+	for i := 0; i < 3; i++ {
+		clk.advance(2 * time.Second)
+		ph.UnitDone(false)
+	}
+	s = p.Snapshot()
+	if s.ETASeconds != 0 {
+		t.Fatalf("ETA of a finished campaign = %v, want 0", s.ETASeconds)
+	}
+}
+
+func TestProgressPriorElapsedIsContinuous(t *testing.T) {
+	clk := newFakeClock()
+	p := NewProgress()
+	p.now = clk.now
+	p.start = clk.now()
+	p.SetPrior(90 * time.Second)
+	clk.advance(10 * time.Second)
+	s := p.Snapshot()
+	if s.ElapsedSeconds != 10 {
+		t.Errorf("session elapsed = %v, want 10", s.ElapsedSeconds)
+	}
+	if s.TotalElapsedSeconds != 100 {
+		t.Errorf("total elapsed = %v, want 100", s.TotalElapsedSeconds)
+	}
+}
+
+func TestProgressNilSafety(t *testing.T) {
+	var p *Progress
+	p.SetPrior(time.Second)
+	ph := p.Phase("x", 5)
+	if ph != nil {
+		t.Fatal("nil progress returned a phase")
+	}
+	ph.UnitDone(false) // must not panic
+	s := p.Snapshot()
+	if s.Phases == nil || len(s.Phases) != 0 || s.ETASeconds != -1 {
+		t.Fatalf("nil snapshot = %+v", s)
+	}
+	if got := s.String(); !strings.Contains(got, "working") {
+		t.Errorf("nil snapshot string = %q", got)
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	s := Snapshot{
+		TotalElapsedSeconds: 34,
+		ETASeconds:          64,
+		Phases: []PhaseSnapshot{
+			{Name: "sensitivity", Done: 12, Total: 36},
+			{Name: "mix", Done: 0, Total: 16},
+		},
+	}
+	got := s.String()
+	for _, want := range []string{"sensitivity 12/36", "mix 0/16", "34s elapsed", "eta 1m4s"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("String() = %q, missing %q", got, want)
+		}
+	}
+	s.ETASeconds = -1
+	if got := s.String(); !strings.Contains(got, "eta ?") {
+		t.Errorf("unknown ETA rendered as %q, want 'eta ?'", got)
+	}
+}

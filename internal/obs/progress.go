@@ -1,0 +1,247 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// emaDecay is the weight of the newest per-unit rate observation in the
+// decaying estimate. 0.25 reacts within ~4 units to a workload phase change
+// (big benchmarks after small ones) while smoothing worker-completion
+// bursts.
+const emaDecay = 0.25
+
+// Progress tracks a campaign's units done/total per phase and derives ETAs
+// from a decaying completion-rate estimate. It is the data source for the
+// /progress endpoint, the stderr reporter, and the heartbeat journal. All
+// methods are safe for concurrent use; a nil *Progress no-ops everywhere.
+type Progress struct {
+	mu     sync.Mutex
+	start  time.Time
+	prior  time.Duration // elapsed in previous sessions of a resumed campaign
+	phases []*Phase
+	byName map[string]*Phase
+	now    func() time.Time
+}
+
+// NewProgress builds an empty progress tracker; phases register via Phase.
+func NewProgress() *Progress {
+	now := time.Now
+	return &Progress{start: now(), byName: map[string]*Phase{}, now: now}
+}
+
+// SetPrior records wall-clock time spent by previous sessions of this
+// campaign (recovered from the heartbeat journal), so a resumed run's
+// elapsed accounting is continuous instead of restarting at zero.
+func (p *Progress) SetPrior(d time.Duration) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.prior = d
+	p.mu.Unlock()
+}
+
+// Phase registers (or returns) the named phase with the given unit total.
+// Registration order is display order. A later call may correct the total
+// (a campaign that prunes units re-declares with the smaller count).
+func (p *Progress) Phase(name string, total int) *Phase {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if ph, ok := p.byName[name]; ok {
+		ph.mu.Lock()
+		ph.total = total
+		ph.mu.Unlock()
+		return ph
+	}
+	ph := &Phase{name: name, total: total, started: p.now(), now: p.now}
+	p.phases = append(p.phases, ph)
+	p.byName[name] = ph
+	return ph
+}
+
+// Phase is one stage of a campaign (the sensitivity study, the mix sweep)
+// with a known unit count.
+type Phase struct {
+	mu      sync.Mutex
+	name    string
+	total   int
+	done    int
+	resumed int
+	started time.Time
+	last    time.Time
+	// ratePerSec is the decaying estimate of units completed per second,
+	// updated at every non-cached completion from the inter-completion gap.
+	ratePerSec float64
+	now        func() time.Time
+}
+
+// UnitDone records one completed unit. cached marks units replayed from a
+// checkpoint journal: they advance done but not the rate estimate, so a
+// resume that replays 30 journaled units in a millisecond does not fake an
+// absurd ETA for the remaining real work.
+func (ph *Phase) UnitDone(cached bool) {
+	if ph == nil {
+		return
+	}
+	now := ph.now()
+	ph.mu.Lock()
+	defer ph.mu.Unlock()
+	ph.done++
+	if cached {
+		ph.resumed++
+		return
+	}
+	ref := ph.last
+	if ref.IsZero() {
+		ref = ph.started
+	}
+	ph.last = now
+	gap := now.Sub(ref).Seconds()
+	if gap <= 0 {
+		gap = 1e-6 // two completions on the same clock reading
+	}
+	inst := 1 / gap
+	if ph.ratePerSec == 0 {
+		ph.ratePerSec = inst
+	} else {
+		ph.ratePerSec = emaDecay*inst + (1-emaDecay)*ph.ratePerSec
+	}
+}
+
+// PhaseSnapshot is one phase's frozen progress, shaped for the /progress
+// JSON document and the heartbeat record.
+type PhaseSnapshot struct {
+	Name    string `json:"name"`
+	Done    int    `json:"done"`
+	Total   int    `json:"total"`
+	Resumed int    `json:"resumed,omitempty"`
+	// RatePerSec is the decaying completion-rate estimate; 0 until the
+	// phase's first non-cached completion.
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	// ETASeconds estimates the remaining wall-clock time; -1 when unknown
+	// (no rate observed yet).
+	ETASeconds float64 `json:"eta_seconds"`
+}
+
+// Snapshot is the whole campaign's frozen progress.
+type Snapshot struct {
+	// ElapsedSeconds is this session's wall-clock age; TotalElapsedSeconds
+	// adds time recovered from the heartbeat of interrupted predecessors.
+	ElapsedSeconds      float64         `json:"elapsed_seconds"`
+	TotalElapsedSeconds float64         `json:"total_elapsed_seconds"`
+	Done                int             `json:"done"`
+	Total               int             `json:"total"`
+	ETASeconds          float64         `json:"eta_seconds"`
+	Phases              []PhaseSnapshot `json:"phases"`
+}
+
+// Snapshot freezes the current progress. Nil-safe (returns a zero snapshot
+// with a non-nil empty phase list, so JSON consumers always see "phases").
+func (p *Progress) Snapshot() Snapshot {
+	s := Snapshot{Phases: []PhaseSnapshot{}, ETASeconds: -1}
+	if p == nil {
+		return s
+	}
+	p.mu.Lock()
+	phases := append([]*Phase(nil), p.phases...)
+	elapsed := p.now().Sub(p.start)
+	prior := p.prior
+	p.mu.Unlock()
+	s.ElapsedSeconds = elapsed.Seconds()
+	s.TotalElapsedSeconds = (elapsed + prior).Seconds()
+	var etaKnown bool
+	var eta float64
+	for _, ph := range phases {
+		ph.mu.Lock()
+		ps := PhaseSnapshot{
+			Name:       ph.name,
+			Done:       ph.done,
+			Total:      ph.total,
+			Resumed:    ph.resumed,
+			RatePerSec: ph.ratePerSec,
+			ETASeconds: -1,
+		}
+		ph.mu.Unlock()
+		if remaining := ps.Total - ps.Done; remaining <= 0 {
+			ps.ETASeconds = 0
+		} else if ps.RatePerSec > 0 {
+			ps.ETASeconds = float64(remaining) / ps.RatePerSec
+		}
+		if ps.ETASeconds >= 0 {
+			etaKnown = true
+			eta += ps.ETASeconds
+		} else if ps.Total > ps.Done {
+			// A pending phase with no rate makes the campaign ETA unknown.
+			etaKnown = false
+			eta = 0
+			s.Done += ps.Done
+			s.Total += ps.Total
+			s.Phases = append(s.Phases, ps)
+			for _, rest := range phases[len(s.Phases):] {
+				rest.mu.Lock()
+				rs := PhaseSnapshot{
+					Name: rest.name, Done: rest.done, Total: rest.total,
+					Resumed: rest.resumed, RatePerSec: rest.ratePerSec, ETASeconds: -1,
+				}
+				rest.mu.Unlock()
+				if rem := rs.Total - rs.Done; rem <= 0 {
+					rs.ETASeconds = 0
+				} else if rs.RatePerSec > 0 {
+					rs.ETASeconds = float64(rem) / rs.RatePerSec
+				}
+				s.Done += rs.Done
+				s.Total += rs.Total
+				s.Phases = append(s.Phases, rs)
+			}
+			s.ETASeconds = -1
+			return s
+		}
+		s.Done += ps.Done
+		s.Total += ps.Total
+		s.Phases = append(s.Phases, ps)
+	}
+	if etaKnown {
+		s.ETASeconds = eta
+	}
+	return s
+}
+
+// String renders the snapshot as a one-line status, the stderr reporter's
+// format: "sensitivity 12/36 · mix 0/16 · 34s elapsed · eta 1m04s".
+func (s Snapshot) String() string {
+	var b strings.Builder
+	for _, ph := range s.Phases {
+		if b.Len() > 0 {
+			b.WriteString(" · ")
+		}
+		fmt.Fprintf(&b, "%s %d/%d", ph.Name, ph.Done, ph.Total)
+	}
+	if b.Len() == 0 {
+		b.WriteString("working")
+	}
+	fmt.Fprintf(&b, " · %s elapsed", roundDuration(time.Duration(s.TotalElapsedSeconds*float64(time.Second))))
+	if s.ETASeconds >= 0 {
+		fmt.Fprintf(&b, " · eta %s", roundDuration(time.Duration(s.ETASeconds*float64(time.Second))))
+	} else {
+		b.WriteString(" · eta ?")
+	}
+	return b.String()
+}
+
+// roundDuration trims a duration for display: sub-second granularity is
+// noise in a progress line.
+func roundDuration(d time.Duration) time.Duration {
+	if d < 0 {
+		d = 0
+	}
+	if d >= time.Minute {
+		return d.Round(time.Second)
+	}
+	return d.Round(100 * time.Millisecond)
+}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// IsTTY reports whether f is a character device — the gate for the live
+// progress line, which is operator chrome and must never land in a
+// redirected log or a pipeline.
+func IsTTY(f *os.File) bool {
+	if f == nil {
+		return false
+	}
+	info, err := f.Stat()
+	if err != nil {
+		return false
+	}
+	return info.Mode()&os.ModeCharDevice != 0
+}
+
+// Reporter periodically renders the campaign's progress line to a terminal
+// and pulses the heartbeat journal. It runs its own ticker goroutine; Stop
+// waits for it. A nil *Reporter no-ops, so callers construct one only when
+// some surface (TTY line, heartbeat) is wanted.
+type Reporter struct {
+	progress *Progress
+	hb       *Heartbeat
+	out      io.Writer // nil: no terminal line, heartbeat only
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// StartReporter launches the ticker. out is where the live line goes (pass
+// nil when stderr is not a TTY or -quiet is set); hb may be nil when no
+// checkpoint journal is in play. interval <= 0 defaults to one second.
+func StartReporter(progress *Progress, hb *Heartbeat, out io.Writer, interval time.Duration) *Reporter {
+	if out == nil && hb == nil {
+		return nil
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	r := &Reporter{
+		progress: progress,
+		hb:       hb,
+		out:      out,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go r.loop(interval)
+	return r
+}
+
+func (r *Reporter) loop(interval time.Duration) {
+	defer close(r.done)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+			s := r.progress.Snapshot()
+			r.hb.Beat(s)
+			if r.out != nil {
+				// \r + clear-to-EOL keeps the line in place on a TTY.
+				fmt.Fprintf(r.out, "\r\x1b[K%s", s.String())
+			}
+		}
+	}
+}
+
+// Stop halts the ticker, waits for the loop to exit, emits one final
+// heartbeat, and (on a TTY) clears the live line so the campaign's normal
+// output resumes on a clean row. Nil-safe and idempotent.
+func (r *Reporter) Stop() {
+	if r == nil {
+		return
+	}
+	r.once.Do(func() {
+		close(r.stop)
+		<-r.done
+		r.hb.Beat(r.progress.Snapshot())
+		if r.out != nil {
+			fmt.Fprint(r.out, "\r\x1b[K")
+		}
+	})
+}

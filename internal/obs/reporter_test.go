@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer guards a bytes.Buffer for the reporter goroutine.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func TestReporterRendersAndHeartbeats(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hb")
+	hb, err := OpenHeartbeat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hb.Close()
+
+	p := NewProgress()
+	ph := p.Phase("mix", 16)
+	ph.UnitDone(false)
+	ph.UnitDone(false)
+
+	var out syncBuffer
+	r := StartReporter(p, hb, &out, 5*time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for !strings.Contains(out.String(), "mix 2/16") {
+		if time.Now().After(deadline) {
+			t.Fatalf("reporter never rendered; got %q", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	r.Stop()
+	r.Stop() // idempotent
+
+	// Stop's final beat is recoverable by the next session.
+	hb.Close()
+	h2, err := OpenHeartbeat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Close()
+	if h2.Prior() <= 0 {
+		t.Errorf("no heartbeat recovered after reporter ran")
+	}
+	// The live line ends with a clear so the terminal is left clean.
+	if !strings.HasSuffix(out.String(), "\r\x1b[K") {
+		t.Errorf("reporter did not clear its line on stop")
+	}
+}
+
+func TestStartReporterNoSurfacesIsNil(t *testing.T) {
+	if r := StartReporter(NewProgress(), nil, nil, time.Millisecond); r != nil {
+		t.Fatal("reporter with no surfaces should be nil")
+	}
+	var r *Reporter
+	r.Stop() // nil-safe
+}

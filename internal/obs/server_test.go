@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"untangle/internal/telemetry"
+)
+
+func scrape(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// The server smoke test the issue asks for: bind an ephemeral port, scrape
+// /metrics and /progress while a campaign is mid-flight (units partially
+// done), and assert both documents are well-formed and reflect the state.
+func TestServerSmoke(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	progress := NewProgress()
+	c := NewCampaign("smoke", nil, progress, reg)
+	defer c.End(nil)
+	c.Phase("sensitivity", 4)
+	c.Unit("sensitivity", "a")(false, nil)
+	c.Unit("sensitivity", "b")(false, nil)
+	reg.Counter("obs.scrapes").Add(7)
+
+	srv, err := StartServer("127.0.0.1:0", progress,
+		NamedRegistry{Namespace: "untangle", Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+	base := "http://" + srv.Addr()
+
+	code, body := scrape(t, base+"/healthz")
+	if code != 200 || strings.TrimSpace(body) != "ok" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+
+	code, body = scrape(t, base+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE untangle_obs_scrapes counter",
+		"untangle_obs_scrapes 7",
+		"untangle_obs_pool_active_workers",
+		"# TYPE untangle_obs_sensitivity_unit_seconds histogram",
+		`untangle_obs_sensitivity_unit_seconds_bucket{le="+Inf"} 2`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+	// Every non-comment line must be "name value".
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+
+	code, body = scrape(t, base+"/progress")
+	if code != 200 {
+		t.Fatalf("/progress = %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/progress not JSON: %v\n%s", err, body)
+	}
+	if snap.Done != 2 || snap.Total != 4 {
+		t.Errorf("/progress done/total = %d/%d, want 2/4", snap.Done, snap.Total)
+	}
+	if len(snap.Phases) != 1 || snap.Phases[0].Name != "sensitivity" {
+		t.Errorf("/progress phases = %+v", snap.Phases)
+	}
+
+	code, _ = scrape(t, base+"/debug/pprof/cmdline")
+	if code != 200 {
+		t.Errorf("/debug/pprof/cmdline = %d", code)
+	}
+}
+
+func TestServerEmphemeralPortsAreIndependent(t *testing.T) {
+	p := NewProgress()
+	a, err := StartServer("127.0.0.1:0", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Shutdown()
+	b, err := StartServer("127.0.0.1:0", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Shutdown()
+	if a.Addr() == b.Addr() {
+		t.Fatalf("two ephemeral servers share %s", a.Addr())
+	}
+}
+
+func TestServerShutdownNilSafe(t *testing.T) {
+	var s *Server
+	if err := s.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Addr() != "" {
+		t.Fatal("nil server has an address")
+	}
+}
+
+func TestServerBadAddr(t *testing.T) {
+	if _, err := StartServer("definitely:not:an:addr", nil); err == nil {
+		t.Fatal("expected error for bad address")
+	}
+}
+
+// Reporter writes the live line and heartbeats; exercised here rather than
+// in a cmd test because the ticker cadence is controllable.
+func ExampleSnapshot_String() {
+	s := Snapshot{
+		TotalElapsedSeconds: 34,
+		ETASeconds:          64,
+		Phases: []PhaseSnapshot{
+			{Name: "sensitivity", Done: 12, Total: 36},
+			{Name: "mix", Done: 0, Total: 16},
+		},
+	}
+	fmt.Println(s.String())
+	// Output: sensitivity 12/36 · mix 0/16 · 34s elapsed · eta 1m4s
+}

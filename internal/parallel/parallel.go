@@ -86,12 +86,22 @@ func ForEach(ctx context.Context, n, jobs int, fn func(ctx context.Context, i in
 	if jobs > n {
 		jobs = n
 	}
+	// Pool instrumentation (stats.go): admit the whole batch as queued, and
+	// drop whatever never started when this call returns — cancellation and
+	// first-error shutdown abandon unstarted indices.
+	poolQueued.Add(int64(n))
+	started := 0
+	defer func() { poolQueued.Add(int64(started - n)) }()
 	if jobs == 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := guard(ctx, i, fn); err != nil {
+			started++
+			taskStarted()
+			err := guard(ctx, i, fn)
+			taskFinished(err)
+			if err != nil {
 				return err
 			}
 		}
@@ -137,7 +147,10 @@ func ForEach(ctx context.Context, n, jobs int, fn func(ctx context.Context, i in
 				if !ok {
 					return
 				}
-				if err := guard(ctx, i, fn); err != nil {
+				taskStarted()
+				err := guard(ctx, i, fn)
+				taskFinished(err)
+				if err != nil {
 					fail(err)
 					return
 				}
@@ -148,6 +161,7 @@ func ForEach(ctx context.Context, n, jobs int, fn func(ctx context.Context, i in
 		}()
 	}
 	wg.Wait()
+	started = next // claims already left the queue via taskStarted
 	if firstErr != nil {
 		return firstErr
 	}

@@ -1,0 +1,66 @@
+package parallel
+
+import "sync/atomic"
+
+// Pool instrumentation: process-wide atomic counters that every ForEach
+// (and therefore Map, and everything built on them) updates as tasks flow
+// through. They exist for the observability layer — internal/obs samples
+// them into gauges for the /metrics endpoint and the live progress display —
+// and deliberately observe without participating: a handful of atomic adds
+// per task, where a task is a whole simulation pass, is noise next to the
+// work itself, so the counters are always on.
+//
+// The counters aggregate across every pool in the process, including nested
+// ones (a mix-level ForEach whose workers run scheme-level ForEaches), which
+// is exactly the view an operator wants: how busy is this process, how much
+// admitted work is still waiting.
+var (
+	poolActive    atomic.Int64  // tasks currently executing
+	poolQueued    atomic.Int64  // tasks admitted to a live ForEach, not yet started
+	poolStarted   atomic.Uint64 // lifetime tasks handed to a worker
+	poolCompleted atomic.Uint64 // lifetime tasks that returned nil
+	poolFailed    atomic.Uint64 // lifetime tasks that returned an error (incl. panics)
+)
+
+// PoolStats is a point-in-time snapshot of the process's worker-pool
+// activity. Active and Queued are instantaneous; the lifetime counters are
+// monotone. Queued counts admitted-but-unstarted tasks; tasks abandoned by
+// cancellation or first-error shutdown leave the queue without ever
+// starting, so Started+Queued can undercount the admitted total.
+type PoolStats struct {
+	Active    int64  `json:"active"`
+	Queued    int64  `json:"queued"`
+	Started   uint64 `json:"started"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+}
+
+// Stats returns the current process-wide pool snapshot. The fields are read
+// individually (not under one lock), so a snapshot taken while tasks move is
+// approximate by one task — fine for gauges, not for invariants.
+func Stats() PoolStats {
+	return PoolStats{
+		Active:    poolActive.Load(),
+		Queued:    poolQueued.Load(),
+		Started:   poolStarted.Load(),
+		Completed: poolCompleted.Load(),
+		Failed:    poolFailed.Load(),
+	}
+}
+
+// taskStarted moves one task from queued to active.
+func taskStarted() {
+	poolQueued.Add(-1)
+	poolActive.Add(1)
+	poolStarted.Add(1)
+}
+
+// taskFinished retires one active task.
+func taskFinished(err error) {
+	poolActive.Add(-1)
+	if err != nil {
+		poolFailed.Add(1)
+	} else {
+		poolCompleted.Add(1)
+	}
+}

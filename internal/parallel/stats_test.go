@@ -1,0 +1,100 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// Stats deltas across a ForEach: every task started and completed, the
+// queue drained back to its baseline, and mid-flight the active gauge saw
+// real concurrency.
+func TestStatsAcrossForEach(t *testing.T) {
+	before := Stats()
+	const n = 8
+	var (
+		mu        sync.Mutex
+		maxActive int64
+	)
+	err := ForEach(context.Background(), n, 4, func(ctx context.Context, i int) error {
+		s := Stats()
+		mu.Lock()
+		if s.Active > maxActive {
+			maxActive = s.Active
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := Stats()
+	if got := after.Started - before.Started; got != n {
+		t.Errorf("started delta = %d, want %d", got, n)
+	}
+	if got := after.Completed - before.Completed; got != n {
+		t.Errorf("completed delta = %d, want %d", got, n)
+	}
+	if after.Queued != before.Queued {
+		t.Errorf("queue did not drain: %d -> %d", before.Queued, after.Queued)
+	}
+	if after.Active != before.Active {
+		t.Errorf("active did not settle: %d -> %d", before.Active, after.Active)
+	}
+	if maxActive < 1 {
+		t.Errorf("never observed an active task")
+	}
+}
+
+// A failing task counts as failed, and indices the first-error shutdown
+// abandoned leave the queue without being started.
+func TestStatsFailureAndAbandonment(t *testing.T) {
+	before := Stats()
+	boom := errors.New("boom")
+	err := ForEach(context.Background(), 16, 1, func(ctx context.Context, i int) error {
+		if i == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	after := Stats()
+	if got := after.Failed - before.Failed; got != 1 {
+		t.Errorf("failed delta = %d, want 1", got)
+	}
+	if got := after.Started - before.Started; got != 3 {
+		t.Errorf("started delta = %d, want 3 (sequential stops at the error)", got)
+	}
+	if after.Queued != before.Queued {
+		t.Errorf("abandoned tasks left the queue dirty: %d -> %d", before.Queued, after.Queued)
+	}
+}
+
+// The concurrent path must also reconcile the queue when a panic cuts the
+// batch short.
+func TestStatsPanicIsolationReconcilesQueue(t *testing.T) {
+	before := Stats()
+	err := ForEach(context.Background(), 32, 4, func(ctx context.Context, i int) error {
+		if i == 5 {
+			panic("kaboom")
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want PanicError", err)
+	}
+	after := Stats()
+	if after.Queued != before.Queued {
+		t.Errorf("queue did not reconcile after panic: %d -> %d", before.Queued, after.Queued)
+	}
+	if after.Active != before.Active {
+		t.Errorf("active did not settle after panic: %d -> %d", before.Active, after.Active)
+	}
+	if got := after.Failed - before.Failed; got != 1 {
+		t.Errorf("failed delta = %d, want 1", got)
+	}
+}

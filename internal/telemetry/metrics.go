@@ -69,15 +69,27 @@ type Histogram struct {
 	n      uint64
 }
 
-// Observe records one value.
+// Observe records one value. Bounds are upper-inclusive: a value exactly
+// equal to a bound lands in that bound's bucket. Non-finite values need
+// special care because Snapshot marshals to JSON and encoding/json rejects
+// NaN and ±Inf: a NaN observation is dropped entirely (it has no place on
+// the bucket axis and one NaN would poison Sum forever), while ±Inf count
+// into the extreme buckets (overflow for +Inf, first for -Inf) and
+// increment Count but are excluded from Sum, which tracks the finite mass
+// only.
 func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
 	i := 0
 	for i < len(h.bounds) && v > h.bounds[i] {
 		i++
 	}
 	h.mu.Lock()
 	h.counts[i]++
-	h.sum += v
+	if !math.IsInf(v, 0) {
+		h.sum += v
+	}
 	h.n++
 	h.mu.Unlock()
 }

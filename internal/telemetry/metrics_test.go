@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"bytes"
+	"math"
 	"sync"
 	"testing"
 )
@@ -50,6 +51,125 @@ func TestHistogramBucketPlacement(t *testing.T) {
 	}
 	if s.Sum != 0.5+1+1.5+2+3+4+100 {
 		t.Fatalf("sum = %v", s.Sum)
+	}
+}
+
+// The non-finite contract: NaN observations vanish, ±Inf land in the
+// extreme buckets and count toward Count but not Sum — so a snapshot of a
+// histogram that saw non-finite values still marshals to JSON.
+func TestHistogramNonFiniteObservations(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{1, 2})
+	h.Observe(math.NaN())
+	h.Observe(math.Inf(1))
+	h.Observe(math.Inf(-1))
+	h.Observe(1.5)
+	s := r.Snapshot().Histograms["h"]
+	// -Inf in the first bucket, 1.5 in the second, +Inf in overflow; NaN gone.
+	want := []uint64{1, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("counts = %v, want %v", s.Counts, want)
+		}
+	}
+	if s.Count != 3 {
+		t.Fatalf("count = %d, want 3 (NaN must be dropped)", s.Count)
+	}
+	if s.Sum != 1.5 {
+		t.Fatalf("sum = %v, want 1.5 (infinities excluded)", s.Sum)
+	}
+	if _, err := r.Snapshot().MarshalJSONIndent(); err != nil {
+		t.Fatalf("snapshot after non-finite observations does not marshal: %v", err)
+	}
+}
+
+// Bounds are upper-inclusive: a value exactly on a bound belongs to that
+// bound's bucket, and the next representable value above it to the next.
+func TestHistogramBoundaryEqualValues(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{1, 2, 4})
+	h.Observe(1)
+	h.Observe(math.Nextafter(1, 2))
+	h.Observe(2)
+	h.Observe(4)
+	h.Observe(math.Nextafter(4, 5))
+	s := r.Snapshot().Histograms["h"]
+	want := []uint64{1, 2, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("counts = %v, want %v", s.Counts, want)
+		}
+	}
+}
+
+// Concurrent observers (run this under -race; scripts/ci.sh does) must not
+// lose observations, and the bucket mass must equal Count.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", ExpBuckets(1, 4, 6))
+	const goroutines, each = 8, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				switch i % 50 {
+				case 0:
+					h.Observe(math.NaN())
+				case 1:
+					h.Observe(math.Inf(1))
+				default:
+					h.Observe(float64((g*each + i) % 5000))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := r.Snapshot().Histograms["h"]
+	wantCount := uint64(goroutines * each * 49 / 50) // NaNs dropped
+	if s.Count != wantCount {
+		t.Fatalf("count = %d, want %d", s.Count, wantCount)
+	}
+	var mass uint64
+	for _, c := range s.Counts {
+		mass += c
+	}
+	if mass != s.Count {
+		t.Fatalf("bucket mass %d != count %d", mass, s.Count)
+	}
+	if math.IsNaN(s.Sum) || math.IsInf(s.Sum, 0) {
+		t.Fatalf("sum = %v, want finite", s.Sum)
+	}
+}
+
+// Snapshot key ordering is what makes metrics files diffable: the JSON
+// encoding must list every map's keys sorted, independent of registration
+// or observation order.
+func TestSnapshotKeyOrderingDeterministic(t *testing.T) {
+	forward := NewRegistry()
+	forward.Counter("a").Inc()
+	forward.Counter("z").Inc()
+	forward.Gauge("g1").Set(1)
+	forward.Gauge("g2").Set(2)
+	reverse := NewRegistry()
+	reverse.Gauge("g2").Set(2)
+	reverse.Gauge("g1").Set(1)
+	reverse.Counter("z").Inc()
+	reverse.Counter("a").Inc()
+	fw, err := forward.Snapshot().MarshalJSONIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rv, err := reverse.Snapshot().MarshalJSONIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fw, rv) {
+		t.Fatalf("registration order leaked into the snapshot:\n%s\n---\n%s", fw, rv)
+	}
+	if za, zz := bytes.Index(fw, []byte(`"a"`)), bytes.Index(fw, []byte(`"z"`)); za < 0 || zz < 0 || za > zz {
+		t.Fatalf("counter keys not sorted:\n%s", fw)
 	}
 }
 

@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4), the lingua franca of metrics scrapers. The dotted
+// registry names ("sim.quanta", "cache.llc.d0.hits") are sanitized to the
+// Prometheus character set ("sim_quanta"); namespace, when non-empty, is
+// prefixed to every metric name ("untangle_sim_quanta"). Counters map to
+// counter, gauges and gauge funcs to gauge, and histograms to the native
+// histogram type with cumulative le buckets, _sum, and _count series.
+//
+// Output order is deterministic: kinds in a fixed order, names sorted within
+// each kind — so scraping a deterministic run twice yields identical bodies.
+func (s *Snapshot) WritePrometheus(w io.Writer, namespace string) error {
+	var ns string
+	if namespace != "" {
+		ns = sanitizeMetricName(namespace) + "_"
+	}
+	for _, name := range sortedKeys(s.Counters) {
+		m := ns + sanitizeMetricName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", m, m, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		m := ns + sanitizeMetricName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", m, m, formatPromValue(s.Gauges[name])); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		m := ns + sanitizeMetricName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", m); err != nil {
+			return err
+		}
+		// Prometheus buckets are cumulative; the registry's are disjoint.
+		var cum uint64
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m, formatPromValue(bound), cum); err != nil {
+				return err
+			}
+		}
+		cum += h.Counts[len(h.Counts)-1]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", m, cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", m, formatPromValue(h.Sum), m, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sanitizeMetricName maps an arbitrary registry name onto the Prometheus
+// metric-name alphabet [a-zA-Z_:][a-zA-Z0-9_:]*; every foreign character
+// (the registry's dots, slashes in phase names) becomes an underscore.
+func sanitizeMetricName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9' && i > 0:
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// formatPromValue renders a float the way Prometheus expects: shortest
+// round-trip decimal, with the spellings NaN, +Inf, and -Inf for the
+// non-finite values.
+func formatPromValue(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

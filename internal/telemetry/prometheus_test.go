@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheusRendersAllKinds(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sim.quanta").Add(42)
+	r.Gauge("cache.llc.d0.hits").Set(7.5)
+	r.GaugeFunc("pool.utilization", func() float64 { return 0.25 })
+	h := r.Histogram("obs.unit_seconds", []float64{0.5, 1, 2})
+	h.Observe(0.25)
+	h.Observe(0.75)
+	h.Observe(1.5)
+	h.Observe(10)
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf, "untangle"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE untangle_sim_quanta counter\nuntangle_sim_quanta 42\n",
+		"# TYPE untangle_cache_llc_d0_hits gauge\nuntangle_cache_llc_d0_hits 7.5\n",
+		"untangle_pool_utilization 0.25\n",
+		"# TYPE untangle_obs_unit_seconds histogram\n",
+		`untangle_obs_unit_seconds_bucket{le="0.5"} 1`,
+		`untangle_obs_unit_seconds_bucket{le="1"} 2`,
+		`untangle_obs_unit_seconds_bucket{le="2"} 3`,
+		`untangle_obs_unit_seconds_bucket{le="+Inf"} 4`,
+		"untangle_obs_unit_seconds_sum 12.5\n",
+		"untangle_obs_unit_seconds_count 4\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	build := func(order []string) string {
+		r := NewRegistry()
+		for _, name := range order {
+			r.Counter(name).Inc()
+		}
+		var buf bytes.Buffer
+		if err := r.Snapshot().WritePrometheus(&buf, ""); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a := build([]string{"b", "a", "c"})
+	b := build([]string{"c", "b", "a"})
+	if a != b {
+		t.Fatalf("registration order leaked into the exposition:\n%s\n---\n%s", a, b)
+	}
+	if strings.Index(a, "\na 1") > strings.Index(a, "\nb 1") {
+		t.Fatalf("names not sorted:\n%s", a)
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	for in, want := range map[string]string{
+		"sim.quanta":            "sim_quanta",
+		"obs.sensitivity/pass":  "obs_sensitivity_pass",
+		"9lives":                "_lives",
+		"ok_name:with:colons_9": "ok_name:with:colons_9",
+		"":                      "_",
+	} {
+		if got := sanitizeMetricName(in); got != want {
+			t.Errorf("sanitizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFormatPromValue(t *testing.T) {
+	for _, tc := range []struct {
+		v    float64
+		want string
+	}{
+		{math.NaN(), "NaN"},
+		{math.Inf(1), "+Inf"},
+		{math.Inf(-1), "-Inf"},
+		{1.5, "1.5"},
+		{0, "0"},
+	} {
+		if got := formatPromValue(tc.v); got != tc.want {
+			t.Errorf("formatPromValue(%v) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}

@@ -1,15 +1,19 @@
 #!/bin/sh
 # Runs the repository's benchmark suites and writes the machine-readable
 # baseline. The output file is BENCH_OUT (or the first argument), defaulting
-# to BENCH_PR4.json; the comparison baseline is BENCH_BASELINE, defaulting
-# to the previous PR's committed BENCH_PR3.json. The same recipe produced
-# the numbers in docs/PERFORMANCE.md; re-run it after any hot-path change
-# and diff the JSON. When the baseline file exists, a per-benchmark ns/op
-# comparison against it is printed after the run (benchjson -compare).
+# to BENCH_PR7.json; the comparison baseline is BENCH_BASELINE, defaulting
+# to the committed BENCH_PR6.json. The same recipe produced the numbers in
+# docs/PERFORMANCE.md; re-run it after any hot-path change and diff the
+# JSON. When the baseline file exists, a per-benchmark ns/op comparison
+# against it is printed after the run (benchjson -compare); set
+# BENCH_THRESHOLD to make a regression beyond that percentage fail the
+# script (benchjson -threshold).
 #
 # Environment knobs:
-#   BENCH_OUT             output JSON path (default BENCH_PR4.json)
-#   BENCH_BASELINE        comparison baseline (default BENCH_PR3.json)
+#   BENCH_OUT             output JSON path (default BENCH_PR7.json)
+#   BENCH_BASELINE        comparison baseline (default BENCH_PR6.json)
+#   BENCH_THRESHOLD       fail if any benchmark regresses more than this
+#                         percent vs the baseline (default 0 = report only)
 #   UNTANGLE_BENCH_SCALE  workload scale for the experiment benchmarks
 #                         (default 0.002; paper fidelity is 1.0)
 #   UNTANGLE_BENCH_JOBS   worker-pool size (default 0 = GOMAXPROCS;
@@ -19,9 +23,10 @@
 set -eu
 
 cd "$(dirname "$0")/.."
-out="${BENCH_OUT:-${1:-BENCH_PR4.json}}"
-baseline="${BENCH_BASELINE:-BENCH_PR3.json}"
+out="${BENCH_OUT:-${1:-BENCH_PR7.json}}"
+baseline="${BENCH_BASELINE:-BENCH_PR6.json}"
 count="${BENCH_COUNT:-1}"
+threshold="${BENCH_THRESHOLD:-0}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
@@ -36,5 +41,5 @@ echo "wrote $out"
 if [ -f "$baseline" ] && [ "$out" != "$baseline" ]; then
     echo
     echo "comparison against $baseline:"
-    go run ./cmd/benchjson -compare "$baseline" "$out"
+    go run ./cmd/benchjson -compare -threshold "$threshold" "$baseline" "$out"
 fi

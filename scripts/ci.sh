@@ -5,8 +5,9 @@
 #           must keep green (see ROADMAP.md)
 #   tier 2  the race detector over the concurrency-bearing packages: the
 #           worker pool, the fault-injection harness, the checkpoint
-#           journal, the experiment engine's resilience layer, and the
-#           cmd/experiments kill-and-resume equivalence test
+#           journal, the observability layer, the experiment engine's
+#           resilience layer, and the cmd/experiments kill-and-resume and
+#           observability-equivalence tests
 #
 # Everything is hermetic (no network, no external services); the whole
 # script runs in a few minutes on a laptop. CI=full additionally runs the
@@ -29,10 +30,11 @@ go test -race -short \
     ./internal/parallel/... \
     ./internal/faultinject/... \
     ./internal/checkpoint/... \
-    ./internal/telemetry/...
+    ./internal/telemetry/... \
+    ./internal/obs/...
 
-echo "==> go test -race (kill-and-resume equivalence)"
-go test -race -run 'TestCheckpointResumeEquivalence|TestStudyCheckpointResume|TestTransientFault' \
+echo "==> go test -race (kill-and-resume + observability equivalence)"
+go test -race -run 'TestCheckpointResumeEquivalence|TestStudyCheckpointResume|TestTransientFault|TestObservabilityDoesNotPerturbOutputs|TestUnitObserverSeam' \
     ./internal/experiments/ ./cmd/experiments/
 
 if [ "${CI:-}" = "full" ]; then
