@@ -69,6 +69,7 @@ import (
 	"untangle/internal/report"
 	"untangle/internal/stats"
 	"untangle/internal/telemetry"
+	"untangle/internal/tracecache"
 	"untangle/internal/workload"
 )
 
@@ -88,6 +89,12 @@ type config struct {
 	outPath  string
 	telePath string
 	ckptPath string
+
+	// Front-end trace cache (EXPERIMENTS.md "Front-end trace cache"): the
+	// sensitivity study's post-L1 event streams, persisted per benchmark so
+	// repeated campaigns replay instead of regenerate.
+	feCacheDir     string // -fe-cache: cache directory ("" = off)
+	feCacheRebuild bool   // -fe-cache-rebuild: regenerate corrupt/mismatched entries
 
 	// Observability (docs/TELEMETRY.md): all wall-clock, none of it touches
 	// the report or telemetry bytes.
@@ -167,6 +174,8 @@ func main() {
 		telemOut = flag.String("telemetry", "", "stream a JSONL telemetry event trace of every mix to this file")
 		jobs     = flag.Int("jobs", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 		ckpt     = flag.String("checkpoint", "", "journal completed units to this file and resume from it on restart")
+		feCache  = flag.String("fe-cache", "", "persist/replay sensitivity front-end event streams in this directory")
+		feRebld  = flag.Bool("fe-cache-rebuild", false, "regenerate corrupt or key-mismatched -fe-cache entries instead of failing")
 		httpAddr = flag.String("http", "", "serve /metrics, /progress, /healthz and pprof on this address (e.g. :8080)")
 		obsTrace = flag.String("obs-trace", "", "write a wall-clock span trace (JSONL) of the campaign to this file")
 		quiet    = flag.Bool("quiet", false, "suppress the live progress line on stderr")
@@ -179,18 +188,20 @@ func main() {
 		log.Fatal(err)
 	}
 	cfg := config{
-		scale:    *scale,
-		ids:      ids,
-		sensIns:  *sensIns,
-		jobs:     *jobs,
-		active:   !*skipAct,
-		traced:   *telemOut != "",
-		outPath:  *outPath,
-		telePath: *telemOut,
-		ckptPath: *ckpt,
-		httpAddr: *httpAddr,
-		obsPath:  *obsTrace,
-		quiet:    *quiet,
+		scale:          *scale,
+		ids:            ids,
+		sensIns:        *sensIns,
+		jobs:           *jobs,
+		active:         !*skipAct,
+		traced:         *telemOut != "",
+		outPath:        *outPath,
+		telePath:       *telemOut,
+		ckptPath:       *ckpt,
+		feCacheDir:     *feCache,
+		feCacheRebuild: *feRebld,
+		httpAddr:       *httpAddr,
+		obsPath:        *obsTrace,
+		quiet:          *quiet,
 	}
 	if err := cfg.validate(); err != nil {
 		log.Fatal(err)
@@ -228,6 +239,9 @@ func (c config) validate() error {
 	}
 	if c.jobs < 0 {
 		return fmt.Errorf("-jobs must be >= 0 (0 = all cores), got %d", c.jobs)
+	}
+	if c.feCacheRebuild && c.feCacheDir == "" {
+		return fmt.Errorf("-fe-cache-rebuild requires -fe-cache")
 	}
 	return nil
 }
@@ -293,10 +307,29 @@ func run(ctx context.Context, cfg config, stdout io.Writer) (retErr error) {
 		journal = j
 	}
 
+	// Front-end trace cache: installed process-wide before the study so
+	// every engine pass sees it; cleared on exit so tests driving run()
+	// back-to-back never leak a store into the next campaign.
+	var feStore *tracecache.Store
+	if cfg.feCacheDir != "" {
+		st, err := tracecache.NewStore(cfg.feCacheDir, cfg.feCacheRebuild)
+		if err != nil {
+			return err
+		}
+		feStore = st
+		experiments.SetFrontEndCache(feStore)
+		defer experiments.SetFrontEndCache(nil)
+		defer func() {
+			c := feStore.Counters()
+			log.Printf("fe-cache: %d hits, %d misses, %d rebuilds, %d outcome hits, %d outcome misses, %d bytes read, %d bytes written",
+				c.Hits, c.Misses, c.Rebuilds, c.OutcomeHits, c.OutcomeMisses, c.BytesRead, c.BytesWritten)
+		}()
+	}
+
 	// Operational observability (progress, spans, /metrics) — wall-clock
 	// surfaces only, torn down with the campaign's final error so the root
 	// span records the outcome.
-	obsSt, err := startObs(cfg, journal)
+	obsSt, err := startObs(cfg, journal, feStore)
 	if err != nil {
 		return err
 	}
@@ -430,12 +463,12 @@ func runMixes(ctx context.Context, cfg config, study []experiments.SensitivityRe
 	return parallel.Map(ctx, len(cfg.ids), cfg.jobs, func(ctx context.Context, i int) (out *savedMix, err error) {
 		id := cfg.ids[i]
 		key := mixKey(id)
-		// Observability: report the unit's begin/end (with its cached and
+		// Observability: report the unit's begin/end (with its outcome and
 		// error status) to whatever observer the command installed. No-op
 		// when observability is off — unitDone is nil.
-		cached := false
+		outcome := experiments.UnitGenerated
 		if unitDone := experiments.ObserveUnit("mix", key); unitDone != nil {
-			defer func() { unitDone(cached, err) }()
+			defer func() { unitDone(outcome, err) }()
 		}
 		if journal != nil {
 			var sv savedMix
@@ -443,7 +476,7 @@ func runMixes(ctx context.Context, cfg config, study []experiments.SensitivityRe
 				return nil, fmt.Errorf("checkpoint %s: %w", key, err)
 			} else if ok {
 				log.Printf("mix %d: resumed from checkpoint", id)
-				cached = true
+				outcome = experiments.UnitResumed
 				return &sv, nil
 			}
 		}
@@ -475,7 +508,7 @@ func runMixes(ctx context.Context, cfg config, study []experiments.SensitivityRe
 			var err error
 			res, err = experiments.RunMixContext(ctx, mix, opts)
 			if passDone != nil {
-				passDone(false, err)
+				passDone(experiments.UnitGenerated, err)
 			}
 			return err
 		})
@@ -496,7 +529,7 @@ func runMixes(ctx context.Context, cfg config, study []experiments.SensitivityRe
 					Jobs:                innerJobs,
 				})
 				if passDone != nil {
-					passDone(false, err)
+					passDone(experiments.UnitGenerated, err)
 				}
 				return err
 			})

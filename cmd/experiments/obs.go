@@ -11,6 +11,7 @@ import (
 	"untangle/internal/experiments"
 	"untangle/internal/obs"
 	"untangle/internal/telemetry"
+	"untangle/internal/tracecache"
 	"untangle/internal/workload"
 )
 
@@ -41,9 +42,9 @@ func (c config) obsEnabled() bool {
 }
 
 // startObs wires up the enabled surfaces and installs the unit observer.
-// journal may be nil (no heartbeat then). Returns nil when nothing is
-// enabled.
-func startObs(cfg config, journal *checkpoint.Journal) (*obsState, error) {
+// journal and store may be nil (no heartbeat / no trace-cache gauges then).
+// Returns nil when nothing is enabled.
+func startObs(cfg config, journal *checkpoint.Journal, store *tracecache.Store) (*obsState, error) {
 	if !cfg.obsEnabled() {
 		return nil, nil
 	}
@@ -73,6 +74,7 @@ func startObs(cfg config, journal *checkpoint.Journal) (*obsState, error) {
 	}
 
 	reg := telemetry.NewRegistry()
+	store.RegisterMetrics(reg) // nil-safe: no-op without -fe-cache
 	st.campaign = obs.NewCampaign("experiments", st.tracer, progress, reg)
 	if cfg.sensIns > 0 {
 		st.campaign.Phase("sensitivity", len(workload.SPECBenchmarks))

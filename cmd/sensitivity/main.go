@@ -43,6 +43,7 @@ import (
 	"untangle/internal/obs"
 	"untangle/internal/report"
 	"untangle/internal/telemetry"
+	"untangle/internal/tracecache"
 	"untangle/internal/workload"
 )
 
@@ -55,12 +56,17 @@ func main() {
 		jobs         = flag.Int("jobs", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 		classifyOnly = flag.Bool("classify-only", false, "print adequate sizes only instead of the full curve")
 		ckpt         = flag.String("checkpoint", "", "journal completed benchmark passes to this file and resume from it on restart")
+		feCache      = flag.String("fe-cache", "", "persist/replay front-end event streams in this directory")
+		feRebuild    = flag.Bool("fe-cache-rebuild", false, "regenerate corrupt or key-mismatched -fe-cache entries instead of failing")
 		httpAddr     = flag.String("http", "", "serve /metrics, /progress, /healthz and pprof on this address (e.g. :8080)")
 		quiet        = flag.Bool("quiet", false, "suppress the live progress line on stderr")
 	)
 	flag.Parse()
 	if *jobs < 0 {
 		log.Fatalf("-jobs must be >= 0 (0 = all cores), got %d", *jobs)
+	}
+	if *feRebuild && *feCache == "" {
+		log.Fatal("-fe-cache-rebuild requires -fe-cache")
 	}
 
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -86,6 +92,25 @@ func main() {
 		}
 	}
 
+	// Front-end trace cache: warm entries replay the post-L1 event stream
+	// instead of re-running the generator and L1 (bitwise-identical output;
+	// see EXPERIMENTS.md "Front-end trace cache").
+	var feStore *tracecache.Store
+	if *feCache != "" {
+		st, err := tracecache.NewStore(*feCache, *feRebuild)
+		if err != nil {
+			log.Fatal(err)
+		}
+		feStore = st
+		experiments.SetFrontEndCache(feStore)
+		defer experiments.SetFrontEndCache(nil)
+		defer func() {
+			c := feStore.Counters()
+			log.Printf("fe-cache: %d hits, %d misses, %d rebuilds, %d outcome hits, %d outcome misses, %d bytes read, %d bytes written",
+				c.Hits, c.Misses, c.Rebuilds, c.OutcomeHits, c.OutcomeMisses, c.BytesRead, c.BytesWritten)
+		}()
+	}
+
 	// Operational observability: progress/ETA and metrics for the full
 	// study. Wall-clock only — the printed figure is unchanged by any of it.
 	if *bench == "" && (*httpAddr != "" || journal != nil || (!*quiet && obs.IsTTY(os.Stderr))) {
@@ -101,6 +126,7 @@ func main() {
 			}
 		}
 		reg := telemetry.NewRegistry()
+		feStore.RegisterMetrics(reg) // nil-safe: no-op without -fe-cache
 		campaign := obs.NewCampaign("sensitivity", nil, progress, reg)
 		campaign.Phase("sensitivity", len(workload.SPECBenchmarks))
 		experiments.SetUnitObserver(campaign.Unit)

@@ -4,23 +4,37 @@
 // the generators (isa.NewTraceReader is an isa.Stream), which is how users
 // plug real program traces into the framework.
 //
+// It also pre-populates the sensitivity study's front-end trace cache
+// (internal/tracecache): -fe-cache warms the named benchmarks (or all 36)
+// at the given instruction budget, so a later `experiments -fe-cache` or
+// `sensitivity -fe-cache` campaign replays every pass. -info understands
+// both formats — an isa trace gets the op statistics and MRC curve, a
+// cache entry gets its record counts and embedded key.
+//
 // Usage:
 //
 //	tracegen -bench mcf_0 -instructions 1000000 -out mcf.trace
 //	tracegen -info mcf.trace
+//	tracegen -fe-cache dir -instructions 1500000            # warm all 36
+//	tracegen -fe-cache dir -bench mcf_0,xz_1 -instructions 1500000
+//	tracegen -info dir/mcf_0-1500000.fetrace
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"strings"
 
+	"untangle/internal/experiments"
 	"untangle/internal/fsutil"
 	"untangle/internal/isa"
 	"untangle/internal/monitor"
 	"untangle/internal/mrc"
+	"untangle/internal/tracecache"
 	"untangle/internal/workload"
 )
 
@@ -28,17 +42,27 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tracegen: ")
 	var (
-		bench        = flag.String("bench", "", "benchmark to record (SPEC or crypto name)")
+		bench        = flag.String("bench", "", "benchmark to record (SPEC or crypto name); for -fe-cache, a comma-separated list (default: all 36)")
 		instructions = flag.Uint64("instructions", 1_000_000, "instructions to record")
 		out          = flag.String("out", "", "output trace file")
-		info         = flag.String("info", "", "print statistics of an existing trace file")
+		info         = flag.String("info", "", "print statistics of an existing trace or cache file")
 		secret       = flag.Uint64("secret", 0, "secret salt for crypto benchmarks")
+		feCache      = flag.String("fe-cache", "", "pre-populate this front-end trace cache directory instead of recording")
+		feRebuild    = flag.Bool("fe-cache-rebuild", false, "regenerate corrupt or key-mismatched -fe-cache entries instead of failing")
+		jobs         = flag.Int("jobs", 0, "worker pool size for -fe-cache warming (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
 	switch {
 	case *info != "":
 		if err := printInfo(*info); err != nil {
+			log.Fatal(err)
+		}
+	case *feCache != "":
+		if *out != "" {
+			log.Fatal("-fe-cache warms a cache directory; it cannot be combined with -out")
+		}
+		if err := warm(*feCache, *feRebuild, *bench, *instructions, *jobs); err != nil {
 			log.Fatal(err)
 		}
 	case *bench != "" && *out != "":
@@ -49,6 +73,30 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// warm pre-populates the front-end trace cache for the comma-separated
+// benchmark list (empty = every SPEC benchmark) at the given budget.
+// Existing intact entries are replayed (verified), not regenerated.
+func warm(dir string, rebuild bool, benchList string, instructions uint64, jobs int) error {
+	st, err := tracecache.NewStore(dir, rebuild)
+	if err != nil {
+		return err
+	}
+	var names []string
+	if benchList != "" {
+		for _, name := range strings.Split(benchList, ",") {
+			names = append(names, strings.TrimSpace(name))
+		}
+	}
+	generated, err := experiments.WarmFrontEndCache(context.Background(), st, names, instructions, jobs)
+	if err != nil {
+		return err
+	}
+	c := st.Counters()
+	log.Printf("warmed %s: %d streams generated, %d already present, %d bytes written",
+		dir, generated, c.Hits, c.BytesWritten)
+	return nil
 }
 
 func record(bench string, instructions uint64, out string, secret uint64) error {
@@ -106,6 +154,11 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 }
 
 func printInfo(path string) error {
+	if isCache, err := tracecache.IsCacheFile(path); err != nil {
+		return err
+	} else if isCache {
+		return printCacheInfo(path)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -170,5 +223,25 @@ func printInfo(path string) error {
 			fmt.Printf("    %7.2f MB  %5.1f%%\n", float64(sizes[i])/(1<<20), hr*100)
 		}
 	}
+	return nil
+}
+
+// printCacheInfo renders a front-end cache entry: the fully decoded (and
+// therefore CRC-verified) record counts plus the embedded key the engine
+// matches against.
+func printCacheInfo(path string) error {
+	inf, err := tracecache.ReadInfo(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: front-end trace cache entry (format v%d)\n", path, inf.Version)
+	fmt.Printf("  key          %s\n", inf.Key)
+	fmt.Printf("  bytes        %d\n", inf.Bytes)
+	fmt.Printf("  events       %d\n", inf.Events)
+	fmt.Printf("  instructions %d\n", inf.Instructions)
+	fmt.Printf("  memory ops   %d (%.1f%% of instructions; %d L1 hits, %d L1 misses)\n",
+		inf.MemOps(), 100*float64(inf.MemOps())/float64(inf.Instructions),
+		inf.ByKind[tracecache.KindL1Hit], inf.ByKind[tracecache.KindL1Miss])
+	fmt.Printf("  bytes/event  %.2f\n", float64(inf.Bytes)/float64(inf.Events))
 	return nil
 }

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"untangle/internal/tracecache"
+	"untangle/internal/workload"
+)
+
+// benchEngineInstructions matches the committed Figure 11 benchmark floor
+// (see bench_test.go sensitivityInstructions), so per-benchmark ns here
+// decompose the study-level numbers in BENCH_PR7.json.
+const benchEngineInstructions = 600_000
+
+// BenchmarkEngineCold is one cold multi-lane pass: generator + private L1 +
+// nine-lane fold, no cache.
+func BenchmarkEngineCold(b *testing.B) {
+	p, err := workload.SPECByName("mcf_0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := newLaneEngine()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e.run(ctx, nil, p, benchEngineInstructions); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineWarm is one warm pass over a populated trace cache: decode
+// from the page cache plus the lane-major nine-lane fold.
+func BenchmarkEngineWarm(b *testing.B) {
+	p, err := workload.SPECByName("mcf_0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := tracecache.NewStore(b.TempDir(), false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := newLaneEngine()
+	ctx := context.Background()
+	if _, _, err := e.run(ctx, st, p, benchEngineInstructions); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e.run(ctx, st, p, benchEngineInstructions); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -503,7 +503,7 @@ func Sensitivity(name string, instructions uint64) (SensitivityResult, error) {
 	}
 	e := enginePool.Get().(*laneEngine)
 	defer enginePool.Put(e)
-	ipcs, err := e.run(context.Background(), p, instructions)
+	ipcs, _, err := e.run(context.Background(), FrontEndCache(), p, instructions)
 	if err != nil {
 		return SensitivityResult{}, err
 	}

@@ -1,0 +1,80 @@
+// The persisted front-end cache's process-wide seam and warm-up fan-out.
+//
+// Commands that opt into the cache (-fe-cache DIR) install a
+// tracecache.Store here once at startup; every engine pass then consults it
+// through the same atomic-pointer discipline as the unit observer and the
+// chunk hook — a single atomic load on the pass's hot path, no locks, no
+// import of the command wiring.
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"untangle/internal/parallel"
+	"untangle/internal/tracecache"
+	"untangle/internal/workload"
+)
+
+// frontEndCache is the process-wide store. Nil (the default) means "cache
+// off": passes generate cold and persist nothing.
+var frontEndCache atomic.Pointer[tracecache.Store]
+
+// SetFrontEndCache installs (or, with nil, removes) the process-wide
+// front-end trace cache. Commands call it once before the campaign starts;
+// tests that install a store must clear it on cleanup.
+func SetFrontEndCache(st *tracecache.Store) { frontEndCache.Store(st) }
+
+// FrontEndCache returns the installed store, or nil when caching is off.
+func FrontEndCache() *tracecache.Store { return frontEndCache.Load() }
+
+// cachedParamsTag memoizes ParamsFingerprint for the trace-cache key: the
+// tables are compiled in, so the tag is constant for the process lifetime,
+// and hashing them once instead of once per pass keeps key construction off
+// the profile.
+var paramsTagOnce = sync.OnceValue(ParamsFingerprint)
+
+func cachedParamsTag() string { return paramsTagOnce() }
+
+// WarmFrontEndCache populates st with the front-end streams of the named
+// benchmarks (all of workload.SPECBenchmarks when names is empty) at the
+// given instruction budget, fanning out on at most jobs workers. Benchmarks
+// whose entries already exist are verified by the engine's replay path
+// rather than regenerated, so re-warming an intact cache is cheap and a
+// corrupt entry surfaces (or is rebuilt, per the store's policy) right here
+// instead of mid-campaign. It returns how many streams were freshly
+// generated.
+func WarmFrontEndCache(ctx context.Context, st *tracecache.Store, names []string, instructions uint64, jobs int) (int, error) {
+	if st == nil {
+		return 0, fmt.Errorf("experiments: WarmFrontEndCache needs a store")
+	}
+	var params []workload.Params
+	if len(names) == 0 {
+		params = sortedSPECParams()
+	} else {
+		params = make([]workload.Params, len(names))
+		for i, name := range names {
+			p, err := workload.SPECByName(name)
+			if err != nil {
+				return 0, err
+			}
+			params[i] = p
+		}
+	}
+	var generated atomic.Int64
+	err := parallel.ForEach(ctx, len(params), jobs, func(ctx context.Context, i int) error {
+		e := enginePool.Get().(*laneEngine)
+		defer enginePool.Put(e)
+		_, replayed, err := e.run(ctx, st, params[i], instructions)
+		if err != nil {
+			return fmt.Errorf("warm %s: %w", params[i].Name, err)
+		}
+		if !replayed {
+			generated.Add(1)
+		}
+		return nil
+	})
+	return int(generated.Load()), err
+}

@@ -65,7 +65,7 @@ func TestEngineMatchesOracleQuick(t *testing.T) {
 	}
 	const instructions = 20_000
 	e := newLaneEngine()
-	ipcs, err := e.run(context.Background(), p, instructions)
+	ipcs, _, err := e.run(context.Background(), nil, p, instructions)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +112,7 @@ func TestEngineZeroInstructions(t *testing.T) {
 		t.Fatal(err)
 	}
 	e := newLaneEngine()
-	ipcs, err := e.run(context.Background(), p, 0)
+	ipcs, _, err := e.run(context.Background(), nil, p, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +139,7 @@ func TestEngineCancellation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := newLaneEngine().run(ctx, p, 1_000_000); err != context.Canceled {
+	if _, _, err := newLaneEngine().run(ctx, nil, p, 1_000_000); err != context.Canceled {
 		t.Fatalf("engine run under canceled context: err = %v, want context.Canceled", err)
 	}
 }

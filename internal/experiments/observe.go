@@ -9,14 +9,31 @@ package experiments
 
 import "sync/atomic"
 
+// Unit outcomes, reported to the completion callback. The parameter is a
+// plain (unnamed) string so obs.Campaign.Unit stays structurally assignable
+// to UnitObserver without either package importing the other; obs defines
+// the same three values independently.
+const (
+	// UnitGenerated is the ordinary outcome: the unit's work actually ran.
+	UnitGenerated = ""
+	// UnitResumed means the unit was replayed from a checkpoint journal —
+	// no engine work at all.
+	UnitResumed = "resumed"
+	// UnitReplayed means the unit's front-end stream was replayed from the
+	// persisted trace cache: the LLC lanes ran, the generator and L1 did
+	// not. Like resumed units, replayed units complete far faster than
+	// generated ones and must not feed ETA rate estimates.
+	UnitReplayed = "replayed"
+)
+
 // UnitObserver is notified when a unit of campaign work (a sensitivity
 // benchmark, a mix) begins. It returns the completion callback, invoked
-// exactly once with whether the unit was replayed from a checkpoint journal
-// and the error it ended with. Phases whose name contains '/' (for example
-// "sensitivity/pass") are sub-unit work: traced but not counted toward
-// campaign progress. A nil completion callback is valid and means "not
-// observed".
-type UnitObserver func(phase, unit string) func(cached bool, err error)
+// exactly once with the unit's outcome (UnitGenerated, UnitResumed, or
+// UnitReplayed) and the error it ended with. Phases whose name contains '/'
+// (for example "sensitivity/pass") are sub-unit work: traced but not
+// counted toward campaign progress. A nil completion callback is valid and
+// means "not observed".
+type UnitObserver func(phase, unit string) func(outcome string, err error)
 
 var unitObserver atomic.Pointer[UnitObserver]
 
@@ -39,9 +56,9 @@ func SetUnitObserver(o UnitObserver) {
 //	done := ObserveUnit("sensitivity", key)
 //	...
 //	if done != nil {
-//		done(cached, err)
+//		done(outcome, err)
 //	}
-func ObserveUnit(phase, unit string) func(cached bool, err error) {
+func ObserveUnit(phase, unit string) func(outcome string, err error) {
 	p := unitObserver.Load()
 	if p == nil {
 		return nil

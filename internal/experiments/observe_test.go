@@ -12,15 +12,16 @@ import (
 
 // unitLog is a thread-safe recorder standing in for an obs.Campaign.
 type unitLog struct {
-	mu     sync.Mutex
-	began  map[string]int // phase -> begins
-	done   int
-	cached int
-	failed int
-	passes int
+	mu       sync.Mutex
+	began    map[string]int // phase -> begins
+	done     int
+	resumed  int
+	replayed int
+	failed   int
+	passes   int
 }
 
-func (l *unitLog) observer(phase, unit string) func(cached bool, err error) {
+func (l *unitLog) observer(phase, unit string) func(outcome string, err error) {
 	l.mu.Lock()
 	if l.began == nil {
 		l.began = map[string]int{}
@@ -28,18 +29,21 @@ func (l *unitLog) observer(phase, unit string) func(cached bool, err error) {
 	l.began[phase]++
 	l.mu.Unlock()
 	if strings.ContainsRune(phase, '/') {
-		return func(cached bool, err error) {
+		return func(outcome string, err error) {
 			l.mu.Lock()
 			l.passes++
 			l.mu.Unlock()
 		}
 	}
-	return func(cached bool, err error) {
+	return func(outcome string, err error) {
 		l.mu.Lock()
 		defer l.mu.Unlock()
 		l.done++
-		if cached {
-			l.cached++
+		switch outcome {
+		case UnitResumed:
+			l.resumed++
+		case UnitReplayed:
+			l.replayed++
 		}
 		if err != nil {
 			l.failed++
@@ -74,19 +78,19 @@ func TestUnitObserverSeam(t *testing.T) {
 		t.Fatal(err)
 	}
 	l.mu.Lock()
-	firstDone, firstCached, firstPasses := l.done, l.cached, l.passes
+	firstDone, firstResumed, firstPasses := l.done, l.resumed, l.passes
 	l.mu.Unlock()
 	if firstDone != 36 {
 		t.Errorf("units done = %d, want 36", firstDone)
 	}
-	if firstCached != 0 {
-		t.Errorf("fresh run reported %d cached units", firstCached)
+	if firstResumed != 0 {
+		t.Errorf("fresh run reported %d resumed units", firstResumed)
 	}
 	if firstPasses != 36 {
 		t.Errorf("engine passes = %d, want 36 (one attempt each)", firstPasses)
 	}
 
-	// Re-run against the full journal: every unit replays as cached, and no
+	// Re-run against the full journal: every unit reports resumed, and no
 	// engine pass runs.
 	if _, err := SensitivityStudyCheckpointed(context.Background(), resilienceTestInstructions, 2, j); err != nil {
 		t.Fatal(err)
@@ -96,8 +100,8 @@ func TestUnitObserverSeam(t *testing.T) {
 	if got := l.done - firstDone; got != 36 {
 		t.Errorf("replay units done = %d, want 36", got)
 	}
-	if l.cached != 36 {
-		t.Errorf("replay cached = %d, want 36", l.cached)
+	if l.resumed != 36 {
+		t.Errorf("replay resumed = %d, want 36", l.resumed)
 	}
 	if l.passes != firstPasses {
 		t.Errorf("replay ran %d engine passes, want 0", l.passes-firstPasses)

@@ -94,6 +94,7 @@ func (u sensUnit) result() SensitivityResult {
 // equivalence test pins down at the report-byte level.
 func SensitivityStudyCheckpointed(ctx context.Context, instructions uint64, jobs int, j *checkpoint.Journal) ([]SensitivityResult, error) {
 	params := sortedSPECParams()
+	store := FrontEndCache()
 	return parallel.Map(ctx, len(params), jobs,
 		func(ctx context.Context, i int) (SensitivityResult, error) {
 			key := SensitivityKey(params[i].Name)
@@ -102,35 +103,43 @@ func SensitivityStudyCheckpointed(ctx context.Context, instructions uint64, jobs
 				var u sensUnit
 				if ok, err := j.Lookup(key, &u); err != nil {
 					if unitDone != nil {
-						unitDone(false, err)
+						unitDone(UnitGenerated, err)
 					}
 					return SensitivityResult{}, fmt.Errorf("checkpoint %s: %w", key, err)
 				} else if ok {
 					if unitDone != nil {
-						unitDone(true, nil)
+						unitDone(UnitResumed, nil)
 					}
 					return u.result(), nil
 				}
 			}
 			var (
-				sizes []int64
-				ipcs  []float64
+				sizes   []int64
+				ipcs    []float64
+				outcome string
 			)
 			err := parallel.Retry(ctx, RetryAttempts, RetryBackoff, func(ctx context.Context, attempt int) error {
 				passDone := ObserveUnit("sensitivity/pass", fmt.Sprintf("%s#%d", params[i].Name, attempt))
 				e := enginePool.Get().(*laneEngine)
 				defer enginePool.Put(e)
 				sizes = e.sizes
-				var err error
-				ipcs, err = e.run(ctx, params[i], instructions)
+				var (
+					replayed bool
+					err      error
+				)
+				ipcs, replayed, err = e.run(ctx, store, params[i], instructions)
+				outcome = UnitGenerated
+				if replayed {
+					outcome = UnitReplayed
+				}
 				if passDone != nil {
-					passDone(false, err)
+					passDone(outcome, err)
 				}
 				return err
 			})
 			if err != nil {
 				if unitDone != nil {
-					unitDone(false, err)
+					unitDone(UnitGenerated, err)
 				}
 				return SensitivityResult{}, err
 			}
@@ -138,13 +147,13 @@ func SensitivityStudyCheckpointed(ctx context.Context, instructions uint64, jobs
 			if j != nil {
 				if err := j.Record(key, toSensUnit(r)); err != nil {
 					if unitDone != nil {
-						unitDone(false, err)
+						unitDone(UnitGenerated, err)
 					}
 					return SensitivityResult{}, fmt.Errorf("checkpoint %s: %w", key, err)
 				}
 			}
 			if unitDone != nil {
-				unitDone(false, nil)
+				unitDone(outcome, nil)
 			}
 			return r, nil
 		})

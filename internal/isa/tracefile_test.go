@@ -2,6 +2,7 @@ package isa
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -86,6 +87,124 @@ func TestTraceBadInputs(t *testing.T) {
 	if r.Err() == nil {
 		t.Error("truncated record not reported")
 	}
+}
+
+// TestTraceBadInputsTable drives every malformed-input class through the
+// reader and requires each to surface as ErrBadTrace (via errors.Is, so
+// callers can branch on the sentinel), never as a silent short read.
+func TestTraceBadInputsTable(t *testing.T) {
+	// validTrace is one memory op with a large delta: header + flags +
+	// nonMem uvarint + a multi-byte address uvarint to truncate.
+	var tr bytes.Buffer
+	w, _ := NewTraceWriter(&tr)
+	w.WriteOp(Op{NonMem: 7})
+	w.WriteOp(Op{Flags: FlagMem, Addr: 1 << 40, NonMem: 300})
+	w.Flush()
+	validTrace := tr.Bytes()
+
+	cases := []struct {
+		name string
+		data []byte
+		// headerErr: NewTraceReader itself must fail. Otherwise the reader
+		// opens and the damage surfaces via Fill + Err.
+		headerErr bool
+		// wantOps is the count of intact leading records Fill must still
+		// deliver before reporting the error.
+		wantOps int
+	}{
+		{name: "empty input", data: nil, headerErr: true},
+		{name: "truncated header", data: validTrace[:5], headerErr: true},
+		{name: "bad magic", data: []byte("NOTATRACEFILE"), headerErr: true},
+		{name: "torn final record: flags only", data: validTrace[:8+2+1], wantOps: 1},
+		{name: "torn final record: missing address", data: validTrace[:len(validTrace)-1], wantOps: 1},
+		{name: "non-mem uvarint cut mid-sequence", data: append(append([]byte{}, validTrace[:8+2+1]...), 0x80, 0x80), wantOps: 1},
+		{name: "overlong non-mem uvarint", data: append(append([]byte{}, traceMagic[:]...),
+			0x00, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01), wantOps: 0}, // 5-byte varint > 0xFFFFFFFF
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r, err := NewTraceReader(bytes.NewReader(tc.data))
+			if tc.headerErr {
+				if !errors.Is(err, ErrBadTrace) {
+					t.Fatalf("NewTraceReader err = %v, want ErrBadTrace", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("header unexpectedly rejected: %v", err)
+			}
+			got := collect(r, 16, 1<<10)
+			if len(got) != tc.wantOps {
+				t.Errorf("decoded %d ops before the error, want %d", len(got), tc.wantOps)
+			}
+			if !errors.Is(r.Err(), ErrBadTrace) {
+				t.Errorf("Err() = %v, want ErrBadTrace", r.Err())
+			}
+			// A failed reader stays failed: further Fills deliver nothing.
+			if n := r.Fill(make([]Op, 4)); n != 0 {
+				t.Errorf("Fill after error produced %d ops", n)
+			}
+		})
+	}
+}
+
+// FuzzTraceRoundTrip feeds arbitrary bytes to the reader: any input must
+// either decode cleanly or fail with ErrBadTrace (no panics, no unflagged
+// garbage), and whatever prefix does decode must re-encode and re-decode to
+// the same ops (the decoder and encoder agree on the format).
+func FuzzTraceRoundTrip(f *testing.F) {
+	var tr bytes.Buffer
+	w, _ := NewTraceWriter(&tr)
+	w.WriteOp(Op{NonMem: 3})
+	w.WriteOp(Op{Flags: FlagMem | FlagWrite, Addr: 4096, NonMem: 1})
+	w.WriteOp(Op{Flags: FlagMem, Addr: 64, NonMem: 300})
+	w.Flush()
+	f.Add(tr.Bytes())
+	f.Add(traceMagic[:])
+	f.Add([]byte("NOTATRACEFILE"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewTraceReader(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrBadTrace) {
+				t.Fatalf("header err = %v, want ErrBadTrace", err)
+			}
+			return
+		}
+		ops := collect(r, 64, 1<<20)
+		if rerr := r.Err(); rerr != nil && !errors.Is(rerr, ErrBadTrace) {
+			t.Fatalf("Err() = %v, want nil or ErrBadTrace", rerr)
+		}
+
+		var buf bytes.Buffer
+		w, err := NewTraceWriter(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, op := range ops {
+			if err := w.WriteOp(op); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		r2, err := NewTraceReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := collect(r2, 64, 1<<20)
+		if r2.Err() != nil {
+			t.Fatalf("re-decode failed: %v", r2.Err())
+		}
+		if len(got) != len(ops) {
+			t.Fatalf("re-decoded %d ops, want %d", len(got), len(ops))
+		}
+		for i := range got {
+			if got[i] != ops[i] {
+				t.Fatalf("op %d = %+v, want %+v", i, got[i], ops[i])
+			}
+		}
+	})
 }
 
 func TestTraceZigzag(t *testing.T) {

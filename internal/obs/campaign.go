@@ -84,21 +84,23 @@ func (c *Campaign) Phase(name string, total int) {
 
 // Unit opens one unit of work and returns the completion callback. Its
 // signature is the experiments.UnitObserver contract: the engine calls
-// Unit(phase, name) when a unit begins and the returned func(cached, err)
-// when it ends.
+// Unit(phase, name) when a unit begins and the returned func(outcome, err)
+// when it ends, where outcome is UnitGenerated, UnitResumed
+// (checkpoint-journal replay), or UnitReplayed (front-end trace-cache
+// replay).
 //
 // Counted phases (declared via Phase) advance the progress tracker and feed
-// the per-phase latency histogram "obs.<phase>.unit_seconds" — cached
-// (journal-replayed) units are counted as done but kept out of the
-// histogram and the rate estimate, since replay latency says nothing about
-// simulation latency. Sub-unit phases — names containing '/', like
-// "sensitivity/pass" for one retry attempt inside a benchmark unit — are
-// traced as spans but neither counted nor histogrammed: their parent unit
-// already accounts for the work.
+// the per-phase latency histogram "obs.<phase>.unit_seconds" — resumed and
+// replayed units are counted as done but kept out of the histogram and the
+// rate estimate, since replay latency says nothing about simulation
+// latency. Sub-unit phases — names containing '/', like "sensitivity/pass"
+// for one retry attempt inside a benchmark unit — are traced as spans but
+// neither counted nor histogrammed: their parent unit already accounts for
+// the work.
 //
 // Unit on a nil *Campaign returns nil; callers treat a nil callback as
 // "observability off" (see experiments.ObserveUnit).
-func (c *Campaign) Unit(phase, name string) func(cached bool, err error) {
+func (c *Campaign) Unit(phase, name string) func(outcome string, err error) {
 	if c == nil {
 		return nil
 	}
@@ -117,16 +119,16 @@ func (c *Campaign) Unit(phase, name string) func(cached bool, err error) {
 		ph = c.Progress.byName[phase]
 		c.Progress.mu.Unlock()
 	}
-	return func(cached bool, err error) {
+	return func(outcome string, err error) {
 		if span != nil {
-			span.Cached = cached
+			span.Outcome = outcome
 			span.End(err)
 		}
 		if subUnit {
 			return
 		}
-		ph.UnitDone(cached)
-		if !cached && c.Registry != nil {
+		ph.UnitDone(outcome)
+		if outcome == UnitGenerated && c.Registry != nil {
 			c.Registry.Histogram("obs."+phase+".unit_seconds", unitSecondsBuckets).
 				Observe(time.Since(start).Seconds())
 		}

@@ -19,30 +19,35 @@ func TestCampaignUnitCountsAndTraces(t *testing.T) {
 	// A real unit with a traced-but-uncounted engine pass inside it.
 	done := c.Unit("sensitivity", "mcf_0")
 	passDone := c.Unit("sensitivity/pass", "mcf_0#1")
-	passDone(false, nil)
-	done(false, nil)
+	passDone(UnitGenerated, nil)
+	done(UnitGenerated, nil)
 
-	// A cached unit and a failed unit.
-	c.Unit("sensitivity", "lbm_0")(true, nil)
-	c.Unit("sensitivity", "omnetpp_0")(false, errors.New("transient"))
+	// A journal-resumed unit, a trace-cache-replayed unit, and a failed one.
+	c.Phase("sensitivity", 4)
+	c.Unit("sensitivity", "lbm_0")(UnitResumed, nil)
+	c.Unit("sensitivity", "xz_1")(UnitReplayed, nil)
+	c.Unit("sensitivity", "omnetpp_0")(UnitGenerated, errors.New("transient"))
 
 	s := c.Progress.Snapshot()
-	if s.Done != 3 || s.Total != 3 {
-		t.Fatalf("done/total = %d/%d, want 3/3", s.Done, s.Total)
+	if s.Done != 4 || s.Total != 4 {
+		t.Fatalf("done/total = %d/%d, want 4/4", s.Done, s.Total)
 	}
 	if s.Phases[0].Resumed != 1 {
 		t.Fatalf("resumed = %d, want 1", s.Phases[0].Resumed)
+	}
+	if s.Phases[0].Replayed != 1 {
+		t.Fatalf("replayed = %d, want 1", s.Phases[0].Replayed)
 	}
 	// The sub-unit pass must not have minted a phase of its own.
 	if len(s.Phases) != 1 {
 		t.Fatalf("phases = %d, want 1 (pass is uncounted)", len(s.Phases))
 	}
 
-	// The latency histogram holds the two real units; the cached one stayed
-	// out.
+	// The latency histogram holds the two generated units; the resumed and
+	// replayed ones stayed out.
 	h := reg.Histogram("obs.sensitivity.unit_seconds", unitSecondsBuckets)
 	if got := h.Count(); got != 2 {
-		t.Fatalf("histogram count = %d, want 2 (cached unit excluded)", got)
+		t.Fatalf("histogram count = %d, want 2 (resumed/replayed excluded)", got)
 	}
 
 	c.End(nil)
@@ -50,9 +55,9 @@ func TestCampaignUnitCountsAndTraces(t *testing.T) {
 		t.Fatal(err)
 	}
 	recs := decodeSpans(t, &buf)
-	// 1 campaign + 1 phase + 3 units + 1 pass, each with start and end.
-	if len(recs) != 12 {
-		t.Fatalf("got %d span records, want 12", len(recs))
+	// 1 campaign + 1 phase + 4 units + 1 pass, each with start and end.
+	if len(recs) != 14 {
+		t.Fatalf("got %d span records, want 14", len(recs))
 	}
 	var rootID, phaseID uint64
 	byID := map[uint64]spanRecord{}
@@ -120,7 +125,7 @@ func TestCampaignNilSafety(t *testing.T) {
 	// Tracer-less campaign still counts.
 	c2 := NewCampaign("x", nil, NewProgress(), nil)
 	c2.Phase("p", 1)
-	c2.Unit("p", "n")(false, nil)
+	c2.Unit("p", "n")(UnitGenerated, nil)
 	if s := c2.Progress.Snapshot(); s.Done != 1 {
 		t.Fatalf("done = %d, want 1", s.Done)
 	}

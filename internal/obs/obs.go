@@ -44,10 +44,20 @@ type Span struct {
 	id     uint64
 	parent uint64
 	start  time.Time
-	// Cached marks a unit that was replayed from a checkpoint journal
-	// instead of simulated; set it before End.
-	Cached bool
+	// Outcome marks a unit that skipped (some of) its work: UnitResumed for
+	// a checkpoint-journal replay, UnitReplayed for a front-end trace-cache
+	// replay, UnitGenerated (empty, the default) for a unit that actually
+	// ran. Set it before End.
+	Outcome string
 }
+
+// Unit outcomes, mirrored from the experiments package (the two packages
+// must not import each other; the observer contract is an unnamed string).
+const (
+	UnitGenerated = ""
+	UnitResumed   = "resumed"
+	UnitReplayed  = "replayed"
+)
 
 // spanRecord is the JSONL wire form. Every span emits two lines — a start
 // record when it opens and an end record when it closes — so a live tail of
@@ -61,8 +71,11 @@ type spanRecord struct {
 	Name   string `json:"name,omitempty"`
 	AtNs   int64  `json:"at_unix_ns"`
 	DurNs  int64  `json:"dur_ns,omitempty"`
-	Cached bool   `json:"cached,omitempty"`
-	Err    string `json:"err,omitempty"`
+	// Outcome distinguishes replayed work in the trace: "resumed"
+	// (checkpoint journal) or "replayed" (front-end trace cache); omitted
+	// for units that actually ran.
+	Outcome string `json:"outcome,omitempty"`
+	Err     string `json:"err,omitempty"`
 }
 
 // Tracer appends span records as JSONL to a writer. A nil *Tracer is a
@@ -106,7 +119,7 @@ func (t *Tracer) Start(parent *Span, phase, name string) *Span {
 	return s
 }
 
-// End closes the span, recording its duration, cache status, and error (if
+// End closes the span, recording its duration, outcome, and error (if
 // any). End on a nil span is a no-op; End is not idempotent — call it once.
 func (s *Span) End(err error) {
 	if s == nil {
@@ -114,11 +127,11 @@ func (s *Span) End(err error) {
 	}
 	now := s.t.now()
 	rec := spanRecord{
-		Ev:     "end",
-		ID:     s.id,
-		AtNs:   now.UnixNano(),
-		DurNs:  now.Sub(s.start).Nanoseconds(),
-		Cached: s.Cached,
+		Ev:      "end",
+		ID:      s.id,
+		AtNs:    now.UnixNano(),
+		DurNs:   now.Sub(s.start).Nanoseconds(),
+		Outcome: s.Outcome,
 	}
 	if err != nil {
 		rec.Err = err.Error()

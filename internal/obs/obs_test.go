@@ -44,7 +44,7 @@ func TestTracerEmitsStartAndEndRecords(t *testing.T) {
 	clk.advance(time.Second)
 	unit := tr.Start(root, "sensitivity", "mcf_0")
 	clk.advance(2 * time.Second)
-	unit.Cached = true
+	unit.Outcome = UnitReplayed
 	unit.End(errors.New("boom"))
 	clk.advance(time.Second)
 	root.End(nil)
@@ -63,7 +63,7 @@ func TestTracerEmitsStartAndEndRecords(t *testing.T) {
 		t.Errorf("unit start record wrong: %+v", recs[1])
 	}
 	if recs[2].Ev != "end" || recs[2].ID != recs[1].ID || recs[2].DurNs != int64(2*time.Second) ||
-		!recs[2].Cached || recs[2].Err != "boom" {
+		recs[2].Outcome != UnitReplayed || recs[2].Err != "boom" {
 		t.Errorf("unit end record wrong: %+v", recs[2])
 	}
 	if recs[3].Ev != "end" || recs[3].ID != recs[0].ID || recs[3].DurNs != int64(4*time.Second) {
@@ -93,10 +93,11 @@ func TestProgressRateAndETA(t *testing.T) {
 	ph.now = clk.now
 	ph.started = clk.now()
 
-	// Three journal replays land instantly: done advances, rate stays 0.
-	for i := 0; i < 3; i++ {
-		ph.UnitDone(true)
-	}
+	// Two journal replays and one trace-cache replay land instantly: done
+	// advances, rate stays 0.
+	ph.UnitDone(UnitResumed)
+	ph.UnitDone(UnitResumed)
+	ph.UnitDone(UnitReplayed)
 	s := p.Snapshot()
 	if s.Done != 3 || s.Total != 10 {
 		t.Fatalf("done/total = %d/%d, want 3/10", s.Done, s.Total)
@@ -108,14 +109,17 @@ func TestProgressRateAndETA(t *testing.T) {
 	// Real completions at one per 2s: rate converges to 0.5/s.
 	for i := 0; i < 4; i++ {
 		clk.advance(2 * time.Second)
-		ph.UnitDone(false)
+		ph.UnitDone(UnitGenerated)
 	}
 	s = p.Snapshot()
 	if s.Done != 7 {
 		t.Fatalf("done = %d, want 7", s.Done)
 	}
-	if s.Phases[0].Resumed != 3 {
-		t.Fatalf("resumed = %d, want 3", s.Phases[0].Resumed)
+	if s.Phases[0].Resumed != 2 {
+		t.Fatalf("resumed = %d, want 2", s.Phases[0].Resumed)
+	}
+	if s.Phases[0].Replayed != 1 {
+		t.Fatalf("replayed = %d, want 1", s.Phases[0].Replayed)
 	}
 	if r := s.Phases[0].RatePerSec; r < 0.4 || r > 0.6 {
 		t.Fatalf("rate = %v, want ~0.5", r)
@@ -128,7 +132,7 @@ func TestProgressRateAndETA(t *testing.T) {
 	// Finish the phase: ETA collapses to 0.
 	for i := 0; i < 3; i++ {
 		clk.advance(2 * time.Second)
-		ph.UnitDone(false)
+		ph.UnitDone(UnitGenerated)
 	}
 	s = p.Snapshot()
 	if s.ETASeconds != 0 {
@@ -159,7 +163,7 @@ func TestProgressNilSafety(t *testing.T) {
 	if ph != nil {
 		t.Fatal("nil progress returned a phase")
 	}
-	ph.UnitDone(false) // must not panic
+	ph.UnitDone(UnitGenerated) // must not panic
 	s := p.Snapshot()
 	if s.Phases == nil || len(s.Phases) != 0 || s.ETASeconds != -1 {
 		t.Fatalf("nil snapshot = %+v", s)

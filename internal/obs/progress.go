@@ -68,24 +68,28 @@ func (p *Progress) Phase(name string, total int) *Phase {
 // Phase is one stage of a campaign (the sensitivity study, the mix sweep)
 // with a known unit count.
 type Phase struct {
-	mu      sync.Mutex
-	name    string
-	total   int
-	done    int
-	resumed int
-	started time.Time
-	last    time.Time
+	mu       sync.Mutex
+	name     string
+	total    int
+	done     int
+	resumed  int
+	replayed int
+	started  time.Time
+	last     time.Time
 	// ratePerSec is the decaying estimate of units completed per second,
-	// updated at every non-cached completion from the inter-completion gap.
+	// updated at every generated (not resumed/replayed) completion from the
+	// inter-completion gap.
 	ratePerSec float64
 	now        func() time.Time
 }
 
-// UnitDone records one completed unit. cached marks units replayed from a
-// checkpoint journal: they advance done but not the rate estimate, so a
-// resume that replays 30 journaled units in a millisecond does not fake an
-// absurd ETA for the remaining real work.
-func (ph *Phase) UnitDone(cached bool) {
+// UnitDone records one completed unit. outcome distinguishes units that
+// skipped their work: UnitResumed (checkpoint-journal replay) and
+// UnitReplayed (front-end trace-cache replay) advance done but not the rate
+// estimate, so a resume that replays 30 journaled units in a millisecond —
+// or a warm cache that replays a front-end pass in a fraction of its
+// generation time — does not fake an absurd ETA for the remaining cold work.
+func (ph *Phase) UnitDone(outcome string) {
 	if ph == nil {
 		return
 	}
@@ -93,8 +97,12 @@ func (ph *Phase) UnitDone(cached bool) {
 	ph.mu.Lock()
 	defer ph.mu.Unlock()
 	ph.done++
-	if cached {
+	switch outcome {
+	case UnitResumed:
 		ph.resumed++
+		return
+	case UnitReplayed:
+		ph.replayed++
 		return
 	}
 	ref := ph.last
@@ -121,6 +129,9 @@ type PhaseSnapshot struct {
 	Done    int    `json:"done"`
 	Total   int    `json:"total"`
 	Resumed int    `json:"resumed,omitempty"`
+	// Replayed counts units served from the front-end trace cache; like
+	// Resumed, they are done but excluded from the rate estimate.
+	Replayed int `json:"replayed,omitempty"`
 	// RatePerSec is the decaying completion-rate estimate; 0 until the
 	// phase's first non-cached completion.
 	RatePerSec float64 `json:"rate_per_sec,omitempty"`
@@ -164,6 +175,7 @@ func (p *Progress) Snapshot() Snapshot {
 			Done:       ph.done,
 			Total:      ph.total,
 			Resumed:    ph.resumed,
+			Replayed:   ph.replayed,
 			RatePerSec: ph.ratePerSec,
 			ETASeconds: -1,
 		}
@@ -187,7 +199,8 @@ func (p *Progress) Snapshot() Snapshot {
 				rest.mu.Lock()
 				rs := PhaseSnapshot{
 					Name: rest.name, Done: rest.done, Total: rest.total,
-					Resumed: rest.resumed, RatePerSec: rest.ratePerSec, ETASeconds: -1,
+					Resumed: rest.resumed, Replayed: rest.replayed,
+					RatePerSec: rest.ratePerSec, ETASeconds: -1,
 				}
 				rest.mu.Unlock()
 				if rem := rs.Total - rs.Done; rem <= 0 {

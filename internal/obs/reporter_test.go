@@ -36,8 +36,8 @@ func TestReporterRendersAndHeartbeats(t *testing.T) {
 
 	p := NewProgress()
 	ph := p.Phase("mix", 16)
-	ph.UnitDone(false)
-	ph.UnitDone(false)
+	ph.UnitDone(UnitGenerated)
+	ph.UnitDone(UnitGenerated)
 
 	var out syncBuffer
 	r := StartReporter(p, hb, &out, 5*time.Millisecond)

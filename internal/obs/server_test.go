@@ -34,8 +34,8 @@ func TestServerSmoke(t *testing.T) {
 	c := NewCampaign("smoke", nil, progress, reg)
 	defer c.End(nil)
 	c.Phase("sensitivity", 4)
-	c.Unit("sensitivity", "a")(false, nil)
-	c.Unit("sensitivity", "b")(false, nil)
+	c.Unit("sensitivity", "a")(UnitGenerated, nil)
+	c.Unit("sensitivity", "b")(UnitGenerated, nil)
 	reg.Counter("obs.scrapes").Add(7)
 
 	srv, err := StartServer("127.0.0.1:0", progress,

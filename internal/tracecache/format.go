@@ -1,0 +1,372 @@
+package tracecache
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"untangle/internal/fsutil"
+)
+
+const (
+	blockSize      = 64            // one cache line per record block
+	payloadMax     = blockSize - 1 // last byte holds the payload length
+	footerSentinel = 0xFF          // payload-length slot value marking the footer
+	// maxEventSize bounds one encoded event: control byte + escaped non-mem
+	// uvarint + address-delta uvarint. Events never split across blocks, so
+	// this must fit in payloadMax (it does, with room: 16 <= 63).
+	maxEventSize = 1 + binary.MaxVarintLen32 + binary.MaxVarintLen64
+
+	// nonMemEscape in the control byte's high six bits means the run length
+	// did not fit inline and follows as a uvarint.
+	nonMemEscape = 63
+)
+
+var magic = [8]byte{'U', 'N', 'T', 'G', 'F', 'E', '0', '1'}
+
+// castagnoli is the CRC-32C table; hardware-accelerated on amd64/arm64.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// zigzag/unzigzag map signed address deltas to unsigned varint space — the
+// same discipline as internal/isa/tracefile.go's trace records.
+func zigzag(v int64) uint64   { return uint64((v << 1) ^ (v >> 63)) }
+func unzigzag(v uint64) int64 { return int64(v>>1) ^ -int64(v&1) }
+
+// header is the JSON document after the magic: the format version and the
+// full key, so a mismatch diagnostic can name what the file actually holds
+// and `tracegen -info` can print it.
+type header struct {
+	Version int `json:"version"`
+	Key     Key `json:"key"`
+}
+
+// headerBytes renders the file prefix: magic, headerLen, JSON, zero padding
+// to a block boundary so the data region is 64-byte aligned.
+func headerBytes(key Key) ([]byte, error) {
+	doc, err := json.Marshal(header{Version: FormatVersion, Key: key})
+	if err != nil {
+		return nil, err
+	}
+	n := len(magic) + 4 + len(doc)
+	padded := (n + blockSize - 1) / blockSize * blockSize
+	buf := make([]byte, padded)
+	copy(buf, magic[:])
+	binary.LittleEndian.PutUint32(buf[len(magic):], uint32(len(doc)))
+	copy(buf[len(magic)+4:], doc)
+	return buf, nil
+}
+
+// Writer streams events into a staged cache entry. Events accumulate into
+// 64-byte blocks; Commit seals the footer (count + CRC) and atomically
+// publishes the file. Close without Commit discards everything.
+type Writer struct {
+	st *Store
+	af *fsutil.AtomicFile
+	bw *bufio.Writer
+
+	block    [blockSize]byte
+	n        int // payload bytes staged in block
+	prevAddr uint64
+	count    uint64
+	crc      uint32
+	written  int64
+}
+
+func newWriter(st *Store, key Key) (*Writer, error) {
+	hdr, err := headerBytes(key)
+	if err != nil {
+		return nil, fmt.Errorf("tracecache: %w", err)
+	}
+	af, err := fsutil.CreateAtomic(st.EntryPath(key))
+	if err != nil {
+		return nil, fmt.Errorf("tracecache: %w", err)
+	}
+	bw := bufio.NewWriterSize(af, 1<<16)
+	if _, err := bw.Write(hdr); err != nil {
+		af.Close()
+		return nil, fmt.Errorf("tracecache: %w", err)
+	}
+	return &Writer{st: st, af: af, bw: bw, written: int64(len(hdr))}, nil
+}
+
+// WriteEvents appends a batch of events. Safe to call with the engine's
+// reused chunk buffer — bytes are copied out before returning.
+func (w *Writer) WriteEvents(events []Event) error {
+	var scratch [maxEventSize]byte
+	for _, ev := range events {
+		if ev.Kind > KindL1Miss {
+			return fmt.Errorf("tracecache: invalid event kind %d", ev.Kind)
+		}
+		scratch[0] = ev.Kind
+		n := 1
+		if ev.NonMem < nonMemEscape {
+			scratch[0] |= uint8(ev.NonMem) << 2
+		} else {
+			scratch[0] |= nonMemEscape << 2
+			n += binary.PutUvarint(scratch[n:], uint64(ev.NonMem))
+		}
+		if ev.Kind == KindL1Miss {
+			delta := int64(ev.Addr) - int64(w.prevAddr)
+			n += binary.PutUvarint(scratch[n:], zigzag(delta))
+			w.prevAddr = ev.Addr
+		}
+		if w.n+n > payloadMax {
+			if err := w.flushBlock(); err != nil {
+				return err
+			}
+		}
+		copy(w.block[w.n:], scratch[:n])
+		w.n += n
+		w.crc = crc32.Update(w.crc, castagnoli, scratch[:n])
+		w.count++
+	}
+	return nil
+}
+
+// flushBlock seals the staged payload into one 64-byte record: zero the
+// slack, stamp the payload length in the last slot, emit.
+func (w *Writer) flushBlock() error {
+	for i := w.n; i < payloadMax; i++ {
+		w.block[i] = 0
+	}
+	w.block[payloadMax] = byte(w.n)
+	if _, err := w.bw.Write(w.block[:]); err != nil {
+		return fmt.Errorf("tracecache: %w", err)
+	}
+	w.written += blockSize
+	w.n = 0
+	return nil
+}
+
+// Count returns the events written so far.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Commit seals the entry — partial block, footer (sentinel, event count,
+// CRC-32C), flush, fsync, atomic rename — and records the bytes written on
+// the store. After Commit the writer is spent.
+func (w *Writer) Commit() error {
+	if w.n > 0 {
+		if err := w.flushBlock(); err != nil {
+			return err
+		}
+	}
+	var footer [blockSize]byte
+	binary.LittleEndian.PutUint64(footer[0:8], w.count)
+	binary.LittleEndian.PutUint32(footer[8:12], w.crc)
+	footer[payloadMax] = footerSentinel
+	if _, err := w.bw.Write(footer[:]); err != nil {
+		return fmt.Errorf("tracecache: %w", err)
+	}
+	w.written += blockSize
+	if err := w.bw.Flush(); err != nil {
+		return fmt.Errorf("tracecache: %w", err)
+	}
+	if err := w.af.Commit(); err != nil {
+		return fmt.Errorf("tracecache: %w", err)
+	}
+	if w.st != nil {
+		w.st.bytesWritten.Add(w.written)
+	}
+	return nil
+}
+
+// Close discards an uncommitted entry (no-op after Commit). Always safe to
+// defer next to a conditional Commit.
+func (w *Writer) Close() error { return w.af.Close() }
+
+// Reader streams events back out of a cache entry. The footer's event
+// count and CRC are verified when the stream drains: mid-file bit flips
+// surface as ErrCorrupt from Read, never as silently wrong events.
+type Reader struct {
+	st *Store
+	f  *os.File
+	br *bufio.Reader
+
+	key     Key
+	version int
+
+	block    [blockSize]byte
+	pos, n   int
+	prevAddr uint64
+
+	decoded   uint64
+	wantCount uint64
+	crc       uint32
+	wantCRC   uint32
+	dataLeft  int64
+	read      int64
+	finished  bool
+}
+
+// openReader validates the file's structure and header and positions the
+// stream at the first data block. st may be nil (ReadInfo's path); key
+// comparison is the caller's job — this layer only guarantees the file is
+// structurally sound end to end.
+func openReader(path string, st *Store) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := prepareReader(f, st)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, path, err)
+	}
+	return r, nil
+}
+
+func prepareReader(f *os.File, st *Store) (*Reader, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	if size%blockSize != 0 || size < 2*blockSize {
+		return nil, fmt.Errorf("size %d is not a positive multiple of %d — torn or truncated", size, blockSize)
+	}
+	var pre [12]byte
+	if _, err := io.ReadFull(f, pre[:]); err != nil {
+		return nil, err
+	}
+	if [8]byte(pre[0:8]) != magic {
+		return nil, fmt.Errorf("bad magic %q", pre[0:8])
+	}
+	hLen := int64(binary.LittleEndian.Uint32(pre[8:12]))
+	headerEnd := (12 + hLen + blockSize - 1) / blockSize * blockSize
+	if hLen <= 0 || headerEnd+blockSize > size {
+		return nil, fmt.Errorf("header length %d exceeds file", hLen)
+	}
+	doc := make([]byte, hLen)
+	if _, err := io.ReadFull(f, doc); err != nil {
+		return nil, err
+	}
+	var h header
+	if err := json.Unmarshal(doc, &h); err != nil {
+		return nil, fmt.Errorf("bad header JSON: %v", err)
+	}
+	var footer [blockSize]byte
+	if _, err := f.ReadAt(footer[:], size-blockSize); err != nil {
+		return nil, err
+	}
+	if footer[payloadMax] != footerSentinel {
+		return nil, fmt.Errorf("missing footer sentinel — torn or truncated")
+	}
+	if _, err := f.Seek(headerEnd, io.SeekStart); err != nil {
+		return nil, err
+	}
+	dataLen := size - headerEnd - blockSize
+	return &Reader{
+		st:        st,
+		f:         f,
+		br:        bufio.NewReaderSize(io.LimitReader(f, dataLen), 1<<16),
+		key:       h.Key,
+		version:   h.Version,
+		wantCount: binary.LittleEndian.Uint64(footer[0:8]),
+		wantCRC:   binary.LittleEndian.Uint32(footer[8:12]),
+		dataLeft:  dataLen,
+		read:      headerEnd + blockSize, // header and footer count as read
+	}, nil
+}
+
+// Key returns the key embedded in the entry's header.
+func (r *Reader) Key() Key { return r.key }
+
+// Version returns the format version the entry was written with.
+func (r *Reader) Version() int { return r.version }
+
+// Count returns the footer's event count.
+func (r *Reader) Count() uint64 { return r.wantCount }
+
+// Read decodes up to len(buf) events, returning the number decoded.
+// io.EOF (possibly alongside a final short batch) signals a cleanly
+// verified end of stream; any structural damage, count or CRC mismatch
+// wraps ErrCorrupt.
+func (r *Reader) Read(buf []Event) (int, error) {
+	if r.finished {
+		return 0, io.EOF
+	}
+	for i := range buf {
+		for r.pos == r.n {
+			ok, err := r.nextBlock()
+			if err != nil {
+				return i, err
+			}
+			if !ok {
+				return i, r.finish()
+			}
+		}
+		start := r.pos
+		c := r.block[r.pos]
+		r.pos++
+		kind := c & 3
+		if kind > KindL1Miss {
+			return i, fmt.Errorf("%w: invalid event kind %d", ErrCorrupt, kind)
+		}
+		ev := Event{Kind: kind, NonMem: uint32(c >> 2)}
+		if ev.NonMem == nonMemEscape {
+			v, n := binary.Uvarint(r.block[r.pos:r.n])
+			if n <= 0 || v > 0xFFFFFFFF {
+				return i, fmt.Errorf("%w: bad non-mem run at event %d", ErrCorrupt, r.decoded)
+			}
+			r.pos += n
+			ev.NonMem = uint32(v)
+		}
+		if kind == KindL1Miss {
+			zz, n := binary.Uvarint(r.block[r.pos:r.n])
+			if n <= 0 {
+				return i, fmt.Errorf("%w: bad address at event %d", ErrCorrupt, r.decoded)
+			}
+			r.pos += n
+			ev.Addr = uint64(int64(r.prevAddr) + unzigzag(zz))
+			r.prevAddr = ev.Addr
+		}
+		r.crc = crc32.Update(r.crc, castagnoli, r.block[start:r.pos])
+		r.decoded++
+		buf[i] = ev
+	}
+	return len(buf), nil
+}
+
+// nextBlock loads the next data block; false means the data region is
+// exhausted.
+func (r *Reader) nextBlock() (bool, error) {
+	if r.dataLeft == 0 {
+		return false, nil
+	}
+	if _, err := io.ReadFull(r.br, r.block[:]); err != nil {
+		return false, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	r.dataLeft -= blockSize
+	r.read += blockSize
+	n := int(r.block[payloadMax])
+	if n > payloadMax {
+		return false, fmt.Errorf("%w: block payload length %d", ErrCorrupt, n)
+	}
+	r.pos, r.n = 0, n
+	return true, nil
+}
+
+// finish validates the drained stream against the footer.
+func (r *Reader) finish() error {
+	r.finished = true
+	if r.decoded != r.wantCount {
+		return fmt.Errorf("%w: decoded %d events, footer says %d", ErrCorrupt, r.decoded, r.wantCount)
+	}
+	if r.crc != r.wantCRC {
+		return fmt.Errorf("%w: CRC mismatch (%08x != %08x)", ErrCorrupt, r.crc, r.wantCRC)
+	}
+	return io.EOF
+}
+
+// Close releases the file and records bytes consumed on the store.
+func (r *Reader) Close() error {
+	if r.st != nil {
+		r.st.bytesRead.Add(r.read)
+		r.st = nil
+	}
+	return r.f.Close()
+}

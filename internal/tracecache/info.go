@@ -1,0 +1,71 @@
+package tracecache
+
+import (
+	"errors"
+	"io"
+	"os"
+)
+
+// Info summarizes one cache entry for inspection (`tracegen -info`).
+type Info struct {
+	Key     Key
+	Version int
+	Bytes   int64
+	Events  uint64
+	// ByKind counts events per kind (index by KindNoMem/KindL1Hit/KindL1Miss).
+	ByKind [3]uint64
+	// Instructions is the instruction total the stream replays: every
+	// event's non-mem run plus one for each memory access.
+	Instructions uint64
+}
+
+// MemOps returns the number of memory accesses in the stream.
+func (i Info) MemOps() uint64 { return i.ByKind[KindL1Hit] + i.ByKind[KindL1Miss] }
+
+// IsCacheFile sniffs whether path starts with the front-end cache magic
+// (cheaply — 8 bytes), so tools can route between this format and the isa
+// trace format.
+func IsCacheFile(path string) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	var m [8]byte
+	if _, err := io.ReadFull(f, m[:]); err != nil {
+		return false, nil // shorter than any valid entry — not ours
+	}
+	return m == magic, nil
+}
+
+// ReadInfo fully decodes (and therefore CRC-verifies) the entry at path.
+func ReadInfo(path string) (Info, error) {
+	r, err := openReader(path, nil)
+	if err != nil {
+		return Info{}, err
+	}
+	defer r.Close()
+	fi, err := os.Stat(path)
+	if err != nil {
+		return Info{}, err
+	}
+	info := Info{Key: r.Key(), Version: r.Version(), Bytes: fi.Size()}
+	buf := make([]Event, 4096)
+	for {
+		n, err := r.Read(buf)
+		for _, ev := range buf[:n] {
+			info.Events++
+			info.ByKind[ev.Kind]++
+			info.Instructions += uint64(ev.NonMem)
+			if ev.Kind != KindNoMem {
+				info.Instructions++
+			}
+		}
+		if errors.Is(err, io.EOF) {
+			return info, nil
+		}
+		if err != nil {
+			return Info{}, err
+		}
+	}
+}

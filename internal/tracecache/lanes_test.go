@@ -1,0 +1,140 @@
+package tracecache
+
+import (
+	"math/rand"
+	"os"
+	"testing"
+)
+
+// randomBits builds lanes deterministic pseudo-random outcome bitsets of
+// misses bits each.
+func randomBits(lanes int, misses uint64, seed int64) [][]uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	words := outcomeWords(misses)
+	bits := make([][]uint64, lanes)
+	for i := range bits {
+		lane := make([]uint64, words)
+		for j := range lane {
+			lane[j] = rng.Uint64()
+		}
+		// Clear the bits past misses so round-tripped data compares exactly.
+		if tail := misses % 64; tail != 0 && words > 0 {
+			lane[words-1] &= (1 << tail) - 1
+		}
+		bits[i] = lane
+	}
+	return bits
+}
+
+func TestLaneOutcomesRoundTrip(t *testing.T) {
+	st, err := NewStore(t.TempDir(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("mcf_0")
+	sizes := []int64{128 << 10, 1 << 20, 8 << 20}
+	for _, misses := range []uint64{0, 1, 63, 64, 65, 12_345} {
+		bits := randomBits(len(sizes), misses, int64(misses)+1)
+		if err := st.SaveLaneOutcomes(key, 16, sizes, misses, bits); err != nil {
+			t.Fatalf("misses=%d: %v", misses, err)
+		}
+		got, ok := st.OpenLaneOutcomes(key, 16, sizes, misses)
+		if !ok {
+			t.Fatalf("misses=%d: no hit on just-written sidecar", misses)
+		}
+		for i := range bits {
+			for j := range bits[i] {
+				if got[i][j] != bits[i][j] {
+					t.Fatalf("misses=%d: lane %d word %d = %#x, want %#x", misses, i, j, got[i][j], bits[i][j])
+				}
+			}
+		}
+	}
+	if c := st.Counters(); c.OutcomeHits != 6 || c.OutcomeMisses != 0 {
+		t.Fatalf("counters = %+v, want 6 outcome hits", c)
+	}
+}
+
+// TestLaneOutcomesRejectsMismatch: a sidecar loads only under exactly the
+// geometry it was written for — any drift in key, ways, sizes, or miss
+// count is a silent (counted) miss, never wrong data.
+func TestLaneOutcomesRejectsMismatch(t *testing.T) {
+	st, err := NewStore(t.TempDir(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("mcf_0")
+	sizes := []int64{128 << 10, 1 << 20}
+	const misses = 1000
+	if err := st.SaveLaneOutcomes(key, 16, sizes, misses, randomBits(len(sizes), misses, 7)); err != nil {
+		t.Fatal(err)
+	}
+
+	stale := key
+	stale.ParamsTag = "00000000deadbeef"
+	cases := []struct {
+		name string
+		ok   bool
+	}{{"stale key", false}, {"other ways", false}, {"other sizes", false}, {"other misses", false}, {"exact", true}}
+	results := []bool{}
+	_, ok := st.OpenLaneOutcomes(stale, 16, sizes, misses)
+	results = append(results, ok)
+	_, ok = st.OpenLaneOutcomes(key, 8, sizes, misses)
+	results = append(results, ok)
+	_, ok = st.OpenLaneOutcomes(key, 16, []int64{128 << 10, 2 << 20}, misses)
+	results = append(results, ok)
+	_, ok = st.OpenLaneOutcomes(key, 16, sizes, misses+1)
+	results = append(results, ok)
+	_, ok = st.OpenLaneOutcomes(key, 16, sizes, misses)
+	results = append(results, ok)
+	for i, c := range cases {
+		if results[i] != c.ok {
+			t.Errorf("%s: ok = %v, want %v", c.name, results[i], c.ok)
+		}
+	}
+}
+
+// TestLaneOutcomesRejectsDamage: bit flips anywhere (magic, header, payload,
+// CRC) and truncation all reject the sidecar.
+func TestLaneOutcomesRejectsDamage(t *testing.T) {
+	st, err := NewStore(t.TempDir(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("xz_1")
+	sizes := []int64{256 << 10}
+	const misses = 500
+	bits := randomBits(len(sizes), misses, 3)
+	if err := st.SaveLaneOutcomes(key, 16, sizes, misses, bits); err != nil {
+		t.Fatal(err)
+	}
+	path := st.LaneOutcomePath(key)
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, off := range []int{0, 9, 20, len(pristine) / 2, len(pristine) - 2} {
+		raw := append([]byte(nil), pristine...)
+		raw[off] ^= 0x10
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := st.OpenLaneOutcomes(key, 16, sizes, misses); ok {
+			t.Errorf("flip at %d: damaged sidecar served", off)
+		}
+	}
+	if err := os.WriteFile(path, pristine[:len(pristine)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.OpenLaneOutcomes(key, 16, sizes, misses); ok {
+		t.Error("truncated sidecar served")
+	}
+
+	if err := os.WriteFile(path, pristine, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.OpenLaneOutcomes(key, 16, sizes, misses); !ok {
+		t.Error("pristine sidecar rejected")
+	}
+}

@@ -5,8 +5,9 @@
 #           must keep green (see ROADMAP.md)
 #   tier 2  the race detector over the concurrency-bearing packages: the
 #           worker pool, the fault-injection harness, the checkpoint
-#           journal, the observability layer, the experiment engine's
-#           resilience layer, and the cmd/experiments kill-and-resume and
+#           journal, the front-end trace cache, the observability layer,
+#           the experiment engine's resilience layer, and the
+#           cmd/experiments kill-and-resume, warm-cache, and
 #           observability-equivalence tests
 #
 # Everything is hermetic (no network, no external services); the whole
@@ -31,10 +32,11 @@ go test -race -short \
     ./internal/faultinject/... \
     ./internal/checkpoint/... \
     ./internal/telemetry/... \
+    ./internal/tracecache/... \
     ./internal/obs/...
 
-echo "==> go test -race (kill-and-resume + observability equivalence)"
-go test -race -run 'TestCheckpointResumeEquivalence|TestStudyCheckpointResume|TestTransientFault|TestObservabilityDoesNotPerturbOutputs|TestUnitObserverSeam' \
+echo "==> go test -race (kill-and-resume + trace cache + observability equivalence)"
+go test -race -run 'TestCheckpointResumeEquivalence|TestStudyCheckpointResume|TestTransientFault|TestObservabilityDoesNotPerturbOutputs|TestUnitObserverSeam|TestTraceCacheWarmColdEquivalence|TestTraceCacheKeyMismatchFailsLoudly|TestTraceCacheCorruptEntry|TestTraceCacheLaneOutcomeSidecar|TestWarmFrontEndCache' \
     ./internal/experiments/ ./cmd/experiments/
 
 if [ "${CI:-}" = "full" ]; then
