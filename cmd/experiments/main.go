@@ -46,6 +46,12 @@
 //	experiments -scale 0.01 -mixes 1,2,3,4  # just the Figure 10 mixes
 //	experiments -scale 1.0 -checkpoint run.ckpt -out report.txt
 //	experiments -scale 0.01 -telemetry run.jsonl -pprof localhost:6060
+//	experiments -scale 1.0 -checkpoint run.ckpt -shards 8   # N worker processes
+//
+// -shards N executes the campaign's units on N worker processes (re-execs
+// of this binary) with per-shard crash-recovery journals and automatic
+// worker respawn; the merged outputs are byte-identical to an in-process
+// run (see EXPERIMENTS.md "Sharded campaigns" and shard.go).
 package main
 
 import (
@@ -84,6 +90,7 @@ type config struct {
 	ids      []int
 	sensIns  uint64
 	jobs     int
+	shards   int
 	active   bool
 	traced   bool
 	outPath  string
@@ -163,6 +170,13 @@ func (r savedRow) row() experiments.Table6Row {
 func mixKey(id int) string { return fmt.Sprintf("mix/%d", id) }
 
 func main() {
+	// Worker mode short-circuits everything: the coordinator re-execs this
+	// binary with -shard-worker as the first argument (see shard.go), and
+	// the worker must not parse campaign flags, install signal handlers, or
+	// touch the campaign's outputs.
+	if len(os.Args) > 1 && os.Args[1] == "-shard-worker" {
+		os.Exit(workerMain(os.Args[2:]))
+	}
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
@@ -173,6 +187,7 @@ func main() {
 		skipAct  = flag.Bool("skip-active", false, "skip the active-attacker accounting runs")
 		telemOut = flag.String("telemetry", "", "stream a JSONL telemetry event trace of every mix to this file")
 		jobs     = flag.Int("jobs", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+		shards   = flag.Int("shards", 0, "split the campaign across N worker processes (requires -checkpoint; 0/1 = in-process)")
 		ckpt     = flag.String("checkpoint", "", "journal completed units to this file and resume from it on restart")
 		feCache  = flag.String("fe-cache", "", "persist/replay sensitivity front-end event streams in this directory")
 		feRebld  = flag.Bool("fe-cache-rebuild", false, "regenerate corrupt or key-mismatched -fe-cache entries instead of failing")
@@ -192,6 +207,7 @@ func main() {
 		ids:            ids,
 		sensIns:        *sensIns,
 		jobs:           *jobs,
+		shards:         *shards,
 		active:         !*skipAct,
 		traced:         *telemOut != "",
 		outPath:        *outPath,
@@ -242,6 +258,12 @@ func (c config) validate() error {
 	}
 	if c.feCacheRebuild && c.feCacheDir == "" {
 		return fmt.Errorf("-fe-cache-rebuild requires -fe-cache")
+	}
+	if c.shards < 0 {
+		return fmt.Errorf("-shards must be >= 0, got %d", c.shards)
+	}
+	if c.shards > 1 && c.ckptPath == "" {
+		return fmt.Errorf("-shards requires -checkpoint (the per-shard journals derive from it)")
 	}
 	return nil
 }
@@ -335,13 +357,30 @@ func run(ctx context.Context, cfg config, stdout io.Writer) (retErr error) {
 	}
 	defer func() { obsSt.stop(retErr) }()
 
+	// Sharded execution: spawn the worker processes up front so both
+	// phases reuse them. The campaign's phase structure, interrupt
+	// semantics, and outputs are identical either way — only where the
+	// units execute changes.
+	var sc *shardCampaign
+	if cfg.shards > 1 {
+		sc, err = newShardCampaign(cfg, journal)
+		if err != nil {
+			return err
+		}
+		defer sc.close()
+	}
+
 	// Figure 11.
 	var study []experiments.SensitivityResult
 	if cfg.sensIns > 0 && ctx.Err() == nil {
 		log.Printf("running Figure 11 sensitivity study (%d instructions per benchmark pass, %d jobs)...",
 			cfg.sensIns, cfg.jobs)
 		var err error
-		study, err = experiments.SensitivityStudyCheckpointed(ctx, cfg.sensIns, cfg.jobs, journal)
+		if sc != nil {
+			study, err = sc.sensitivityStudy(ctx)
+		} else {
+			study, err = experiments.SensitivityStudyCheckpointed(ctx, cfg.sensIns, cfg.jobs, journal)
+		}
 		if err != nil {
 			if ctx.Err() != nil {
 				log.Print("interrupted during the sensitivity study")
@@ -357,7 +396,13 @@ func run(ctx context.Context, cfg config, stdout io.Writer) (retErr error) {
 	// worker runs its mix's four schemes (sequentially when several mixes
 	// share the pool, so -jobs bounds total concurrency) and then the
 	// worst-case accounting rerun, and journals the finished unit.
-	outcomes, runErr := runMixes(ctx, cfg, study, journal)
+	var outcomes []*savedMix
+	var runErr error
+	if sc != nil {
+		outcomes, runErr = sc.runMixes(ctx, study)
+	} else {
+		outcomes, runErr = runMixes(ctx, cfg, study, journal)
+	}
 	if runErr != nil && ctx.Err() == nil {
 		return runErr
 	}
@@ -480,87 +525,9 @@ func runMixes(ctx context.Context, cfg config, study []experiments.SensitivityRe
 				return &sv, nil
 			}
 		}
-		mix, err := workload.MixByID(id)
+		sv, err := runMixUnit(ctx, cfg, study, id, innerJobs)
 		if err != nil {
 			return nil, err
-		}
-		log.Printf("running mix %d at scale %v...", id, cfg.scale)
-		var res *experiments.MixResult
-		var buffers map[partition.Kind]*telemetry.Buffer
-		err = parallel.Retry(ctx, experiments.RetryAttempts, experiments.RetryBackoff, func(ctx context.Context, attempt int) error {
-			passDone := experiments.ObserveUnit("mix/pass", fmt.Sprintf("%s#%d", key, attempt))
-			opts := experiments.Options{Scale: cfg.scale, Jobs: innerJobs}
-			if cfg.traced {
-				// Telemetry: per-scheme buffers keep concurrent schemes
-				// from interleaving; the buffers drain to the shared JSONL
-				// stream in fixed scheme order once the mix completes, so
-				// the file content is deterministic however the goroutines
-				// raced. Fresh buffers per attempt keep a retried run from
-				// double-recording the failed attempt's events.
-				buffers = map[partition.Kind]*telemetry.Buffer{}
-				for _, kind := range mixKinds {
-					buffers[kind] = telemetry.NewBuffer()
-				}
-				opts.TracerFor = func(k partition.Kind) *telemetry.Tracer {
-					return telemetry.New(buffers[k], nil, fmt.Sprintf("mix%d/%s", id, k))
-				}
-			}
-			var err error
-			res, err = experiments.RunMixContext(ctx, mix, opts)
-			if passDone != nil {
-				passDone(experiments.UnitGenerated, err)
-			}
-			return err
-		})
-		if err != nil {
-			return nil, err
-		}
-		var sv savedMix
-		if cfg.active && ctx.Err() == nil {
-			log.Printf("running mix %d with worst-case (active-attacker) accounting...", id)
-			var act *experiments.MixResult
-			err = parallel.Retry(ctx, experiments.RetryAttempts, experiments.RetryBackoff, func(ctx context.Context, attempt int) error {
-				passDone := experiments.ObserveUnit("mix/active", fmt.Sprintf("%s#%d", key, attempt))
-				var err error
-				act, err = experiments.RunMixContext(ctx, mix, experiments.Options{
-					Scale:               cfg.scale,
-					Kinds:               []partition.Kind{partition.Untangle},
-					WorstCaseAccounting: true,
-					Jobs:                innerJobs,
-				})
-				if passDone != nil {
-					passDone(experiments.UnitGenerated, err)
-				}
-				return err
-			})
-			if err != nil {
-				return nil, err
-			}
-			leak, err := act.LeakagePerAssessment(partition.Untangle)
-			if err != nil {
-				return nil, err
-			}
-			sv.ActiveRate = checkpoint.F64(stats.Mean(leak))
-			sv.HaveActive = true
-		}
-		if sv.Group, err = report.MixGroup(res, study); err != nil {
-			return nil, err
-		}
-		row, err := res.Table6()
-		if err != nil {
-			return nil, err
-		}
-		sv.Row = toSavedRow(row)
-		if cfg.traced {
-			for _, kind := range mixKinds {
-				for _, ev := range buffers[kind].Events() {
-					line, err := telemetry.MarshalEvent(ev)
-					if err != nil {
-						return nil, err
-					}
-					sv.Events = append(sv.Events, json.RawMessage(line))
-				}
-			}
 		}
 		if journal != nil && (!cfg.active || sv.HaveActive) {
 			if err := journal.Record(key, sv); err != nil {
@@ -570,8 +537,103 @@ func runMixes(ctx context.Context, cfg config, study []experiments.SensitivityRe
 		if cfg.unitHook != nil {
 			cfg.unitHook(key)
 		}
-		return &sv, nil
+		return sv, nil
 	})
+}
+
+// runMixUnit simulates one mix in full — the four-scheme run with
+// per-scheme telemetry buffers, the worst-case accounting rerun, and the
+// rendered report group — and returns the unit's journal value. It is the
+// single execution path for a mix whether the unit runs on the in-process
+// pool or inside a shard worker, which is what makes the two journals
+// byte-identical. A cancellation that lands between the main run and the
+// active rerun returns sv with HaveActive false; callers must not journal
+// such a truncated unit (a resume re-runs it in full).
+func runMixUnit(ctx context.Context, cfg config, study []experiments.SensitivityResult, id, innerJobs int) (*savedMix, error) {
+	key := mixKey(id)
+	mix, err := workload.MixByID(id)
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("running mix %d at scale %v...", id, cfg.scale)
+	var res *experiments.MixResult
+	var buffers map[partition.Kind]*telemetry.Buffer
+	err = parallel.Retry(ctx, experiments.RetryAttempts, experiments.RetryBackoff, func(ctx context.Context, attempt int) error {
+		passDone := experiments.ObserveUnit("mix/pass", fmt.Sprintf("%s#%d", key, attempt))
+		opts := experiments.Options{Scale: cfg.scale, Jobs: innerJobs}
+		if cfg.traced {
+			// Telemetry: per-scheme buffers keep concurrent schemes
+			// from interleaving; the buffers drain to the shared JSONL
+			// stream in fixed scheme order once the mix completes, so
+			// the file content is deterministic however the goroutines
+			// raced. Fresh buffers per attempt keep a retried run from
+			// double-recording the failed attempt's events.
+			buffers = map[partition.Kind]*telemetry.Buffer{}
+			for _, kind := range mixKinds {
+				buffers[kind] = telemetry.NewBuffer()
+			}
+			opts.TracerFor = func(k partition.Kind) *telemetry.Tracer {
+				return telemetry.New(buffers[k], nil, fmt.Sprintf("mix%d/%s", id, k))
+			}
+		}
+		var err error
+		res, err = experiments.RunMixContext(ctx, mix, opts)
+		if passDone != nil {
+			passDone(experiments.UnitGenerated, err)
+		}
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	var sv savedMix
+	if cfg.active && ctx.Err() == nil {
+		log.Printf("running mix %d with worst-case (active-attacker) accounting...", id)
+		var act *experiments.MixResult
+		err = parallel.Retry(ctx, experiments.RetryAttempts, experiments.RetryBackoff, func(ctx context.Context, attempt int) error {
+			passDone := experiments.ObserveUnit("mix/active", fmt.Sprintf("%s#%d", key, attempt))
+			var err error
+			act, err = experiments.RunMixContext(ctx, mix, experiments.Options{
+				Scale:               cfg.scale,
+				Kinds:               []partition.Kind{partition.Untangle},
+				WorstCaseAccounting: true,
+				Jobs:                innerJobs,
+			})
+			if passDone != nil {
+				passDone(experiments.UnitGenerated, err)
+			}
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		leak, err := act.LeakagePerAssessment(partition.Untangle)
+		if err != nil {
+			return nil, err
+		}
+		sv.ActiveRate = checkpoint.F64(stats.Mean(leak))
+		sv.HaveActive = true
+	}
+	if sv.Group, err = report.MixGroup(res, study); err != nil {
+		return nil, err
+	}
+	row, err := res.Table6()
+	if err != nil {
+		return nil, err
+	}
+	sv.Row = toSavedRow(row)
+	if cfg.traced {
+		for _, kind := range mixKinds {
+			for _, ev := range buffers[kind].Events() {
+				line, err := telemetry.MarshalEvent(ev)
+				if err != nil {
+					return nil, err
+				}
+				sv.Events = append(sv.Events, json.RawMessage(line))
+			}
+		}
+	}
+	return &sv, nil
 }
 
 // parseMixes expands and validates the -mixes flag: every id must be an

@@ -50,6 +50,8 @@ func TestValidateConfig(t *testing.T) {
 		{"negative scale", config{scale: -1}, "-scale"},
 		{"scale above 1", config{scale: 1.5}, "-scale"},
 		{"negative jobs", config{scale: 0.01, jobs: -2}, "-jobs"},
+		{"negative shards", config{scale: 0.01, shards: -1}, "-shards"},
+		{"shards without checkpoint", config{scale: 0.01, shards: 4}, "-checkpoint"},
 	} {
 		err := tc.cfg.validate()
 		if err == nil || !strings.Contains(err.Error(), tc.want) {

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestMain lets this test binary double as the shard worker: the
+// coordinator re-execs os.Executable() with -shard-worker as the first
+// argument, which in tests is this binary.
+func TestMain(m *testing.M) {
+	if len(os.Args) > 1 && os.Args[1] == "-shard-worker" {
+		os.Exit(workerMain(os.Args[2:]))
+	}
+	os.Exit(m.Run())
+}
+
+// The tentpole guarantee of sharded execution: a campaign split across
+// worker processes — including one whose worker is killed mid-campaign in
+// the journaled-but-unstreamed window — commits a report and telemetry
+// trace byte-identical to the sequential in-process run's.
+func TestShardedCampaignEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs three small campaigns")
+	}
+	freshReport, freshTrace := campaign(t, context.Background(), equivalenceConfig(t.TempDir()))
+
+	check := func(t *testing.T, gotReport, gotTrace []byte) {
+		t.Helper()
+		if !bytes.Equal(gotReport, freshReport) {
+			t.Errorf("sharded report differs from sequential run (%d vs %d bytes)", len(gotReport), len(freshReport))
+		}
+		if !bytes.Equal(gotTrace, freshTrace) {
+			t.Errorf("sharded telemetry differs from sequential run (%d vs %d bytes)", len(gotTrace), len(freshTrace))
+		}
+	}
+
+	t.Run("clean", func(t *testing.T) {
+		cfg := equivalenceConfig(t.TempDir())
+		cfg.ckptPath = filepath.Join(filepath.Dir(cfg.outPath), "run.ckpt")
+		cfg.shards = 3
+		gotReport, gotTrace := campaign(t, context.Background(), cfg)
+		check(t, gotReport, gotTrace)
+	})
+
+	t.Run("worker-kill", func(t *testing.T) {
+		dir := t.TempDir()
+		sentinel := filepath.Join(dir, "killed")
+		// The worker that draws mix/1 journals it, then exits without
+		// streaming the result — the coordinator must harvest the shard
+		// journal, respawn, and still merge identical bytes.
+		t.Setenv(envShardKillKey, mixKey(1))
+		t.Setenv(envShardKillOnce, sentinel)
+		cfg := equivalenceConfig(dir)
+		cfg.ckptPath = filepath.Join(dir, "run.ckpt")
+		cfg.shards = 2
+		gotReport, gotTrace := campaign(t, context.Background(), cfg)
+		if _, err := os.Stat(sentinel); err != nil {
+			t.Fatalf("kill hook never fired: %v", err)
+		}
+		check(t, gotReport, gotTrace)
+	})
+}

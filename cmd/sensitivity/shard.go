@@ -1,0 +1,276 @@
+// Sharded study execution: -shards N partitions the 36 benchmark passes
+// across N worker processes re-exec'd from this binary with -shard-worker,
+// each journaling to <checkpoint>.shard<i> and streaming results back. The
+// merged study — and therefore the printed figure — is byte-identical to a
+// -jobs 1 run, worker kills included. The mechanism is the same as
+// cmd/experiments' (see internal/shard); this command only wires the
+// sensitivity phase.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"untangle/internal/checkpoint"
+	"untangle/internal/experiments"
+	"untangle/internal/obs"
+	"untangle/internal/shard"
+	"untangle/internal/tracecache"
+)
+
+const (
+	shardLease          = 2 * time.Minute
+	shardHeartbeatEvery = 5 * time.Second
+
+	// Worker-kill injection for the equivalence tests, same contract as
+	// cmd/experiments: journal the named unit, then exit; the O_EXCL
+	// sentinel keeps replacement workers alive.
+	envShardKillKey  = "UNTANGLE_SHARD_KILL_KEY"
+	envShardKillOnce = "UNTANGLE_SHARD_KILL_ONCE"
+)
+
+func shardJournalPath(ckpt string, shard int) string {
+	return fmt.Sprintf("%s.shard%d", ckpt, shard)
+}
+
+func studyFingerprint(instructions uint64) checkpoint.Fingerprint {
+	return checkpoint.Fingerprint{
+		Instructions: instructions,
+		Units:        "sensitivity",
+		ParamsTag:    experiments.ParamsFingerprint(),
+	}
+}
+
+// workerMain is the -shard-worker entry point: a sequential sensitivity
+// unit executor speaking the shard protocol on stdin/stdout.
+func workerMain(args []string) int {
+	log.SetFlags(0)
+	fs := flag.NewFlagSet("shard-worker", flag.ContinueOnError)
+	var (
+		shardIdx     = fs.Int("shard", 0, "this worker's shard index")
+		instructions = fs.Uint64("instructions", 1_500_000, "measured instructions per run (must match the coordinator)")
+		ckpt         = fs.String("checkpoint", "", "the study's main checkpoint path (shard journal derives from it)")
+		feCache      = fs.String("fe-cache", "", "front-end trace cache directory")
+		feRebuild    = fs.Bool("fe-cache-rebuild", false, "regenerate corrupt fe-cache entries")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	log.SetPrefix(fmt.Sprintf("sensitivity[shard %d]: ", *shardIdx))
+	if *ckpt == "" {
+		log.Print("-shard-worker requires -checkpoint")
+		return 2
+	}
+	// The coordinator owns the lifecycle; ^C reaches the process group but
+	// workers drain until told to stop (or their stdin closes).
+	signal.Ignore(os.Interrupt)
+
+	journal, err := checkpoint.Open(shardJournalPath(*ckpt, *shardIdx), studyFingerprint(*instructions))
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	defer journal.Close()
+
+	if *feCache != "" {
+		st, err := tracecache.NewStore(*feCache, *feRebuild)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		experiments.SetFrontEndCache(st)
+		defer experiments.SetFrontEndCache(nil)
+	}
+
+	var hb *obs.Heartbeat
+	if h, err := obs.OpenHeartbeat(obs.HeartbeatPath(journal)); err != nil {
+		log.Printf("heartbeat: %v (continuing without)", err)
+	} else {
+		hb = h
+		defer hb.Close()
+	}
+
+	killKey := os.Getenv(envShardKillKey)
+	killOnce := os.Getenv(envShardKillOnce)
+	wcfg := shard.WorkerConfig{
+		Shard:          *shardIdx,
+		Journal:        journal,
+		HeartbeatEvery: shardHeartbeatEvery,
+		OnBeat:         func() { hb.Beat(obs.Snapshot{}) },
+		Exec: func(ctx context.Context, key string) (json.RawMessage, error) {
+			name, ok := strings.CutPrefix(key, "sens/")
+			if !ok {
+				return nil, fmt.Errorf("unknown unit key %q", key)
+			}
+			return experiments.RunSensitivityUnit(ctx, name, *instructions)
+		},
+		PostRecord: func(key string) {
+			if killKey == "" || key != killKey {
+				return
+			}
+			if killOnce != "" {
+				f, err := os.OpenFile(killOnce, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+				if err != nil {
+					return
+				}
+				f.Close()
+			}
+			log.Printf("kill hook: exiting after journaling %s", key)
+			os.Exit(17)
+		},
+	}
+	if err := shard.RunWorker(context.Background(), os.Stdin, os.Stdout, wcfg); err != nil {
+		log.Print(err)
+		return 1
+	}
+	return 0
+}
+
+// runShardedStudy executes the study across worker processes and assembles
+// it from the main journal in canonical benchmark order, exactly as a
+// resumed sequential run would.
+func runShardedStudy(ctx context.Context, shards int, instructions uint64, journal *checkpoint.Journal, feCache string, feRebuild bool) ([]experiments.SensitivityResult, error) {
+	ckptPath := journal.Path()
+	for i := 0; i < shards; i++ {
+		added, err := journal.MergeFrom(shardJournalPath(ckptPath, i))
+		if err != nil {
+			return nil, fmt.Errorf("merge shard %d journal: %w", i, err)
+		}
+		if added > 0 {
+			log.Printf("resumed %d passes from shard %d's journal", added, i)
+		}
+	}
+
+	spawn := func(shardIdx int) (*shard.Proc, error) {
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, err
+		}
+		args := []string{
+			"-shard-worker",
+			"-shard", strconv.Itoa(shardIdx),
+			"-instructions", strconv.FormatUint(instructions, 10),
+			"-checkpoint", ckptPath,
+		}
+		if feCache != "" {
+			args = append(args, "-fe-cache", feCache)
+		}
+		if feRebuild {
+			args = append(args, "-fe-cache-rebuild")
+		}
+		cmd := exec.Command(exe, args...)
+		cmd.Stderr = os.Stderr
+		stdin, err := cmd.StdinPipe()
+		if err != nil {
+			return nil, err
+		}
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			return nil, err
+		}
+		if err := cmd.Start(); err != nil {
+			return nil, err
+		}
+		return &shard.Proc{
+			In:   stdin,
+			Out:  stdout,
+			Kill: func() { cmd.Process.Kill() },
+			Wait: func() error { return cmd.Wait() },
+		}, nil
+	}
+
+	unitDone := make(map[string]func(outcome string, err error))
+	var recordErr error
+	coord, err := shard.New(spawn, shard.Options{
+		Workers: shards,
+		Lease:   shardLease,
+		Recover: func(shardIdx int) (map[string]json.RawMessage, error) {
+			path := shardJournalPath(ckptPath, shardIdx)
+			if at, ok := obs.LastBeat(path + ".heartbeat"); ok {
+				log.Printf("shard %d last heartbeat %s ago", shardIdx, time.Since(at).Round(time.Second))
+			}
+			return checkpoint.ReadUnits(path, studyFingerprint(instructions))
+		},
+		// OnAssign/OnResult run on the coordinator's event loop, never
+		// concurrently, so the maps need no locking here.
+		OnAssign: func(key string, shardIdx int) {
+			if prev := unitDone[key]; prev != nil {
+				prev(experiments.UnitGenerated, fmt.Errorf("reassigned after worker death"))
+			}
+			unitDone[key] = experiments.ObserveUnit("sensitivity", strings.TrimPrefix(key, "sens/"))
+		},
+		OnResult: func(key string, shardIdx int, value json.RawMessage, resumed bool) {
+			var err error
+			if recErr := journal.Record(key, value); recErr != nil && recordErr == nil {
+				recordErr = fmt.Errorf("checkpoint %s: %w", key, recErr)
+				err = recordErr
+			}
+			outcome := experiments.UnitGenerated
+			if resumed {
+				outcome = experiments.UnitResumed
+			}
+			if done := unitDone[key]; done != nil {
+				done(outcome, err)
+				delete(unitDone, key)
+			}
+		},
+		Logf: log.Printf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		if err := coord.Shutdown(); err != nil {
+			log.Printf("shard shutdown: %v", err)
+		}
+		st := coord.Stats()
+		log.Printf("shards: %d spawned, %d died, %d assigned, %d completed, %d recovered, %d requeued, %d duplicates",
+			st.Spawned, st.Died, st.Assigned, st.Completed, st.Recovered, st.Requeued, st.Duplicates)
+	}()
+
+	names := experiments.SensitivityOrder()
+	todo := make([]string, 0, len(names))
+	for _, name := range names {
+		key := experiments.SensitivityKey(name)
+		if journal.Done(key) {
+			if done := experiments.ObserveUnit("sensitivity", name); done != nil {
+				done(experiments.UnitResumed, nil)
+			}
+			continue
+		}
+		todo = append(todo, key)
+	}
+	_, runErr := coord.Run(ctx, todo)
+	if recordErr != nil {
+		return nil, recordErr
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	study := make([]experiments.SensitivityResult, len(names))
+	for i, name := range names {
+		key := experiments.SensitivityKey(name)
+		var raw json.RawMessage
+		ok, err := journal.Lookup(key, &raw)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint %s: %w", key, err)
+		}
+		if !ok {
+			return nil, fmt.Errorf("checkpoint %s: missing after sharded run", key)
+		}
+		if study[i], err = experiments.DecodeSensitivityUnit(raw); err != nil {
+			return nil, fmt.Errorf("checkpoint %s: %w", key, err)
+		}
+	}
+	return study, nil
+}

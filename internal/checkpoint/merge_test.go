@@ -1,0 +1,169 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeShard creates a journal at path and records the given keys in the
+// given order — the order deliberately varies between shards in the tests,
+// because per-shard journals record whatever interleaving their worker
+// happened to execute.
+func writeShard(t *testing.T, path string, fp Fingerprint, keys []string) {
+	t.Helper()
+	j, err := Open(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	for _, key := range keys {
+		if err := j.Record(key, unit{Mean: meanFor(key), Label: key}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// meanFor derives a deterministic value from a key, so two shards that both
+// executed a unit journal byte-identical values — the shard-merge
+// precondition (deterministic units).
+func meanFor(key string) float64 { return float64(len(key)) * 1.5 }
+
+// The shard-merge precondition: two journals with the same fingerprint,
+// written out of order relative to each other (and overlapping), merge into
+// one journal that holds every unit with its value intact — and a resume
+// from the merged journal sees all of them.
+func TestMergeOutOfOrderJournals(t *testing.T) {
+	dir := t.TempDir()
+	fp := testFP()
+
+	// Shard 0 completed its units ascending; shard 1 descending, and both
+	// executed mix/7 (a unit reassigned after a presumed-dead worker turned
+	// out to have finished it).
+	writeShard(t, filepath.Join(dir, "run.ckpt.shard0"), fp,
+		[]string{"sens/a", "sens/b", "mix/7"})
+	writeShard(t, filepath.Join(dir, "run.ckpt.shard1"), fp,
+		[]string{"mix/9", "mix/7", "mix/1"})
+
+	main, err := Open(filepath.Join(dir, "run.ckpt"), fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Merge in the opposite order the shards wrote, to pin down that merge
+	// order does not matter either.
+	added1, err := main.MergeFrom(filepath.Join(dir, "run.ckpt.shard1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	added0, err := main.MergeFrom(filepath.Join(dir, "run.ckpt.shard0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added1 != 3 || added0 != 2 {
+		t.Errorf("added = %d, %d; want 3, 2 (mix/7 deduplicated)", added1, added0)
+	}
+	if main.Len() != 5 {
+		t.Errorf("merged Len = %d, want 5", main.Len())
+	}
+	main.Close()
+
+	// The merged journal resumes like any other.
+	j, err := Open(filepath.Join(dir, "run.ckpt"), fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if j.Resumed() != 5 {
+		t.Fatalf("Resumed = %d, want 5", j.Resumed())
+	}
+	for _, key := range []string{"sens/a", "sens/b", "mix/1", "mix/7", "mix/9"} {
+		var got unit
+		ok, err := j.Lookup(key, &got)
+		if !ok || err != nil {
+			t.Fatalf("%s: ok=%v err=%v", key, ok, err)
+		}
+		if got.Mean != meanFor(key) || got.Label != key {
+			t.Errorf("%s: merged value %+v corrupted", key, got)
+		}
+	}
+}
+
+// A shard journal written under a different fingerprint must not merge: its
+// units were computed by a different configuration.
+func TestMergeFingerprintMismatch(t *testing.T) {
+	dir := t.TempDir()
+	other := testFP()
+	other.Scale = 0.5
+	writeShard(t, filepath.Join(dir, "run.ckpt.shard0"), other, []string{"mix/1"})
+
+	main, err := Open(filepath.Join(dir, "run.ckpt"), testFP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer main.Close()
+	if _, err := main.MergeFrom(filepath.Join(dir, "run.ckpt.shard0")); err == nil {
+		t.Fatal("mismatched shard journal merged")
+	} else if !strings.Contains(err.Error(), `"scale":0.5`) || !strings.Contains(err.Error(), `"scale":0.01`) {
+		t.Errorf("error does not name both fingerprints: %v", err)
+	}
+}
+
+// Two journals that claim the same fingerprint but journal different bytes
+// for the same unit are evidence of nondeterminism or fingerprint drift;
+// the merge must refuse rather than pick a side.
+func TestMergeConflictingDuplicateFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	fp := testFP()
+	writeShard(t, filepath.Join(dir, "a.ckpt"), fp, []string{"mix/1"})
+
+	b, err := Open(filepath.Join(dir, "b.ckpt"), fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Record("mix/1", unit{Mean: -99, Label: "disagrees"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.MergeFrom(filepath.Join(dir, "a.ckpt")); err == nil {
+		t.Fatal("conflicting duplicate merged silently")
+	} else if !strings.Contains(err.Error(), "mix/1") {
+		t.Errorf("error does not name the unit: %v", err)
+	}
+	b.Close()
+}
+
+// ReadUnits on the journal of a just-killed worker: the torn final line is
+// skipped, the file is not modified, and a missing journal reads as empty.
+func TestReadUnitsTornTailAndMissing(t *testing.T) {
+	dir := t.TempDir()
+	fp := testFP()
+	path := filepath.Join(dir, "run.ckpt.shard0")
+	writeShard(t, path, fp, []string{"sens/a", "sens/b"})
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"kind":"unit","key":"sens/c","val`)
+	f.Close()
+	before, _ := os.ReadFile(path)
+
+	units, err := ReadUnits(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) != 2 {
+		t.Fatalf("units = %d, want 2 (torn line skipped)", len(units))
+	}
+	if _, ok := units["sens/c"]; ok {
+		t.Error("torn unit surfaced")
+	}
+	after, _ := os.ReadFile(path)
+	if string(before) != string(after) {
+		t.Error("ReadUnits modified the journal")
+	}
+
+	units, err = ReadUnits(filepath.Join(dir, "never-written.ckpt"), fp)
+	if err != nil || len(units) != 0 {
+		t.Errorf("missing journal: units=%d err=%v, want empty, nil", len(units), err)
+	}
+}

@@ -1,0 +1,120 @@
+// Shard-worker entry points: the pieces of the evaluation a sharded
+// campaign's worker processes execute one unit at a time, plus the journal
+// encodings that cross the process boundary. Everything here reuses the
+// exact retry/engine/assembly path of the in-process study, so a unit's
+// journal bytes are identical whether it ran inline, checkpointed, or on a
+// worker three respawns deep — the byte-equality the shard coordinator
+// verifies on every duplicate result.
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"untangle/internal/parallel"
+	"untangle/internal/workload"
+)
+
+// SensitivityOrder returns the benchmark names of the Figure 11 study in
+// canonical (sorted) execution order — the order the in-process study fans
+// out and the order a sharded campaign enumerates its sensitivity units.
+func SensitivityOrder() []string {
+	params := sortedSPECParams()
+	names := make([]string, len(params))
+	for i, p := range params {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// RunSensitivityUnit executes one benchmark's sensitivity pass — transient
+// retry, engine reuse, observability sub-spans, everything the
+// checkpointed study does per unit — and returns the unit's journal
+// encoding. Shard workers call this for "sens/<name>" assignments; the
+// returned bytes are what SensitivityStudyCheckpointed would have recorded
+// for the same unit.
+func RunSensitivityUnit(ctx context.Context, name string, instructions uint64) (json.RawMessage, error) {
+	var params *workload.Params
+	for _, p := range sortedSPECParams() {
+		if p.Name == name {
+			pp := p
+			params = &pp
+			break
+		}
+	}
+	if params == nil {
+		return nil, fmt.Errorf("experiments: unknown sensitivity benchmark %q", name)
+	}
+	store := FrontEndCache()
+	var (
+		sizes []int64
+		ipcs  []float64
+	)
+	err := parallel.Retry(ctx, RetryAttempts, RetryBackoff, func(ctx context.Context, attempt int) error {
+		passDone := ObserveUnit("sensitivity/pass", fmt.Sprintf("%s#%d", name, attempt))
+		e := enginePool.Get().(*laneEngine)
+		defer enginePool.Put(e)
+		sizes = e.sizes
+		var (
+			replayed bool
+			err      error
+		)
+		ipcs, replayed, err = e.run(ctx, store, *params, instructions)
+		if passDone != nil {
+			outcome := UnitGenerated
+			if replayed {
+				outcome = UnitReplayed
+			}
+			passDone(outcome, err)
+		}
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	raw, err := json.Marshal(toSensUnit(assembleSensitivity(name, sizes, ipcs)))
+	if err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
+// DecodeSensitivityUnit reverses the journal encoding of one benchmark's
+// pass (the bytes RunSensitivityUnit and the checkpointed study produce).
+func DecodeSensitivityUnit(raw json.RawMessage) (SensitivityResult, error) {
+	var u sensUnit
+	if err := json.Unmarshal(raw, &u); err != nil {
+		return SensitivityResult{}, fmt.Errorf("experiments: decode sensitivity unit: %w", err)
+	}
+	return u.result(), nil
+}
+
+// EncodeStudy packs an assembled study for broadcast to shard workers (mix
+// units need it for report captions). The curve goes through
+// checkpoint.F64 like every journaled float, so NaN points survive the
+// trip.
+func EncodeStudy(study []SensitivityResult) (json.RawMessage, error) {
+	units := make([]sensUnit, len(study))
+	for i, r := range study {
+		units[i] = toSensUnit(r)
+	}
+	raw, err := json.Marshal(units)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: encode study: %w", err)
+	}
+	return raw, nil
+}
+
+// DecodeStudy reverses EncodeStudy.
+func DecodeStudy(raw json.RawMessage) ([]SensitivityResult, error) {
+	var units []sensUnit
+	if err := json.Unmarshal(raw, &units); err != nil {
+		return nil, fmt.Errorf("experiments: decode study: %w", err)
+	}
+	study := make([]SensitivityResult, len(units))
+	for i, u := range units {
+		study[i] = u.result()
+	}
+	return study, nil
+}

@@ -1,0 +1,10 @@
+//go:build !unix
+
+package fsutil
+
+// No advisory locking on this platform: the lock degrades to a no-op, so
+// concurrent processes may duplicate work but never corrupt state (see
+// LockFile's contract — correctness always rests on atomic publication).
+func lockFile(path string) (func() error, error) {
+	return func() error { return nil }, nil
+}

@@ -1,0 +1,29 @@
+//go:build unix
+
+package fsutil
+
+import (
+	"os"
+	"syscall"
+)
+
+func lockFile(path string) (func() error, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() error {
+		// Closing the descriptor releases the flock, but release
+		// explicitly first so the unlock is not at the mercy of close
+		// semantics.
+		err := syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	}, nil
+}

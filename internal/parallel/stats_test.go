@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -96,5 +97,81 @@ func TestStatsPanicIsolationReconcilesQueue(t *testing.T) {
 	}
 	if got := after.Failed - before.Failed; got != 1 {
 		t.Errorf("failed delta = %d, want 1", got)
+	}
+}
+
+// Gauges must stay coherent while many pools churn concurrently — the
+// process-wide counters aggregate nested and unrelated ForEaches, and the
+// obs layer samples them at arbitrary instants. Invariants checked while
+// sampling mid-churn: the instantaneous gauges never go negative. Invariants
+// checked once the churn settles: gauges return to baseline and every
+// started task finished exactly once (completed or failed), across pools
+// that succeed, fail mid-batch, and get cancelled.
+func TestStatsUnderConcurrentPoolChurn(t *testing.T) {
+	before := Stats()
+	boom := errors.New("churn failure")
+
+	stop := make(chan struct{})
+	var violations atomic.Int64
+	var sampler sync.WaitGroup
+	sampler.Add(1)
+	go func() {
+		defer sampler.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := Stats()
+			if s.Active < 0 || s.Queued < 0 {
+				violations.Add(1)
+			}
+		}
+	}()
+
+	const pools, rounds, tasks = 6, 4, 24
+	var wg sync.WaitGroup
+	for p := 0; p < pools; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for round := 0; round < rounds; round++ {
+				ctx, cancel := context.WithCancel(context.Background())
+				mode := (p + round) % 3
+				ForEach(ctx, tasks, 3, func(ctx context.Context, i int) error {
+					switch {
+					case mode == 1 && i == tasks/2:
+						return boom // first-error shutdown abandons the tail
+					case mode == 2 && i == tasks/2:
+						cancel() // cancellation mid-batch
+					}
+					return nil
+				})
+				cancel()
+			}
+		}(p)
+	}
+	wg.Wait()
+	close(stop)
+	sampler.Wait()
+
+	if n := violations.Load(); n != 0 {
+		t.Errorf("sampler saw %d negative gauge snapshots", n)
+	}
+	after := Stats()
+	if after.Active != before.Active {
+		t.Errorf("active did not settle: %d -> %d", before.Active, after.Active)
+	}
+	if after.Queued != before.Queued {
+		t.Errorf("queue did not drain: %d -> %d", before.Queued, after.Queued)
+	}
+	started := after.Started - before.Started
+	finished := (after.Completed - before.Completed) + (after.Failed - before.Failed)
+	if started != finished {
+		t.Errorf("started %d != completed+failed %d: a task vanished mid-churn", started, finished)
+	}
+	if started == 0 {
+		t.Error("churn ran no tasks")
 	}
 }

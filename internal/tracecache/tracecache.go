@@ -51,6 +51,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"untangle/internal/fsutil"
 	"untangle/internal/telemetry"
 )
 
@@ -158,6 +159,16 @@ func (s *Store) EntryPath(key Key) string {
 // Callers hold it across the whole open-or-generate sequence, so a
 // parallel 36-way fan-out that maps two workers onto the same benchmark
 // generates the stream once: the second worker blocks, then hits.
+//
+// The lock has two layers. An in-process mutex serializes goroutines of
+// one process; an advisory flock on `<entry>.lock` (fsutil.LockFile)
+// serializes the worker *processes* of a sharded campaign, which share the
+// cache directory read-mostly. The flock layer is best-effort: if the
+// filesystem refuses it, generation proceeds without cross-process
+// exclusion — atomic publication keeps the cache sound either way, the
+// lock only prevents duplicate generation work (and the kernel drops it
+// automatically when a worker dies, so a killed worker never wedges the
+// campaign).
 func (s *Store) Lock(key Key) func() {
 	path := s.EntryPath(key)
 	s.mu.Lock()
@@ -168,7 +179,16 @@ func (s *Store) Lock(key Key) func() {
 	}
 	s.mu.Unlock()
 	l.Lock()
-	return l.Unlock
+	unlockFile, err := fsutil.LockFile(path + ".lock")
+	if err != nil {
+		unlockFile = nil
+	}
+	return func() {
+		if unlockFile != nil {
+			unlockFile()
+		}
+		l.Unlock()
+	}
 }
 
 // Open returns a reader over the entry for key, or (nil, nil) on a cache

@@ -1,17 +1,20 @@
 #!/bin/sh
 # Runs the repository's benchmark suites and writes the machine-readable
 # baseline. The output file is BENCH_OUT (or the first argument), defaulting
-# to BENCH_PR7.json; the comparison baseline is BENCH_BASELINE, defaulting
-# to the committed BENCH_PR6.json. The same recipe produced the numbers in
+# to BENCH_PR8.json; the comparison baseline is BENCH_BASELINE, defaulting
+# to the committed BENCH_PR7.json. The same recipe produced the numbers in
 # docs/PERFORMANCE.md; re-run it after any hot-path change and diff the
-# JSON. When the baseline file exists, a per-benchmark ns/op comparison
-# against it is printed after the run (benchjson -compare); set
-# BENCH_THRESHOLD to make a regression beyond that percentage fail the
-# script (benchjson -threshold).
+# JSON. A per-benchmark ns/op comparison against the baseline is printed
+# after the run (benchjson -compare); set BENCH_THRESHOLD to make a
+# regression beyond that percentage fail the script (benchjson -threshold).
+# A missing or unreadable baseline fails the script — comparing against
+# nothing is a silent no-op that can mask a regression; pass
+# BENCH_BASELINE=none to skip the comparison explicitly.
 #
 # Environment knobs:
-#   BENCH_OUT             output JSON path (default BENCH_PR7.json)
-#   BENCH_BASELINE        comparison baseline (default BENCH_PR6.json)
+#   BENCH_OUT             output JSON path (default BENCH_PR8.json)
+#   BENCH_BASELINE        comparison baseline (default BENCH_PR7.json);
+#                         "none" skips the comparison explicitly
 #   BENCH_THRESHOLD       fail if any benchmark regresses more than this
 #                         percent vs the baseline (default 0 = report only)
 #   UNTANGLE_BENCH_SCALE  workload scale for the experiment benchmarks
@@ -23,12 +26,20 @@
 set -eu
 
 cd "$(dirname "$0")/.."
-out="${BENCH_OUT:-${1:-BENCH_PR7.json}}"
-baseline="${BENCH_BASELINE:-BENCH_PR6.json}"
+out="${BENCH_OUT:-${1:-BENCH_PR8.json}}"
+baseline="${BENCH_BASELINE:-BENCH_PR7.json}"
 count="${BENCH_COUNT:-1}"
 threshold="${BENCH_THRESHOLD:-0}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
+
+# Fail before the (long) benchmark run, not after: a baseline that cannot
+# be read would silently skip the comparison that is the point of the run.
+if [ "$baseline" != "none" ] && [ "$out" != "$baseline" ] && ! [ -r "$baseline" ]; then
+    echo "bench.sh: baseline $baseline missing or unreadable" >&2
+    echo "bench.sh: set BENCH_BASELINE to an existing baseline JSON, or BENCH_BASELINE=none to skip the comparison" >&2
+    exit 1
+fi
 
 # The end-to-end experiment benchmarks take seconds per iteration; one
 # timed iteration per -count is the useful measurement. The cache
@@ -38,7 +49,7 @@ go test -run '^$' -bench . -benchtime 1x -count "$count" -timeout 60m . | tee "$
 go test -run '^$' -bench . -count "$count" -timeout 20m ./internal/cache | tee -a "$tmp"
 go run ./cmd/benchjson < "$tmp" > "$out"
 echo "wrote $out"
-if [ -f "$baseline" ] && [ "$out" != "$baseline" ]; then
+if [ "$baseline" != "none" ] && [ "$out" != "$baseline" ]; then
     echo
     echo "comparison against $baseline:"
     go run ./cmd/benchjson -compare -threshold "$threshold" "$baseline" "$out"

@@ -4,10 +4,11 @@
 #   tier 1  build + vet + the fast (-short) test suite — what every change
 #           must keep green (see ROADMAP.md)
 #   tier 2  the race detector over the concurrency-bearing packages: the
-#           worker pool, the fault-injection harness, the checkpoint
-#           journal, the front-end trace cache, the observability layer,
-#           the experiment engine's resilience layer, and the
-#           cmd/experiments kill-and-resume, warm-cache, and
+#           worker pool, the shard coordinator, the fault-injection
+#           harness, the checkpoint journal, the front-end trace cache,
+#           the observability layer, the experiment engine's resilience
+#           layer, and the cmd-level kill-and-resume, sharded
+#           worker-kill-and-merge, warm-cache, and
 #           observability-equivalence tests
 #
 # Everything is hermetic (no network, no external services); the whole
@@ -29,6 +30,8 @@ go test -short ./...
 echo "==> go test -race (concurrency-bearing packages)"
 go test -race -short \
     ./internal/parallel/... \
+    ./internal/shard/... \
+    ./internal/fsutil/... \
     ./internal/faultinject/... \
     ./internal/checkpoint/... \
     ./internal/telemetry/... \
@@ -38,6 +41,20 @@ go test -race -short \
 echo "==> go test -race (kill-and-resume + trace cache + observability equivalence)"
 go test -race -run 'TestCheckpointResumeEquivalence|TestStudyCheckpointResume|TestTransientFault|TestObservabilityDoesNotPerturbOutputs|TestUnitObserverSeam|TestTraceCacheWarmColdEquivalence|TestTraceCacheKeyMismatchFailsLoudly|TestTraceCacheCorruptEntry|TestTraceCacheLaneOutcomeSidecar|TestWarmFrontEndCache' \
     ./internal/experiments/ ./cmd/experiments/
+
+echo "==> go test -race (sharded worker-kill-and-merge equivalence)"
+go test -race -run 'TestShardedCampaignEquivalence|TestShardedStudyEquivalence' \
+    ./cmd/experiments/ ./cmd/sensitivity/
+
+echo "==> benchjson gate (committed baselines)"
+# The committed PR7 -> PR8 deltas peak at +37% on sub-second
+# single-iteration benchmarks (shared-tenancy noise; the seconds-scale
+# benchmarks stay within ~+-10%), so the default threshold is 40 — tight
+# enough to catch a real hot-path regression, loose enough not to trip
+# on the measured noise band. See docs/PERFORMANCE.md.
+if [ -f BENCH_PR8.json ] && [ -f BENCH_PR7.json ]; then
+    go run ./cmd/benchjson -compare -threshold "${BENCH_GATE_THRESHOLD:-40}" BENCH_PR7.json BENCH_PR8.json
+fi
 
 if [ "${CI:-}" = "full" ]; then
     echo "==> go test ./... (long suite)"
