@@ -31,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"regexp"
 	"sort"
@@ -214,6 +215,33 @@ func compareBaselines(out io.Writer, oldPath, newPath string, threshold float64)
 			}
 			fmt.Fprintf(w, "%-40s %14s %14s %+8.1f%%%s\n", n, humanNs(o.NsPerOp), humanNs(e.NsPerOp), pct, mark)
 		}
+	}
+	// Summary: the geometric mean of the per-benchmark ns/op ratios (the
+	// scale-free aggregate — a 2x speedup on a 1s benchmark and a 2x
+	// slowdown on a 1ms one cancel out) over benchmarks present in both
+	// files, plus the headcount either side of it.
+	var logSum float64
+	common, faster, slower := 0, 0, 0
+	for _, n := range sorted {
+		o, haveOld := oldE[n]
+		e, haveNew := newE[n]
+		if !haveOld || !haveNew || o.NsPerOp <= 0 || e.NsPerOp <= 0 {
+			continue
+		}
+		logSum += math.Log(e.NsPerOp / o.NsPerOp)
+		common++
+		switch {
+		case e.NsPerOp < o.NsPerOp:
+			faster++
+		case e.NsPerOp > o.NsPerOp:
+			slower++
+		}
+	}
+	if common > 0 {
+		pct := (math.Exp(logSum/float64(common)) - 1) * 100
+		fmt.Fprintf(w, "%-40s %14s %14s %+8.1f%%\n",
+			fmt.Sprintf("geomean (%d common)", common), "", "", pct)
+		fmt.Fprintf(w, "%d improvement(s), %d regression(s)\n", faster, slower)
 	}
 	return regressed, nil
 }

@@ -73,6 +73,42 @@ func TestCompareBaselinesThreshold(t *testing.T) {
 	}
 }
 
+func TestCompareBaselinesGeomeanSummary(t *testing.T) {
+	oldPath := writeBaseline(t, "old.json", `{
+  "BenchmarkA": {"iterations": 10, "ns_per_op": 100},
+  "BenchmarkB": {"iterations": 10, "ns_per_op": 1000},
+  "BenchmarkGone": {"iterations": 10, "ns_per_op": 50}
+}`)
+	newPath := writeBaseline(t, "new.json", `{
+  "BenchmarkA": {"iterations": 10, "ns_per_op": 50},
+  "BenchmarkB": {"iterations": 10, "ns_per_op": 2000},
+  "BenchmarkNew": {"iterations": 10, "ns_per_op": 75}
+}`)
+	var out strings.Builder
+	if _, err := compareBaselines(&out, oldPath, newPath, 0); err != nil {
+		t.Fatal(err)
+	}
+	table := out.String()
+	// A halved (ratio 0.5) and B doubled (ratio 2.0): the geometric mean is
+	// exactly 1.0, and added/removed entries stay out of it.
+	for _, want := range []string{"geomean (2 common)", "+0.0%", "1 improvement(s), 1 regression(s)"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("summary missing %q:\n%s", want, table)
+		}
+	}
+
+	// A summary over one pair reports that pair's delta.
+	single := writeBaseline(t, "single-old.json", `{"BenchmarkA": {"iterations": 10, "ns_per_op": 100}}`)
+	singleNew := writeBaseline(t, "single-new.json", `{"BenchmarkA": {"iterations": 10, "ns_per_op": 150}}`)
+	out.Reset()
+	if _, err := compareBaselines(&out, single, singleNew, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); !strings.Contains(got, "geomean (1 common)") || !strings.Contains(got, "+50.0%") {
+		t.Errorf("single-pair summary wrong:\n%s", got)
+	}
+}
+
 func TestCompareBaselinesBadFiles(t *testing.T) {
 	good := writeBaseline(t, "good.json", `{"BenchmarkX": {"iterations": 1, "ns_per_op": 1, "ops_per_sec": 1e9}}`)
 	bad := writeBaseline(t, "bad.json", `not json`)

@@ -103,6 +103,12 @@ type config struct {
 	feCacheDir     string // -fe-cache: cache directory ("" = off)
 	feCacheRebuild bool   // -fe-cache-rebuild: regenerate corrupt/mismatched entries
 
+	// oracleMixes forces mix units onto the per-scheme oracle path instead
+	// of the fused mix engine (experiments/mixlane.go). Results are bitwise
+	// identical either way; the flag exists for verification and timing
+	// comparisons.
+	oracleMixes bool // -oracle-mixes
+
 	// Observability (docs/TELEMETRY.md): all wall-clock, none of it touches
 	// the report or telemetry bytes.
 	httpAddr string // -http: serve /metrics, /progress, /healthz, pprof
@@ -189,7 +195,8 @@ func main() {
 		jobs     = flag.Int("jobs", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 		shards   = flag.Int("shards", 0, "split the campaign across N worker processes (requires -checkpoint; 0/1 = in-process)")
 		ckpt     = flag.String("checkpoint", "", "journal completed units to this file and resume from it on restart")
-		feCache  = flag.String("fe-cache", "", "persist/replay sensitivity front-end event streams in this directory")
+		feCache  = flag.String("fe-cache", "", "persist/replay front-end event streams (sensitivity study and mixes) in this directory")
+		oracleMx = flag.Bool("oracle-mixes", false, "run mixes on the per-scheme oracle path instead of the fused engine (bitwise-identical, slower)")
 		feRebld  = flag.Bool("fe-cache-rebuild", false, "regenerate corrupt or key-mismatched -fe-cache entries instead of failing")
 		httpAddr = flag.String("http", "", "serve /metrics, /progress, /healthz and pprof on this address (e.g. :8080)")
 		obsTrace = flag.String("obs-trace", "", "write a wall-clock span trace (JSONL) of the campaign to this file")
@@ -215,6 +222,7 @@ func main() {
 		ckptPath:       *ckpt,
 		feCacheDir:     *feCache,
 		feCacheRebuild: *feRebld,
+		oracleMixes:    *oracleMx,
 		httpAddr:       *httpAddr,
 		obsPath:        *obsTrace,
 		quiet:          *quiet,
@@ -560,7 +568,7 @@ func runMixUnit(ctx context.Context, cfg config, study []experiments.Sensitivity
 	var buffers map[partition.Kind]*telemetry.Buffer
 	err = parallel.Retry(ctx, experiments.RetryAttempts, experiments.RetryBackoff, func(ctx context.Context, attempt int) error {
 		passDone := experiments.ObserveUnit("mix/pass", fmt.Sprintf("%s#%d", key, attempt))
-		opts := experiments.Options{Scale: cfg.scale, Jobs: innerJobs}
+		opts := experiments.Options{Scale: cfg.scale, Jobs: innerJobs, DisableFusion: cfg.oracleMixes}
 		if cfg.traced {
 			// Telemetry: per-scheme buffers keep concurrent schemes
 			// from interleaving; the buffers drain to the shared JSONL
@@ -598,6 +606,7 @@ func runMixUnit(ctx context.Context, cfg config, study []experiments.Sensitivity
 				Kinds:               []partition.Kind{partition.Untangle},
 				WorstCaseAccounting: true,
 				Jobs:                innerJobs,
+				DisableFusion:       cfg.oracleMixes,
 			})
 			if passDone != nil {
 				passDone(experiments.UnitGenerated, err)

@@ -167,6 +167,84 @@ func TestCheckpointResumeEquivalence(t *testing.T) {
 	})
 }
 
+// The fused mix engine must be invisible at the campaign level: the -out
+// and -telemetry files of a default campaign byte-equal the -oracle-mixes
+// campaign's, cold, through a populated and a warm front-end cache, and
+// across a checkpointed kill that lands inside a mix front-end.
+func TestMixFusionCampaignOutputsMatchOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs six small campaigns")
+	}
+	// sensIns 0 drops the sensitivity study: the campaign is mix units and
+	// their active-attacker reruns, so every byte under test flows through
+	// the mix path.
+	oracleCfg := equivalenceConfig(t.TempDir())
+	oracleCfg.sensIns = 0
+	oracleCfg.oracleMixes = true
+	wantReport, wantTrace := campaign(t, context.Background(), oracleCfg)
+
+	check := func(t *testing.T, report, trace []byte) {
+		t.Helper()
+		if !bytes.Equal(report, wantReport) {
+			t.Errorf("report differs from oracle campaign (%d vs %d bytes)", len(report), len(wantReport))
+		}
+		if !bytes.Equal(trace, wantTrace) {
+			t.Errorf("telemetry differs from oracle campaign (%d vs %d bytes)", len(trace), len(wantTrace))
+		}
+	}
+
+	t.Run("fused-cold", func(t *testing.T) {
+		cfg := equivalenceConfig(t.TempDir())
+		cfg.sensIns = 0
+		report, trace := campaign(t, context.Background(), cfg)
+		check(t, report, trace)
+	})
+
+	t.Run("fused-warm", func(t *testing.T) {
+		cacheDir := t.TempDir()
+		cfg := equivalenceConfig(t.TempDir())
+		cfg.sensIns = 0
+		cfg.feCacheDir = cacheDir
+		report, trace := campaign(t, context.Background(), cfg) // populates the cache
+		check(t, report, trace)
+
+		warm := equivalenceConfig(t.TempDir())
+		warm.sensIns = 0
+		warm.feCacheDir = cacheDir
+		report, trace = campaign(t, context.Background(), warm) // replays it
+		check(t, report, trace)
+	})
+
+	t.Run("kill-mid-mix-and-resume", func(t *testing.T) {
+		cfg := equivalenceConfig(t.TempDir())
+		cfg.sensIns = 0
+		cfg.feCacheDir = t.TempDir()
+		cfg.ckptPath = filepath.Join(filepath.Dir(cfg.outPath), "run.ckpt")
+
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		// With no study, the first engine chunks belong to mix 1's fused
+		// front-end and lanes: chunk 40 cancels while the mix is mid-flight.
+		inj := faultinject.CancelAt(40, cancel)
+		experiments.SetEngineChunkHook(inj.Fire)
+		err := run(ctx, cfg, io.Discard)
+		experiments.SetEngineChunkHook(nil)
+		if err != nil {
+			t.Fatalf("interrupted run did not exit cleanly: %v", err)
+		}
+		partial, err := os.ReadFile(cfg.outPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Contains(partial, []byte("0/2 mixes")) {
+			t.Fatalf("kill point missed the mix phase; interrupted manifest:\n%s", partial)
+		}
+
+		report, trace := campaign(t, context.Background(), cfg)
+		check(t, report, trace)
+	})
+}
+
 // A failed unit must leave the -out and -telemetry destinations exactly as
 // they were: the report of the previous successful campaign, not a torn or
 // truncated file.

@@ -81,6 +81,7 @@ func workerMain(args []string) int {
 		ckptPath:       *fs.ckpt,
 		feCacheDir:     *fs.feCache,
 		feCacheRebuild: *fs.feRebld,
+		oracleMixes:    *fs.oracleMx,
 	}
 	if cfg.ckptPath == "" {
 		log.Print("-shard-worker requires -checkpoint")
@@ -101,31 +102,33 @@ func workerMain(args []string) int {
 // workerFlags is the -shard-worker flag set, shared knowledge with
 // spawnWorker which generates the matching argv.
 type workerFlags struct {
-	fs      *flag.FlagSet
-	shard   *int
-	scale   *float64
-	mixes   *string
-	sensIns *uint64
-	skipAct *bool
-	traced  *bool
-	ckpt    *string
-	feCache *string
-	feRebld *bool
+	fs       *flag.FlagSet
+	shard    *int
+	scale    *float64
+	mixes    *string
+	sensIns  *uint64
+	skipAct  *bool
+	traced   *bool
+	ckpt     *string
+	feCache  *string
+	feRebld  *bool
+	oracleMx *bool
 }
 
 func newWorkerFlags() *workerFlags {
 	fs := flag.NewFlagSet("shard-worker", flag.ContinueOnError)
 	return &workerFlags{
-		fs:      fs,
-		shard:   fs.Int("shard", 0, "this worker's shard index"),
-		scale:   fs.Float64("scale", 0.01, "scale factor (must match the coordinator)"),
-		mixes:   fs.String("mixes", "", "comma-separated mix ids (must match the coordinator)"),
-		sensIns: fs.Uint64("sensitivity-instructions", 1_500_000, "instructions per sensitivity pass"),
-		skipAct: fs.Bool("skip-active", false, "skip the active-attacker accounting runs"),
-		traced:  fs.Bool("traced", false, "journal telemetry events with each mix"),
-		ckpt:    fs.String("checkpoint", "", "the campaign's main checkpoint path (shard journal derives from it)"),
-		feCache: fs.String("fe-cache", "", "front-end trace cache directory"),
-		feRebld: fs.Bool("fe-cache-rebuild", false, "regenerate corrupt fe-cache entries"),
+		fs:       fs,
+		shard:    fs.Int("shard", 0, "this worker's shard index"),
+		scale:    fs.Float64("scale", 0.01, "scale factor (must match the coordinator)"),
+		mixes:    fs.String("mixes", "", "comma-separated mix ids (must match the coordinator)"),
+		sensIns:  fs.Uint64("sensitivity-instructions", 1_500_000, "instructions per sensitivity pass"),
+		skipAct:  fs.Bool("skip-active", false, "skip the active-attacker accounting runs"),
+		traced:   fs.Bool("traced", false, "journal telemetry events with each mix"),
+		ckpt:     fs.String("checkpoint", "", "the campaign's main checkpoint path (shard journal derives from it)"),
+		feCache:  fs.String("fe-cache", "", "front-end trace cache directory"),
+		feRebld:  fs.Bool("fe-cache-rebuild", false, "regenerate corrupt fe-cache entries"),
+		oracleMx: fs.Bool("oracle-mixes", false, "run mixes on the per-scheme oracle path"),
 	}
 }
 
@@ -303,6 +306,9 @@ func (sc *shardCampaign) spawnWorker(shardIdx int) (*shard.Proc, error) {
 	}
 	if sc.cfg.feCacheRebuild {
 		args = append(args, "-fe-cache-rebuild")
+	}
+	if sc.cfg.oracleMixes {
+		args = append(args, "-oracle-mixes")
 	}
 	cmd := exec.Command(exe, args...)
 	cmd.Stderr = os.Stderr

@@ -278,6 +278,49 @@ func (c *Cache) Access(addr uint64, write bool) bool {
 	return false
 }
 
+// ShadowAccess is Access for monitor shadow-tag arrays: the same lookup,
+// LRU bookkeeping, and replacement decisions — the hit/miss sequence and
+// resident-line evolution are identical to Access's — but no statistics or
+// dirty-line tracking, which shadow arrays never read (they have no lower
+// level to write back to). The behavioural alignment is what keeps
+// monitors fed through recorded hit masks (monitor.HitMask/ObserveMask)
+// bitwise-equal to live ones.
+func (c *Cache) ShadowAccess(addr uint64) bool {
+	lineAddr := addr / LineBytes
+	set := c.setIndex(lineAddr)
+	base := set * c.ways
+	tags := c.tags[base : base+c.ways]
+	tag := lineAddr + 1
+	c.tick++
+	hit, empty := -1, -1
+	for i, t := range tags {
+		if t == tag {
+			hit = i
+			break
+		}
+		if t == 0 && empty < 0 {
+			empty = i
+		}
+	}
+	if hit >= 0 {
+		c.lru[base+hit] = c.tick
+		if c.policy == TreePLRU {
+			c.plruTouch(set, hit, c.ways)
+		}
+		return true
+	}
+	slot := empty
+	if slot < 0 {
+		slot = c.victimFor(set, base)
+	}
+	c.tags[base+slot] = tag
+	c.lru[base+slot] = c.tick
+	if c.policy == TreePLRU {
+		c.plruTouch(set, slot, c.ways)
+	}
+	return false
+}
+
 // Prefetch installs the line containing addr if absent, inserting it in LRU
 // position below the most-recent line (conservative insertion, so useless
 // prefetches are evicted first). It does not touch demand hit/miss counters.

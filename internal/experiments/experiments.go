@@ -63,6 +63,13 @@ type Options struct {
 	TracerFor func(partition.Kind) *telemetry.Tracer
 	// MetricsFor, when non-nil, supplies a metrics registry per scheme.
 	MetricsFor func(partition.Kind) *telemetry.Registry
+	// DisableFusion forces RunMix onto the per-scheme oracle path: each
+	// scheme regenerates and re-simulates its own front-end, as the fused
+	// engine (mixlane.go) would otherwise share one front-end pass across
+	// the schemes. Results are bitwise identical either way
+	// (TestMixFusionMatchesOracle); the oracle is kept for verification
+	// and as the fallback for over-budget tapes.
+	DisableFusion bool
 	// Jobs bounds the experiment engine's worker pool: 0 uses GOMAXPROCS,
 	// 1 forces the legacy sequential path, N caps concurrency at N. Every
 	// fan-out point (scheme, seed, or size) owns its simulator, generators,
@@ -143,7 +150,26 @@ func RunMix(mix workload.Mix, opts Options) (*MixResult, error) {
 
 // RunMixContext is RunMix with cancellation: canceling ctx stops schemes
 // that have not started yet and returns the context's error.
+//
+// By default the mix runs on the fused engine (mixlane.go): one front-end
+// pass shared by all schemes, bitwise-equal to the oracle below. The
+// oracle runs when fusion is disabled or the mix is ineligible.
 func RunMixContext(ctx context.Context, mix workload.Mix, opts Options) (*MixResult, error) {
+	if !opts.DisableFusion {
+		res, ok, err := runMixFused(ctx, mix, opts)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return res, nil
+		}
+	}
+	return runMixOracle(ctx, mix, opts)
+}
+
+// runMixOracle is the reference path: every scheme generates and simulates
+// its own front-end from scratch.
+func runMixOracle(ctx context.Context, mix workload.Mix, opts Options) (*MixResult, error) {
 	res := &MixResult{Mix: mix, Scale: opts.scale(), PerScheme: map[partition.Kind]*sim.Result{}}
 	kinds := opts.kinds()
 	results, err := parallel.Map(ctx, len(kinds), opts.Jobs, func(_ context.Context, i int) (*sim.Result, error) {

@@ -1,0 +1,266 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"untangle/internal/partition"
+	"untangle/internal/telemetry"
+	"untangle/internal/tracecache"
+	"untangle/internal/workload"
+)
+
+// fusionTestScale keeps the 16-mix sweep affordable; the fused/oracle
+// equivalence is scale-independent (the two paths execute the same
+// operations in the same order at any scale).
+const fusionTestScale = 0.0002
+
+// requireMixBitwiseEqual asserts two mix results are bitwise identical:
+// reflect.DeepEqual compares every float by value (IPCs, cycle counts,
+// leakage, sample timelines), which is bit equality for the finite values
+// these runs produce.
+func requireMixBitwiseEqual(t *testing.T, label string, got, want *MixResult) {
+	t.Helper()
+	if math.Float64bits(got.Scale) != math.Float64bits(want.Scale) {
+		t.Fatalf("%s: scale %v != %v", label, got.Scale, want.Scale)
+	}
+	if len(got.PerScheme) != len(want.PerScheme) {
+		t.Fatalf("%s: %d schemes, want %d", label, len(got.PerScheme), len(want.PerScheme))
+	}
+	for kind, w := range want.PerScheme {
+		g := got.PerScheme[kind]
+		if g == nil {
+			t.Fatalf("%s: scheme %v missing", label, kind)
+		}
+		if reflect.DeepEqual(g, w) {
+			continue
+		}
+		for d := range w.Domains {
+			if !reflect.DeepEqual(g.Domains[d], w.Domains[d]) {
+				t.Errorf("%s: %v domain %d (%s) differs:\n  got  instr=%d cycles=%v finish=%v L1=%+v LLC=%+v leak=%+v\n  want instr=%d cycles=%v finish=%v L1=%+v LLC=%+v leak=%+v",
+					label, kind, d, w.Domains[d].Name,
+					g.Domains[d].Instructions, g.Domains[d].Cycles, g.Domains[d].FinishTime,
+					g.Domains[d].L1, g.Domains[d].LLC, g.Domains[d].Leakage,
+					w.Domains[d].Instructions, w.Domains[d].Cycles, w.Domains[d].FinishTime,
+					w.Domains[d].L1, w.Domains[d].LLC, w.Domains[d].Leakage)
+			}
+		}
+		t.Fatalf("%s: scheme %v differs", label, kind)
+	}
+}
+
+// mixBuffers builds one telemetry buffer per scheme plus the TracerFor
+// wiring runMixUnit uses, so the test sees exactly the event streams the
+// campaign driver would serialize.
+func mixBuffers(id int) (map[partition.Kind]*telemetry.Buffer, func(partition.Kind) *telemetry.Tracer) {
+	bufs := map[partition.Kind]*telemetry.Buffer{}
+	for _, k := range (Options{}).kinds() {
+		bufs[k] = telemetry.NewBuffer()
+	}
+	return bufs, func(k partition.Kind) *telemetry.Tracer {
+		return telemetry.New(bufs[k], nil, fmt.Sprintf("mix%d/%s", id, k))
+	}
+}
+
+// requireBuffersEqual asserts the serialized telemetry is byte-identical.
+func requireBuffersEqual(t *testing.T, label string, got, want map[partition.Kind]*telemetry.Buffer) {
+	t.Helper()
+	for k, wb := range want {
+		var gj, wj bytes.Buffer
+		if err := got[k].WriteJSONL(&gj); err != nil {
+			t.Fatal(err)
+		}
+		if err := wb.WriteJSONL(&wj); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gj.Bytes(), wj.Bytes()) {
+			t.Errorf("%s: telemetry for %v differs (%d vs %d events)", label, k, got[k].Len(), wb.Len())
+		}
+	}
+}
+
+func fusionTestMixes(t *testing.T) []int {
+	if testing.Short() {
+		return []int{1, 2}
+	}
+	ids := make([]int, 0, len(workload.Mixes))
+	for _, m := range workload.Mixes {
+		ids = append(ids, m.ID)
+	}
+	return ids
+}
+
+// TestMixFusionMatchesOracle is the PR's central acceptance test: the
+// fused mix engine (one front-end pass teed into four scheme lanes)
+// reproduces the per-scheme oracle bitwise — IPCs, leakage accounting,
+// partition traces, sample timelines, telemetry — for every mix, both
+// cold and replaying from a warm front-end cache.
+func TestMixFusionMatchesOracle(t *testing.T) {
+	ids := fusionTestMixes(t)
+
+	t.Run("cold", func(t *testing.T) {
+		for _, id := range ids {
+			id := id
+			t.Run(fmt.Sprintf("mix%d", id), func(t *testing.T) {
+				t.Parallel()
+				mix, err := workload.MixByID(id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				oracle, err := RunMix(mix, Options{Scale: fusionTestScale, DisableFusion: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				fused, err := RunMix(mix, Options{Scale: fusionTestScale})
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireMixBitwiseEqual(t, "fused-cold", fused, oracle)
+			})
+		}
+	})
+
+	// The warm phase owns the process-global front-end cache, so it runs
+	// after the parallel cold group and keeps its mixes sequential.
+	t.Run("warm", func(t *testing.T) {
+		st := newTestStore(t, false)
+		SetFrontEndCache(st)
+		defer SetFrontEndCache(nil)
+		warmIDs := ids
+		if len(warmIDs) > 2 {
+			warmIDs = warmIDs[:2]
+		}
+		for _, id := range warmIDs {
+			mix, err := workload.MixByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			oBufs, oTracers := mixBuffers(id)
+			oracle, err := RunMix(mix, Options{Scale: fusionTestScale, DisableFusion: true, TracerFor: oTracers})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			cBufs, cTracers := mixBuffers(id)
+			cold, err := RunMix(mix, Options{Scale: fusionTestScale, TracerFor: cTracers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireMixBitwiseEqual(t, "fused-populate", cold, oracle)
+			requireBuffersEqual(t, "fused-populate", cBufs, oBufs)
+
+			before := st.Counters()
+			wBufs, wTracers := mixBuffers(id)
+			warm, err := RunMix(mix, Options{Scale: fusionTestScale, TracerFor: wTracers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireMixBitwiseEqual(t, "fused-warm", warm, oracle)
+			requireBuffersEqual(t, "fused-warm", wBufs, oBufs)
+			after := st.Counters()
+			if hits := after.Hits - before.Hits; hits < int64(len(mix.Pairs)) {
+				t.Errorf("mix %d warm run hit the cache %d times, want >= %d", id, hits, len(mix.Pairs))
+			}
+		}
+	})
+}
+
+// TestMixFusionUnderrunRegenerates covers the one stored quantity whose
+// needed length is scheme-dependent: the pressure tail. A cached entry
+// whose tail is too short for the lanes must be detected, deleted, and
+// regenerated cold — still matching the oracle bitwise — and the rewritten
+// entry must carry a full tail again.
+func TestMixFusionUnderrunRegenerates(t *testing.T) {
+	mix, err := workload.MixByID(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := RunMix(mix, Options{Scale: fusionTestScale, DisableFusion: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st := newTestStore(t, false)
+	SetFrontEndCache(st)
+	defer SetFrontEndCache(nil)
+	cold, err := RunMix(mix, Options{Scale: fusionTestScale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireMixBitwiseEqual(t, "populate", cold, oracle)
+
+	// Truncate domain 0's entry to measured stream + marker, no tail.
+	key := mixStreamKey(mix.Pairs[0], 0, fusionTestScale, 0, true, 32<<10, 8)
+	path := st.EntryPath(key)
+	r, err := st.Open(key)
+	if err != nil || r == nil {
+		t.Fatalf("open %s: r=%v err=%v", path, r, err)
+	}
+	var events []tracecache.Event
+	buf := make([]tracecache.Event, 4096)
+	for {
+		n, rerr := r.Read(buf)
+		events = append(events, buf[:n]...)
+		if rerr != nil {
+			break
+		}
+	}
+	r.Close()
+	cut := -1
+	for i, ev := range events {
+		if ev.Kind == tracecache.KindMeasuredEnd {
+			cut = i
+			break
+		}
+	}
+	if cut < 0 || cut == len(events)-1 {
+		t.Fatalf("entry has no marker or no tail (marker at %d of %d)", cut, len(events))
+	}
+	w, err := st.CreateRich(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteEvents(events[:cut+1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	warm, err := RunMix(mix, Options{Scale: fusionTestScale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireMixBitwiseEqual(t, "underrun-regenerated", warm, oracle)
+
+	info, err := tracecache.ReadInfo(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tail := info.Events - info.Measured - 1; tail == 0 {
+		t.Errorf("regenerated entry still has no pressure tail (%d events, %d measured)", info.Events, info.Measured)
+	}
+}
+
+// TestMixFusionOracleFlagForcesOracle pins the escape hatch: DisableFusion
+// must leave the cache untouched.
+func TestMixFusionOracleFlagForcesOracle(t *testing.T) {
+	mix, err := workload.MixByID(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := newTestStore(t, false)
+	SetFrontEndCache(st)
+	defer SetFrontEndCache(nil)
+	if _, err := RunMix(mix, Options{Scale: fusionTestScale, DisableFusion: true, Kinds: []partition.Kind{partition.Static}}); err != nil {
+		t.Fatal(err)
+	}
+	c := st.Counters()
+	if c.Hits != 0 || c.Misses != 0 || c.BytesWritten != 0 {
+		t.Errorf("oracle path touched the cache: %+v", c)
+	}
+}

@@ -39,6 +39,11 @@ type Config struct {
 	// Buckets subdivides the window for aging; the window slides in
 	// Window/Buckets increments. Defaults to 8.
 	Buckets int
+	// SkipShadows builds the monitor without its shadow-tag arrays, for
+	// domains fed exclusively through ObserveMask (replay lanes whose hit
+	// vectors a recorder precomputed). Observe and HitMask must not be
+	// called on such a monitor.
+	SkipShadows bool
 }
 
 // DefaultSizes returns the paper's 9 supported partition sizes.
@@ -74,6 +79,9 @@ func New(cfg Config) (*Monitor, error) {
 	if len(cfg.Sizes) == 0 {
 		return nil, fmt.Errorf("monitor: no candidate sizes")
 	}
+	if len(cfg.Sizes) > 16 {
+		return nil, fmt.Errorf("monitor: %d candidate sizes exceed HitMask's 16-bit vector", len(cfg.Sizes))
+	}
 	for i := 1; i < len(cfg.Sizes); i++ {
 		if cfg.Sizes[i] <= cfg.Sizes[i-1] {
 			return nil, fmt.Errorf("monitor: sizes must be strictly increasing")
@@ -87,17 +95,19 @@ func New(cfg Config) (*Monitor, error) {
 	}
 	m := &Monitor{cfg: cfg}
 	m.sampleMask = (uint64(1) << cfg.SampleLog2) - 1
-	for _, size := range cfg.Sizes {
-		shadowSize := size >> cfg.SampleLog2
-		minSize := int64(cfg.Ways * cache.LineBytes * 4) // keep >= 4 sets
-		if shadowSize < minSize {
-			shadowSize = minSize
+	if !cfg.SkipShadows {
+		for _, size := range cfg.Sizes {
+			shadowSize := size >> cfg.SampleLog2
+			minSize := int64(cfg.Ways * cache.LineBytes * 4) // keep >= 4 sets
+			if shadowSize < minSize {
+				shadowSize = minSize
+			}
+			c, err := cache.New(cache.Config{SizeBytes: shadowSize, Ways: cfg.Ways})
+			if err != nil {
+				return nil, fmt.Errorf("monitor: shadow for size %d: %w", size, err)
+			}
+			m.shadows = append(m.shadows, c)
 		}
-		c, err := cache.New(cache.Config{SizeBytes: shadowSize, Ways: cfg.Ways})
-		if err != nil {
-			return nil, fmt.Errorf("monitor: shadow for size %d: %w", size, err)
-		}
-		m.shadows = append(m.shadows, c)
 	}
 	m.ring = make([][]uint64, cfg.Buckets)
 	for i := range m.ring {
@@ -121,7 +131,9 @@ func sampleHash(lineAddr uint64) uint64 {
 
 // Observe records one retired public memory access, in program order.
 // Callers must not pass secret-annotated accesses; that exclusion is what
-// removes Edge 1 of Figure 2.
+// removes Edge 1 of Figure 2. The write bit is part of the retired-access
+// record but does not affect the metric: shadow arrays count hits only and
+// track no dirty state (cache.ShadowAccess).
 func (m *Monitor) Observe(addr uint64, write bool) {
 	m.totalObserved++
 	m.curCount++
@@ -139,9 +151,56 @@ func (m *Monitor) Observe(addr uint64, write bool) {
 	}
 	row := m.ring[m.cur]
 	for s, shadow := range m.shadows {
-		if shadow.Access(addr, write) {
+		if shadow.ShadowAccess(addr) {
 			row[s]++
 		}
+	}
+}
+
+// HitMask simulates the shadow arrays for one observed access and returns
+// the per-size hit vector (bit s set = the size-s shadow hit) without
+// touching the window counters. Because the shadow state — like every
+// monitor quantity — is a pure function of the observed public access
+// sequence, a recorder can compute each access's mask once and feed it to
+// any number of monitors via ObserveMask; Observe(a, w) is exactly
+// ObserveMask(HitMask(a, w)). Unsampled accesses return 0, which
+// ObserveMask cannot distinguish from an all-miss sampled access — the two
+// have identical window effects.
+func (m *Monitor) HitMask(addr uint64, write bool) uint16 {
+	lineAddr := addr / cache.LineBytes
+	if sampleHash(lineAddr)&m.sampleMask != 0 {
+		return 0
+	}
+	var mask uint16
+	for s, shadow := range m.shadows {
+		if shadow.ShadowAccess(addr) {
+			mask |= 1 << s
+		}
+	}
+	return mask
+}
+
+// ObserveMask records one retired public memory access whose shadow
+// resolution was precomputed by HitMask on a recorder monitor with the same
+// Sizes, Ways, and SampleLog2. Window bookkeeping (bucket rotation, counts)
+// is identical to Observe's; this monitor's own shadow arrays stay unused.
+func (m *Monitor) ObserveMask(mask uint16) {
+	m.totalObserved++
+	m.curCount++
+	if m.curCount >= m.bucketLen {
+		m.cur = (m.cur + 1) % len(m.ring)
+		for s := range m.ring[m.cur] {
+			m.ring[m.cur][s] = 0
+		}
+		m.curCount = 0
+		m.rotations++
+	}
+	row := m.ring[m.cur]
+	for s := 0; mask != 0; s++ {
+		if mask&1 != 0 {
+			row[s]++
+		}
+		mask >>= 1
 	}
 }
 

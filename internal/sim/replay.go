@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"time"
+
+	"untangle/internal/cache"
+	"untangle/internal/cpu"
+	"untangle/internal/partition"
+	"untangle/internal/tracecache"
+)
+
+// ReplaySource feeds a domain with a pre-resolved post-L1 event stream
+// instead of a live instruction stream + private L1. The events carry
+// everything runDomainUntil would otherwise derive from the op and the L1:
+// the hit/miss resolution, the write bit, the monitor-observation and
+// public-progress gates, and L1 eviction/writeback counts (tracecache's
+// rich encoding). The fused mix engine uses this to run the front-end once
+// and replay it into every scheme's back-end.
+//
+// Protocol: NextEvents returns the next batch, valid until the next call.
+// An empty batch marks the end of the measured stream — the simulator
+// freezes the domain's statistics, exactly as a drained Stream does — and
+// pressure-tail batches may follow. A second empty batch means nothing
+// remains and the domain idles forward.
+//
+// Events with FlagMonObserve must carry MonMask, the precomputed shadow
+// hit vector (monitor.Monitor.HitMask under the configuration this sim
+// uses): replayed domains apply masks via ObserveMask rather than
+// re-simulating the shadow arrays, which is what makes monitor work
+// per-mix instead of per-scheme.
+type ReplaySource interface {
+	NextEvents() []tracecache.Event
+}
+
+// runDomainReplayUntil is runDomainUntil for a replay-fed domain. The two
+// loops must stay in lockstep: every core charge, cache access, monitor
+// observation, and progress-counter update happens in the same order with
+// the same arguments, so the fused engine's results are bitwise equal to
+// the live path's (TestMixFusionMatchesOracle).
+func (s *Sim) runDomainReplayUntil(d *domain, horizon time.Duration) {
+	cfg := &s.cfg
+	horizonCycles := d.core.DurationToCycles(horizon)
+	for d.core.Cycles() < horizonCycles {
+		if d.rpos >= len(d.rbatch) {
+			d.rbatch = d.replay.NextEvents()
+			d.rpos = 0
+			if len(d.rbatch) == 0 {
+				if !d.finished {
+					s.finishDomain(d)
+					continue // the pressure tail, if recorded, follows
+				}
+				d.core.AdvanceTo(horizon)
+				return
+			}
+		}
+		ev := d.rbatch[d.rpos]
+		d.rpos++
+
+		d.core.RetireNonMem(ev.NonMem)
+		instr := uint64(ev.NonMem)
+		if ev.Kind != tracecache.KindNoMem {
+			instr++
+			write := ev.Flags&tracecache.FlagWrite != 0
+			if ev.Kind == tracecache.KindL1Hit {
+				d.core.RetireMem(cpu.L1Hit)
+				d.l1Stats.Hits++
+			} else {
+				d.l1Stats.Misses++
+				if ev.Flags&tracecache.FlagL1Evict != 0 {
+					d.l1Stats.Evictions++
+				}
+				if ev.Flags&tracecache.FlagL1Writeback != 0 {
+					d.l1Stats.Writebacks++
+				}
+				if s.llcAccess(d, ev.Addr, write) {
+					d.core.RetireMem(cpu.LLCHit)
+				} else {
+					d.core.RetireMem(cpu.Memory)
+					d.dramInQuantum++
+					if cfg.NextLinePrefetch && d.part != nil {
+						d.part.Prefetch(ev.Addr + cache.LineBytes)
+					}
+				}
+			}
+			// The monitor gate (annotation filter + the monitor's own
+			// private-cache filter) is scheme-independent, so the front-end
+			// resolved it once into FlagMonObserve — and the shadow-array
+			// resolution is too, so the event carries the precomputed hit
+			// vector and the lane only updates its window counters.
+			if d.mon != nil && ev.Flags&tracecache.FlagMonObserve != 0 {
+				d.mon.ObserveMask(ev.MonMask)
+			}
+		}
+		d.retired += instr
+		if ev.Flags&tracecache.FlagPublic != 0 {
+			d.publicRetired += instr
+		}
+		if d.havePending && d.core.Now() >= d.pendingAt {
+			s.applyResize(d)
+		}
+		if cfg.Scheme.Kind == partition.Untangle && d.publicRetired >= d.nextAssessAt {
+			s.assessUntangle(d)
+		}
+	}
+}
+
+// l1Snapshot returns the domain's private-L1 statistics: the live cache's
+// counters, or the replayed counters accumulated from the event flags.
+func (d *domain) l1Snapshot() cache.Stats {
+	if d.l1 != nil {
+		return d.l1.Stats()
+	}
+	return d.l1Stats
+}

@@ -24,6 +24,7 @@ import (
 	"untangle/internal/monitor"
 	"untangle/internal/partition"
 	"untangle/internal/telemetry"
+	"untangle/internal/tracecache"
 )
 
 // domainAddrShift separates domain address spaces in the shared LLC.
@@ -213,6 +214,16 @@ func (c Config) rateTableConfig() covert.TableConfig {
 	return tc
 }
 
+// WarmRateTables precomputes the process-wide covert rate table this
+// configuration's Untangle accountant consults (covert.Shared). Table
+// construction is a one-time multi-second cost that otherwise lands inside
+// whichever caller first builds an Untangle sim; benchmarks call this in
+// their setup so no timed region absorbs it.
+func (c Config) WarmRateTables() error {
+	_, err := covert.Shared(c.rateTableConfig())
+	return err
+}
+
 // DomainSpec describes one security domain's workload.
 type DomainSpec struct {
 	// Name labels the domain in results.
@@ -224,6 +235,12 @@ type DomainSpec struct {
 	// on the LLC after Stream finishes ("the finished workload maintains
 	// its pressure on the LLC, but does not update the statistics").
 	Pressure isa.Stream
+	// Replay, if non-nil, feeds the domain a pre-resolved post-L1 event
+	// stream instead of Stream: the simulator runs no private L1 of its
+	// own and takes hit/miss resolution, monitor gates, and the pressure
+	// tail from the events (see ReplaySource). Mutually exclusive with
+	// Stream and Pressure.
+	Replay ReplaySource
 	// CPU parameterizes the timing model for this workload.
 	CPU cpu.Params
 }
@@ -282,6 +299,13 @@ type domain struct {
 	buf    []isa.Op
 	bufLen int
 	bufPos int
+
+	// Replay-fed domains (DomainSpec.Replay): the event cursor and the
+	// L1 counters accumulated from the event flags in place of a live l1.
+	replay  ReplaySource
+	rbatch  []tracecache.Event
+	rpos    int
+	l1Stats cache.Stats
 
 	idx    int    // this domain's index
 	offset uint64 // address-space offset
@@ -426,21 +450,29 @@ func New(cfg Config, specs []DomainSpec) (*Sim, error) {
 		}
 	}
 	for i, spec := range specs {
-		if spec.Stream == nil {
+		if spec.Stream == nil && spec.Replay == nil {
 			return nil, fmt.Errorf("sim: domain %d has no stream", i)
+		}
+		if spec.Replay != nil && (spec.Stream != nil || spec.Pressure != nil) {
+			return nil, fmt.Errorf("sim: domain %d mixes Replay with Stream/Pressure", i)
 		}
 		d := &domain{
 			spec:   spec,
 			core:   cpu.New(spec.CPU),
 			stream: spec.Stream,
-			buf:    make([]isa.Op, 4096),
+			replay: spec.Replay,
 			idx:    i,
 			offset: DomainAddrOffset(i),
 			rng:    cfg.Seed*0x9E3779B97F4A7C15 + uint64(i+1),
 		}
-		d.l1, err = cache.New(cache.Config{SizeBytes: cfg.L1Bytes, Ways: cfg.L1Ways})
-		if err != nil {
-			return nil, err
+		if d.replay == nil {
+			d.buf = make([]isa.Op, 4096)
+			// Replay domains carry their L1 resolution in the events; only
+			// live domains simulate one.
+			d.l1, err = cache.New(cache.Config{SizeBytes: cfg.L1Bytes, Ways: cfg.L1Ways})
+			if err != nil {
+				return nil, err
+			}
 		}
 		if cfg.Scheme.Kind != partition.Shared {
 			if s.wayLLC == nil {
@@ -458,13 +490,21 @@ func New(cfg Config, specs []DomainSpec) (*Sim, error) {
 				Ways:       cfg.LLCWays,
 				Window:     cfg.MonitorWindow,
 				SampleLog2: cfg.MonitorSampleLog2,
+				// Replay events carry precomputed shadow hit vectors
+				// (ReplaySource docs), so replay domains never simulate
+				// the shadow arrays.
+				SkipShadows: d.replay != nil,
 			})
 			if err != nil {
 				return nil, err
 			}
-			d.monL1, err = cache.New(cache.Config{SizeBytes: cfg.L1Bytes, Ways: cfg.L1Ways})
-			if err != nil {
-				return nil, err
+			// Replay domains carry the monitor's private-cache filter
+			// decision in FlagMonObserve; only live domains simulate it.
+			if d.replay == nil {
+				d.monL1, err = cache.New(cache.Config{SizeBytes: cfg.L1Bytes, Ways: cfg.L1Ways})
+				if err != nil {
+					return nil, err
+				}
 			}
 			d.nextAssessAt = cfg.Scheme.ProgressN
 		}
@@ -534,7 +574,19 @@ func (s *Sim) registerMetrics(reg *telemetry.Registry) {
 	for _, d := range s.domains {
 		d := d
 		prefix := fmt.Sprintf("cache.l1.d%d", d.idx)
-		d.l1.RegisterMetrics(reg, prefix)
+		if d.l1 != nil {
+			d.l1.RegisterMetrics(reg, prefix)
+		} else {
+			// Replay domains: same gauge names over the replayed counters,
+			// so dashboards see one schema either way. The geometry is
+			// fixed, so size_bytes reports the configured L1 size.
+			reg.GaugeFunc(prefix+".hits", func() float64 { return float64(d.l1Stats.Hits) })
+			reg.GaugeFunc(prefix+".misses", func() float64 { return float64(d.l1Stats.Misses) })
+			reg.GaugeFunc(prefix+".evictions", func() float64 { return float64(d.l1Stats.Evictions) })
+			reg.GaugeFunc(prefix+".writebacks", func() float64 { return float64(d.l1Stats.Writebacks) })
+			reg.GaugeFunc(prefix+".prefetches", func() float64 { return float64(d.l1Stats.Prefetches) })
+			reg.GaugeFunc(prefix+".size_bytes", func() float64 { return float64(s.cfg.L1Bytes) })
+		}
 		if d.part != nil {
 			d.part.RegisterMetrics(reg, fmt.Sprintf("cache.llc.d%d", d.idx))
 		}
@@ -577,6 +629,10 @@ func (s *Sim) llcStats(d *domain) cache.Stats {
 // runDomainUntil advances one domain until its local clock reaches horizon
 // or its stream ends (switching to the pressure stream if provided).
 func (s *Sim) runDomainUntil(d *domain, horizon time.Duration) {
+	if d.replay != nil {
+		s.runDomainReplayUntil(d, horizon)
+		return
+	}
 	cfg := &s.cfg
 	horizonCycles := d.core.DurationToCycles(horizon)
 	for d.core.Cycles() < horizonCycles {
@@ -645,7 +701,7 @@ func (s *Sim) finishDomain(d *domain) {
 	d.finishTime = d.core.Now()
 	d.finishCore = d.core.Snapshot()
 	d.finishLLC = s.llcStats(d)
-	d.finishL1 = d.l1.Stats()
+	d.finishL1 = d.l1Snapshot()
 }
 
 // applyResize performs the physical partition resize.
@@ -948,7 +1004,7 @@ func (s *Sim) beginMeasurement() {
 	for _, d := range s.domains {
 		d.base = d.core.Snapshot()
 		d.baseLLC = s.llcStats(d)
-		d.baseL1 = d.l1.Stats()
+		d.baseL1 = d.l1Snapshot()
 		d.trace = nil
 		d.samples = nil
 		d.ipcSamples = nil
@@ -1063,7 +1119,7 @@ func (s *Sim) collect() *Result {
 	for i, d := range s.domains {
 		end, endLLC, endL1 := d.finishCore, d.finishLLC, d.finishL1
 		if !d.finished {
-			end, endLLC, endL1 = d.core.Snapshot(), s.llcStats(d), d.l1.Stats()
+			end, endLLC, endL1 = d.core.Snapshot(), s.llcStats(d), d.l1Snapshot()
 		}
 		instr := end.Retired - d.base.Retired
 		cycles := end.Cycles - d.base.Cycles

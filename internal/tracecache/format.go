@@ -36,18 +36,27 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 func zigzag(v int64) uint64   { return uint64((v << 1) ^ (v >> 63)) }
 func unzigzag(v uint64) int64 { return int64(v>>1) ^ -int64(v&1) }
 
-// header is the JSON document after the magic: the format version and the
-// full key, so a mismatch diagnostic can name what the file actually holds
-// and `tracegen -info` can print it.
+// header is the JSON document after the magic: the format version, the
+// full key, and the event encoding ("rich" for mix streams; absent for the
+// classic encoding), so a mismatch diagnostic can name what the file
+// actually holds and `tracegen -info` can print it.
 type header struct {
-	Version int `json:"version"`
-	Key     Key `json:"key"`
+	Version int    `json:"version"`
+	Key     Key    `json:"key"`
+	Events  string `json:"events,omitempty"`
 }
+
+// richEvents is the header.Events value selecting the rich encoding.
+const richEvents = "rich"
 
 // headerBytes renders the file prefix: magic, headerLen, JSON, zero padding
 // to a block boundary so the data region is 64-byte aligned.
-func headerBytes(key Key) ([]byte, error) {
-	doc, err := json.Marshal(header{Version: FormatVersion, Key: key})
+func headerBytes(key Key, rich bool) ([]byte, error) {
+	h := header{Version: FormatVersion, Key: key}
+	if rich {
+		h.Events = richEvents
+	}
+	doc, err := json.Marshal(h)
 	if err != nil {
 		return nil, err
 	}
@@ -64,9 +73,10 @@ func headerBytes(key Key) ([]byte, error) {
 // 64-byte blocks; Commit seals the footer (count + CRC) and atomically
 // publishes the file. Close without Commit discards everything.
 type Writer struct {
-	st *Store
-	af *fsutil.AtomicFile
-	bw *bufio.Writer
+	st   *Store
+	af   *fsutil.AtomicFile
+	bw   *bufio.Writer
+	rich bool
 
 	block    [blockSize]byte
 	n        int // payload bytes staged in block
@@ -76,8 +86,8 @@ type Writer struct {
 	written  int64
 }
 
-func newWriter(st *Store, key Key) (*Writer, error) {
-	hdr, err := headerBytes(key)
+func newWriter(st *Store, key Key, rich bool) (*Writer, error) {
+	hdr, err := headerBytes(key, rich)
 	if err != nil {
 		return nil, fmt.Errorf("tracecache: %w", err)
 	}
@@ -90,16 +100,24 @@ func newWriter(st *Store, key Key) (*Writer, error) {
 		af.Close()
 		return nil, fmt.Errorf("tracecache: %w", err)
 	}
-	return &Writer{st: st, af: af, bw: bw, written: int64(len(hdr))}, nil
+	return &Writer{st: st, af: af, bw: bw, rich: rich, written: int64(len(hdr))}, nil
 }
 
 // WriteEvents appends a batch of events. Safe to call with the engine's
 // reused chunk buffer — bytes are copied out before returning.
 func (w *Writer) WriteEvents(events []Event) error {
+	if w.rich {
+		return w.writeRichEvents(events)
+	}
 	var scratch [maxEventSize]byte
 	for _, ev := range events {
 		if ev.Kind > KindL1Miss {
 			return fmt.Errorf("tracecache: invalid event kind %d", ev.Kind)
+		}
+		if ev.Flags != 0 {
+			// The classic encoding has no flag bits; dropping them silently
+			// would decode to a different stream.
+			return fmt.Errorf("tracecache: event flags %#x need the rich encoding (CreateRich)", ev.Flags)
 		}
 		scratch[0] = ev.Kind
 		n := 1
@@ -114,16 +132,61 @@ func (w *Writer) WriteEvents(events []Event) error {
 			n += binary.PutUvarint(scratch[n:], zigzag(delta))
 			w.prevAddr = ev.Addr
 		}
-		if w.n+n > payloadMax {
-			if err := w.flushBlock(); err != nil {
-				return err
-			}
+		if err := w.put(scratch[:n]); err != nil {
+			return err
 		}
-		copy(w.block[w.n:], scratch[:n])
-		w.n += n
-		w.crc = crc32.Update(w.crc, castagnoli, scratch[:n])
-		w.count++
 	}
+	return nil
+}
+
+// writeRichEvents encodes the rich layout: control byte = kind (low two
+// bits) | flags (bits 2..6, bit 7 spare and zero), then the non-mem run as
+// a plain uvarint, then — when the event carries an address (an L1 miss,
+// or any access the monitor observes) — the address as a zigzag delta
+// uvarint on the writer's single delta chain.
+func (w *Writer) writeRichEvents(events []Event) error {
+	var scratch [maxEventSize]byte
+	for _, ev := range events {
+		if ev.Kind > KindMeasuredEnd {
+			return fmt.Errorf("tracecache: invalid event kind %d", ev.Kind)
+		}
+		if ev.Flags&^flagsMask != 0 {
+			return fmt.Errorf("tracecache: invalid event flags %#x", ev.Flags)
+		}
+		if ev.Kind == KindMeasuredEnd && (ev.Flags != 0 || ev.NonMem != 0 || ev.Addr != 0) {
+			return fmt.Errorf("tracecache: measured-end marker must be empty")
+		}
+		scratch[0] = ev.Kind | ev.Flags<<2
+		n := 1 + binary.PutUvarint(scratch[1:], uint64(ev.NonMem))
+		if richHasAddr(ev.Kind, ev.Flags) {
+			delta := int64(ev.Addr) - int64(w.prevAddr)
+			n += binary.PutUvarint(scratch[n:], zigzag(delta))
+			w.prevAddr = ev.Addr
+		}
+		if err := w.put(scratch[:n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// richHasAddr reports whether a rich event carries an address field.
+func richHasAddr(kind, flags uint8) bool {
+	return kind == KindL1Miss || flags&FlagMonObserve != 0
+}
+
+// put stages one encoded event, flushing the block first if it would not
+// fit (events never split across blocks).
+func (w *Writer) put(enc []byte) error {
+	if w.n+len(enc) > payloadMax {
+		if err := w.flushBlock(); err != nil {
+			return err
+		}
+	}
+	copy(w.block[w.n:], enc)
+	w.n += len(enc)
+	w.crc = crc32.Update(w.crc, castagnoli, enc)
+	w.count++
 	return nil
 }
 
@@ -188,6 +251,7 @@ type Reader struct {
 
 	key     Key
 	version int
+	rich    bool
 
 	block    [blockSize]byte
 	pos, n   int
@@ -248,6 +312,9 @@ func prepareReader(f *os.File, st *Store) (*Reader, error) {
 	if err := json.Unmarshal(doc, &h); err != nil {
 		return nil, fmt.Errorf("bad header JSON: %v", err)
 	}
+	if h.Events != "" && h.Events != richEvents {
+		return nil, fmt.Errorf("unknown event encoding %q", h.Events)
+	}
 	var footer [blockSize]byte
 	if _, err := f.ReadAt(footer[:], size-blockSize); err != nil {
 		return nil, err
@@ -265,6 +332,7 @@ func prepareReader(f *os.File, st *Store) (*Reader, error) {
 		br:        bufio.NewReaderSize(io.LimitReader(f, dataLen), 1<<16),
 		key:       h.Key,
 		version:   h.Version,
+		rich:      h.Events == richEvents,
 		wantCount: binary.LittleEndian.Uint64(footer[0:8]),
 		wantCRC:   binary.LittleEndian.Uint32(footer[8:12]),
 		dataLeft:  dataLen,
@@ -277,6 +345,10 @@ func (r *Reader) Key() Key { return r.key }
 
 // Version returns the format version the entry was written with.
 func (r *Reader) Version() int { return r.version }
+
+// Rich reports whether the entry uses the rich event encoding (flags +
+// measured-end marker; mix streams).
+func (r *Reader) Rich() bool { return r.rich }
 
 // Count returns the footer's event count.
 func (r *Reader) Count() uint64 { return r.wantCount }
@@ -300,35 +372,83 @@ func (r *Reader) Read(buf []Event) (int, error) {
 			}
 		}
 		start := r.pos
-		c := r.block[r.pos]
-		r.pos++
-		kind := c & 3
-		if kind > KindL1Miss {
-			return i, fmt.Errorf("%w: invalid event kind %d", ErrCorrupt, kind)
-		}
-		ev := Event{Kind: kind, NonMem: uint32(c >> 2)}
-		if ev.NonMem == nonMemEscape {
-			v, n := binary.Uvarint(r.block[r.pos:r.n])
-			if n <= 0 || v > 0xFFFFFFFF {
-				return i, fmt.Errorf("%w: bad non-mem run at event %d", ErrCorrupt, r.decoded)
+		var ev Event
+		if r.rich {
+			var err error
+			if ev, err = r.decodeRich(); err != nil {
+				return i, err
 			}
-			r.pos += n
-			ev.NonMem = uint32(v)
-		}
-		if kind == KindL1Miss {
-			zz, n := binary.Uvarint(r.block[r.pos:r.n])
-			if n <= 0 {
-				return i, fmt.Errorf("%w: bad address at event %d", ErrCorrupt, r.decoded)
+		} else {
+			var err error
+			if ev, err = r.decodeClassic(); err != nil {
+				return i, err
 			}
-			r.pos += n
-			ev.Addr = uint64(int64(r.prevAddr) + unzigzag(zz))
-			r.prevAddr = ev.Addr
 		}
 		r.crc = crc32.Update(r.crc, castagnoli, r.block[start:r.pos])
 		r.decoded++
 		buf[i] = ev
 	}
 	return len(buf), nil
+}
+
+// decodeClassic decodes one event in the classic (sensitivity-study)
+// layout: inline non-mem run in the control byte, addresses on misses only.
+func (r *Reader) decodeClassic() (Event, error) {
+	c := r.block[r.pos]
+	r.pos++
+	kind := c & 3
+	if kind > KindL1Miss {
+		return Event{}, fmt.Errorf("%w: invalid event kind %d", ErrCorrupt, kind)
+	}
+	ev := Event{Kind: kind, NonMem: uint32(c >> 2)}
+	if ev.NonMem == nonMemEscape {
+		v, n := binary.Uvarint(r.block[r.pos:r.n])
+		if n <= 0 || v > 0xFFFFFFFF {
+			return Event{}, fmt.Errorf("%w: bad non-mem run at event %d", ErrCorrupt, r.decoded)
+		}
+		r.pos += n
+		ev.NonMem = uint32(v)
+	}
+	if kind == KindL1Miss {
+		zz, n := binary.Uvarint(r.block[r.pos:r.n])
+		if n <= 0 {
+			return Event{}, fmt.Errorf("%w: bad address at event %d", ErrCorrupt, r.decoded)
+		}
+		r.pos += n
+		ev.Addr = uint64(int64(r.prevAddr) + unzigzag(zz))
+		r.prevAddr = ev.Addr
+	}
+	return ev, nil
+}
+
+// decodeRich decodes one event in the rich (mix-stream) layout; see
+// writeRichEvents for the format.
+func (r *Reader) decodeRich() (Event, error) {
+	c := r.block[r.pos]
+	r.pos++
+	if c>>7 != 0 {
+		return Event{}, fmt.Errorf("%w: control byte %#x has the spare bit set", ErrCorrupt, c)
+	}
+	ev := Event{Kind: c & 3, Flags: (c >> 2) & flagsMask}
+	v, n := binary.Uvarint(r.block[r.pos:r.n])
+	if n <= 0 || v > 0xFFFFFFFF {
+		return Event{}, fmt.Errorf("%w: bad non-mem run at event %d", ErrCorrupt, r.decoded)
+	}
+	r.pos += n
+	ev.NonMem = uint32(v)
+	if ev.Kind == KindMeasuredEnd && (ev.Flags != 0 || ev.NonMem != 0) {
+		return Event{}, fmt.Errorf("%w: non-empty measured-end marker at event %d", ErrCorrupt, r.decoded)
+	}
+	if richHasAddr(ev.Kind, ev.Flags) {
+		zz, n := binary.Uvarint(r.block[r.pos:r.n])
+		if n <= 0 {
+			return Event{}, fmt.Errorf("%w: bad address at event %d", ErrCorrupt, r.decoded)
+		}
+		r.pos += n
+		ev.Addr = uint64(int64(r.prevAddr) + unzigzag(zz))
+		r.prevAddr = ev.Addr
+	}
+	return ev, nil
 }
 
 // nextBlock loads the next data block; false means the data region is

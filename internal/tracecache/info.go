@@ -10,13 +10,19 @@ import (
 type Info struct {
 	Key     Key
 	Version int
+	Rich    bool
 	Bytes   int64
 	Events  uint64
-	// ByKind counts events per kind (index by KindNoMem/KindL1Hit/KindL1Miss).
-	ByKind [3]uint64
+	// ByKind counts events per kind (index by
+	// KindNoMem/KindL1Hit/KindL1Miss/KindMeasuredEnd).
+	ByKind [4]uint64
 	// Instructions is the instruction total the stream replays: every
 	// event's non-mem run plus one for each memory access.
 	Instructions uint64
+	// Measured is the number of events before the measured-end marker
+	// (rich entries); the remainder, Events - Measured - 1, is the
+	// pressure tail. Zero when the entry has no marker.
+	Measured uint64
 }
 
 // MemOps returns the number of memory accesses in the stream.
@@ -49,15 +55,18 @@ func ReadInfo(path string) (Info, error) {
 	if err != nil {
 		return Info{}, err
 	}
-	info := Info{Key: r.Key(), Version: r.Version(), Bytes: fi.Size()}
+	info := Info{Key: r.Key(), Version: r.Version(), Rich: r.Rich(), Bytes: fi.Size()}
 	buf := make([]Event, 4096)
 	for {
 		n, err := r.Read(buf)
 		for _, ev := range buf[:n] {
+			if ev.Kind == KindMeasuredEnd && info.Measured == 0 {
+				info.Measured = info.Events
+			}
 			info.Events++
 			info.ByKind[ev.Kind]++
 			info.Instructions += uint64(ev.NonMem)
-			if ev.Kind != KindNoMem {
+			if ev.Kind == KindL1Hit || ev.Kind == KindL1Miss {
 				info.Instructions++
 			}
 		}

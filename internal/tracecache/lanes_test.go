@@ -138,3 +138,140 @@ func TestLaneOutcomesRejectsDamage(t *testing.T) {
 		t.Error("pristine sidecar rejected")
 	}
 }
+
+// mixTestKey is a key with every mix-stream extension field set, as the
+// fused mix engine produces them.
+func mixTestKey() Key {
+	return Key{
+		Benchmark:    "mix-bwaves_1+AES-256-d1",
+		Instructions: 110_000,
+		L1Bytes:      32 << 10,
+		L1Ways:       8,
+		ParamsTag:    "0123456789abcdef",
+		Flavor:       "mix",
+		Domain:       1,
+		CryptoPhase:  1000,
+		SpecPhase:    2000,
+		Secret:       7,
+		Unannotated:  true,
+	}
+}
+
+// TestLaneSidecarMixKeyedCorruptionRecomputed: sidecars under mix-style
+// keys round-trip, the mix extension fields participate in matching (a
+// mix-keyed sidecar must never serve the classic key sharing its path, or
+// vice versa), and a corrupt mix-keyed sidecar is a counted miss that a
+// fresh Save repairs — the engine's recompute-and-rewrite path.
+func TestLaneSidecarMixKeyedCorruptionRecomputed(t *testing.T) {
+	st, err := NewStore(t.TempDir(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := mixTestKey()
+	sizes := []int64{512 << 10, 4 << 20}
+	const misses = 777
+	bits := randomBits(len(sizes), misses, 11)
+	if err := st.SaveLaneOutcomes(key, 16, sizes, misses, bits); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.OpenLaneOutcomes(key, 16, sizes, misses); !ok {
+		t.Fatal("mix-keyed sidecar did not round-trip")
+	}
+
+	// A classic key with the same benchmark and instruction count maps to
+	// the same sidecar path; only full-key matching keeps them apart.
+	classic := key
+	classic.Flavor = ""
+	classic.Domain = 0
+	classic.CryptoPhase = 0
+	classic.SpecPhase = 0
+	classic.Secret = 0
+	classic.Unannotated = false
+	if st.LaneOutcomePath(classic) != st.LaneOutcomePath(key) {
+		t.Fatalf("test premise broken: keys map to different paths")
+	}
+	if _, ok := st.OpenLaneOutcomes(classic, 16, sizes, misses); ok {
+		t.Error("mix-keyed sidecar served a classic key")
+	}
+
+	// Corrupt the payload: the open is a silent counted miss...
+	path := st.LaneOutcomePath(key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	before := st.Counters()
+	if _, ok := st.OpenLaneOutcomes(key, 16, sizes, misses); ok {
+		t.Fatal("corrupt mix-keyed sidecar served")
+	}
+	// ...and the recompute path (Save again) restores service.
+	if err := st.SaveLaneOutcomes(key, 16, sizes, misses, bits); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := st.OpenLaneOutcomes(key, 16, sizes, misses)
+	if !ok {
+		t.Fatal("rewritten sidecar rejected")
+	}
+	for i := range bits {
+		for j := range bits[i] {
+			if got[i][j] != bits[i][j] {
+				t.Fatalf("lane %d word %d = %#x, want %#x", i, j, got[i][j], bits[i][j])
+			}
+		}
+	}
+	after := st.Counters()
+	if after.OutcomeMisses != before.OutcomeMisses+1 {
+		t.Errorf("corrupt open counted %d misses, want 1", after.OutcomeMisses-before.OutcomeMisses)
+	}
+}
+
+// FuzzLaneSidecar hardens the sidecar decoder against arbitrary on-disk
+// bytes: decodeLaneOutcomes must never panic, and anything it accepts must
+// have exactly the requested geometry — the engine indexes the returned
+// bitsets without further checks.
+func FuzzLaneSidecar(f *testing.F) {
+	st, err := NewStore(f.TempDir(), false)
+	if err != nil {
+		f.Fatal(err)
+	}
+	key := mixTestKey()
+	sizes := []int64{512 << 10, 4 << 20}
+	const misses = 777
+	if err := st.SaveLaneOutcomes(key, 16, sizes, misses, randomBits(len(sizes), misses, 11)); err != nil {
+		f.Fatal(err)
+	}
+	pristine, err := os.ReadFile(st.LaneOutcomePath(key))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(pristine)
+	f.Add(pristine[:12])
+	f.Add(pristine[:len(pristine)-4])
+	f.Add([]byte("UNTGLN01"))
+	mut := append([]byte(nil), pristine...)
+	mut[30] ^= 0xff // inside the JSON header
+	f.Add(mut)
+	mut2 := append([]byte(nil), pristine...)
+	mut2[8] = 0xff // absurd header length
+	f.Add(mut2)
+
+	words := outcomeWords(misses)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		bits := decodeLaneOutcomes(raw, key, 16, sizes, misses)
+		if bits == nil {
+			return
+		}
+		if len(bits) != len(sizes) {
+			t.Fatalf("accepted %d lanes, want %d", len(bits), len(sizes))
+		}
+		for i, lane := range bits {
+			if len(lane) != words {
+				t.Fatalf("lane %d has %d words, want %d", i, len(lane), words)
+			}
+		}
+	})
+}

@@ -57,21 +57,51 @@ import (
 
 // Event is one front-end op after L1 resolution: a run of NonMem
 // non-memory instructions, then (for KindL1Hit/KindL1Miss) one memory
-// access. Only L1 misses carry an address — they are the only events whose
-// cost differs between LLC lanes. The experiments engine's feEvent is an
+// access. In the classic encoding only L1 misses carry an address — they
+// are the only events whose cost differs between LLC lanes. The rich
+// encoding (mix streams, see CreateRich) additionally carries the Flags
+// bits and an address for monitor-observed hits, so a full sim back-end
+// can be replayed from the stream. The experiments engine's feEvent is an
 // alias of this type.
 type Event struct {
 	Addr   uint64
 	NonMem uint32
 	Kind   uint8
+	Flags  uint8 // rich entries only; zero in classic entries
+	// MonMask is in-memory annotation only, never persisted: the monitor
+	// shadow-array hit vector (monitor.Monitor.HitMask) the fused mix
+	// engine precomputes for FlagMonObserve events so replay lanes apply
+	// it via ObserveMask instead of re-simulating the shadow arrays.
+	// Writers ignore it; readers return it zero — the engine recomputes
+	// masks from the decoded stream.
+	MonMask uint16
 }
 
 // Event kinds. The values are part of the on-disk format; never renumber.
 const (
-	KindNoMem  uint8 = iota // no memory access (or the access was truncated away)
-	KindL1Hit               // access served by the private L1
-	KindL1Miss              // access missed the L1; lanes look it up in their LLC
+	KindNoMem       uint8 = iota // no memory access (or the access was truncated away)
+	KindL1Hit                    // access served by the private L1
+	KindL1Miss                   // access missed the L1; lanes look it up in their LLC
+	KindMeasuredEnd              // rich entries only: marker separating the measured stream from the pressure tail
 )
+
+// Event flag bits (rich encoding only). The values are part of the on-disk
+// format; never renumber. FlagMonObserve is the precomputed monitor gate:
+// the op passed the secret-use annotation filter AND missed the monitor's
+// L1-sized filter cache — both scheme-independent — so dynamic lanes feed
+// the access straight to their monitors. FlagPublic is the precomputed
+// secret-progress gate for the public retired-instruction counter.
+const (
+	FlagWrite       uint8 = 1 << iota // the access is a write
+	FlagMonObserve                    // dynamic lanes call mon.Observe(addr, write)
+	FlagPublic                        // op counts toward publicRetired
+	FlagL1Evict                       // the access evicted a private-L1 line
+	FlagL1Writeback                   // the eviction wrote a dirty line back
+)
+
+// flagsMask covers every defined flag bit; the control byte's spare bit
+// must be zero, which catches garbage on decode.
+const flagsMask uint8 = FlagWrite | FlagMonObserve | FlagPublic | FlagL1Evict | FlagL1Writeback
 
 // FormatVersion is bumped on any change to the file layout or event
 // encoding; entries written by another version fail loudly on open.
@@ -91,12 +121,36 @@ type Key struct {
 	L1Bytes      int64  `json:"l1_bytes"`
 	L1Ways       int    `json:"l1_ways"`
 	ParamsTag    string `json:"params_tag"`
+
+	// Mix-stream fields (rich entries, see CreateRich). Flavor is "mix";
+	// Domain is the domain slot (the address offset hashes into L1 set
+	// selection, so the same pair in different slots produces different
+	// streams); CryptoPhase/SpecPhase pin the loop interleave; Secret and
+	// Unannotated pin the crypto-side knobs that change the op stream.
+	// All zero for the classic sensitivity-study streams, so existing
+	// entries keep matching.
+	Flavor      string `json:"flavor,omitempty"`
+	Domain      int    `json:"domain,omitempty"`
+	CryptoPhase uint64 `json:"crypto_phase,omitempty"`
+	SpecPhase   uint64 `json:"spec_phase,omitempty"`
+	Secret      uint64 `json:"secret,omitempty"`
+	Unannotated bool   `json:"unannotated,omitempty"`
 }
 
 // String renders the key for error messages.
 func (k Key) String() string {
-	return fmt.Sprintf("{bench=%s instructions=%d l1=%dB/%dw params=%s}",
+	s := fmt.Sprintf("{bench=%s instructions=%d l1=%dB/%dw params=%s",
 		k.Benchmark, k.Instructions, k.L1Bytes, k.L1Ways, k.ParamsTag)
+	if k.Flavor != "" {
+		s += fmt.Sprintf(" flavor=%s domain=%d phases=%d/%d", k.Flavor, k.Domain, k.CryptoPhase, k.SpecPhase)
+		if k.Secret != 0 {
+			s += fmt.Sprintf(" secret=%#x", k.Secret)
+		}
+		if k.Unannotated {
+			s += " unannotated"
+		}
+	}
+	return s + "}"
 }
 
 // Sentinel errors. ErrCorrupt covers structural damage (bad magic, torn
@@ -228,7 +282,15 @@ func (s *Store) Open(key Key) (*Reader, error) {
 // file (fsutil.CreateAtomic); only Commit publishes them, so a crash or an
 // error mid-generation leaves the previous entry (or none) intact.
 func (s *Store) Create(key Key) (*Writer, error) {
-	return newWriter(s, key)
+	return newWriter(s, key, false)
+}
+
+// CreateRich starts writing a rich-encoded entry (mix streams): events
+// carry the Flags bits, monitor-observed hits carry addresses, and a
+// KindMeasuredEnd marker separates the measured stream from the pressure
+// tail. Same staging and atomic-publish discipline as Create.
+func (s *Store) CreateRich(key Key) (*Writer, error) {
+	return newWriter(s, key, true)
 }
 
 // NoteRebuild counts one mid-stream rebuild: a replay that began from a

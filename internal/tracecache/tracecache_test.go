@@ -416,7 +416,7 @@ func TestReadInfo(t *testing.T) {
 	if info.Key != key || info.Version != FormatVersion {
 		t.Fatalf("info key/version = %+v", info)
 	}
-	if info.Events != 4 || info.ByKind != [3]uint64{1, 1, 2} || info.MemOps() != 3 {
+	if info.Events != 4 || info.ByKind != [4]uint64{1, 1, 2, 0} || info.MemOps() != 3 {
 		t.Fatalf("info counts = %+v", info)
 	}
 	if want := uint64(10 + 3 + 1 + 1 + 100 + 1); info.Instructions != want {

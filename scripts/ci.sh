@@ -7,8 +7,9 @@
 #           worker pool, the shard coordinator, the fault-injection
 #           harness, the checkpoint journal, the front-end trace cache,
 #           the observability layer, the experiment engine's resilience
-#           layer, and the cmd-level kill-and-resume, sharded
-#           worker-kill-and-merge, warm-cache, and
+#           layer, the fused-mix-engine equivalence (clean runs and a
+#           mid-mix kill-and-resume), and the cmd-level kill-and-resume,
+#           sharded worker-kill-and-merge, warm-cache, and
 #           observability-equivalence tests
 #
 # Everything is hermetic (no network, no external services); the whole
@@ -46,14 +47,23 @@ echo "==> go test -race (sharded worker-kill-and-merge equivalence)"
 go test -race -run 'TestShardedCampaignEquivalence|TestShardedStudyEquivalence' \
     ./cmd/experiments/ ./cmd/sensitivity/
 
+echo "==> go test -race (mix-fusion equivalence: clean + mid-mix kill)"
+# -short limits the engine-level bitwise check to two mixes (the full
+# 16-mix raced sweep takes ~3.5 min and runs under CI=full); the
+# campaign-level check covers cold, warm-cache, and a checkpointed
+# mid-mix kill-and-resume through the fused path.
+go test -race -short -run 'TestMixFusionMatchesOracle|TestMixFusionUnderrunRegenerates' \
+    ./internal/experiments/
+go test -race -run 'TestMixFusionCampaignOutputsMatchOracle' ./cmd/experiments/
+
 echo "==> benchjson gate (committed baselines)"
-# The committed PR7 -> PR8 deltas peak at +37% on sub-second
-# single-iteration benchmarks (shared-tenancy noise; the seconds-scale
-# benchmarks stay within ~+-10%), so the default threshold is 40 — tight
-# enough to catch a real hot-path regression, loose enough not to trip
-# on the measured noise band. See docs/PERFORMANCE.md.
-if [ -f BENCH_PR8.json ] && [ -f BENCH_PR7.json ]; then
-    go run ./cmd/benchjson -compare -threshold "${BENCH_GATE_THRESHOLD:-40}" BENCH_PR7.json BENCH_PR8.json
+# Committed-baseline deltas on sub-second single-iteration benchmarks
+# peak around +37% (shared-tenancy noise; the seconds-scale benchmarks
+# stay within ~+-10%), so the default threshold is 40 — tight enough to
+# catch a real hot-path regression, loose enough not to trip on the
+# measured noise band. See docs/PERFORMANCE.md.
+if [ -f BENCH_PR9.json ] && [ -f BENCH_PR8.json ]; then
+    go run ./cmd/benchjson -compare -threshold "${BENCH_GATE_THRESHOLD:-40}" BENCH_PR8.json BENCH_PR9.json
 fi
 
 if [ "${CI:-}" = "full" ]; then
