@@ -12,14 +12,17 @@ package untangle_test
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"testing"
 	"time"
 
+	"untangle/internal/campaign"
 	"untangle/internal/checkpoint"
 	"untangle/internal/covert"
 	"untangle/internal/experiments"
@@ -530,6 +533,74 @@ func BenchmarkCheckpointJournalOverhead(b *testing.B) {
 	b.ReportMetric(plain.Seconds()/float64(b.N), "s/run-plain")
 	b.ReportMetric(journaled.Seconds()/float64(b.N), "s/run-journaled")
 	b.ReportMetric(100*(journaled.Seconds()-plain.Seconds())/plain.Seconds(), "overhead-%")
+}
+
+// Guard: routing a campaign through the resident service (-dlq / -serve)
+// must not tax it. Both variants run the journaled Figure 11 study; the
+// "queued" one pushes its 36 units through the bounded priority queue onto
+// the service's worker pool — submit, dequeue, classify, settle — instead
+// of calling the study directly. The machinery handles a few dozen units
+// per campaign, so its cost is fixed and must stay under 2% of the study.
+// Variants interleave so thermal / scheduling drift hits both.
+func BenchmarkCampaignQueueOverhead(b *testing.B) {
+	dir := b.TempDir()
+	ins := sensitivityInstructions()
+	open := func(name string) *checkpoint.Journal {
+		j, err := checkpoint.Open(filepath.Join(dir, name), checkpoint.Fingerprint{
+			Instructions: ins,
+			Units:        "bench",
+			ParamsTag:    experiments.ParamsFingerprint(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return j
+	}
+	direct := func(name string) time.Duration {
+		j := open(name)
+		defer j.Close()
+		start := time.Now()
+		if _, err := experiments.SensitivityStudyCheckpointed(context.Background(), ins, benchJobs(), j); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	names := experiments.SensitivityOrder()
+	keys := make([]string, len(names))
+	for i, name := range names {
+		keys[i] = experiments.SensitivityKey(name)
+	}
+	queued := func(name string) time.Duration {
+		j := open(name)
+		defer j.Close()
+		svc := campaign.New(campaign.Options{Workers: benchJobs()})
+		defer svc.Drain(context.Background())
+		start := time.Now()
+		job, err := svc.Submit(campaign.JobSpec{
+			ID:     name,
+			Phases: []campaign.PhaseSpec{{Name: "sensitivity", Keys: keys}},
+			Exec: func(ctx context.Context, key string) (json.RawMessage, error) {
+				return experiments.RunSensitivityUnit(ctx, strings.TrimPrefix(key, "sens/"), ins)
+			},
+			Journal: j,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := job.Wait(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	direct("warm.ckpt") // warm caches before measuring
+	var plain, svcd time.Duration
+	for i := 0; i < b.N; i++ {
+		plain += direct(fmt.Sprintf("direct-%d.ckpt", i))
+		svcd += queued(fmt.Sprintf("queued-%d.ckpt", i))
+	}
+	b.ReportMetric(plain.Seconds()/float64(b.N), "s/run-direct")
+	b.ReportMetric(svcd.Seconds()/float64(b.N), "s/run-queued")
+	b.ReportMetric(100*(svcd.Seconds()-plain.Seconds())/plain.Seconds(), "overhead-%")
 }
 
 // Guard: the operational observability layer (internal/obs) must be

@@ -57,6 +57,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -67,6 +68,7 @@ import (
 	"strings"
 	"syscall"
 
+	"untangle/internal/campaign"
 	"untangle/internal/checkpoint"
 	"untangle/internal/experiments"
 	"untangle/internal/fsutil"
@@ -102,6 +104,25 @@ type config struct {
 	// repeated campaigns replay instead of regenerate.
 	feCacheDir     string // -fe-cache: cache directory ("" = off)
 	feCacheRebuild bool   // -fe-cache-rebuild: regenerate corrupt/mismatched entries
+
+	// Resident-service execution (docs/ROBUSTNESS.md "Dead-letter
+	// journal"): -dlq routes the campaign's units through the campaign
+	// service, so a poisoned unit dead-letters into the checkpoint journal
+	// and the run completes degraded instead of failing; -replay re-drives
+	// exactly the journaled dead letters.
+	dlq      bool // -dlq: dead-letter poisoned units (requires -checkpoint)
+	replay   bool // -replay: re-drive dead-lettered units (implies -dlq)
+	priority int  // -priority: unit priority on a shared campaign service
+
+	// service, when set (serve mode), is the shared resident service this
+	// campaign's jobs are submitted to; nil makes run build (and drain) its
+	// own. jobPrefix namespaces the job IDs on a shared service.
+	service   *campaign.Service
+	jobPrefix string
+	// observe, when set (serve mode), opens each unit's observation span —
+	// serve owns the progress tracker, so the per-run global unit observer
+	// is not installed (see startObs).
+	observe func(phase, key string) func(outcome string, err error)
 
 	// oracleMixes forces mix units onto the per-scheme oracle path instead
 	// of the fused mix engine (experiments/mixlane.go). Results are bitwise
@@ -183,6 +204,12 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "-shard-worker" {
 		os.Exit(workerMain(os.Args[2:]))
 	}
+	// Serve mode is the resident campaign service (serve.go): it owns its
+	// own flag set and signal handling, so it dispatches before flag.Parse
+	// like the shard worker does.
+	if len(os.Args) > 1 && os.Args[1] == "-serve" {
+		os.Exit(serveMain(os.Args[2:]))
+	}
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
@@ -198,6 +225,9 @@ func main() {
 		feCache  = flag.String("fe-cache", "", "persist/replay front-end event streams (sensitivity study and mixes) in this directory")
 		oracleMx = flag.Bool("oracle-mixes", false, "run mixes on the per-scheme oracle path instead of the fused engine (bitwise-identical, slower)")
 		feRebld  = flag.Bool("fe-cache-rebuild", false, "regenerate corrupt or key-mismatched -fe-cache entries instead of failing")
+		dlqRun   = flag.Bool("dlq", false, "run units through the campaign service: poisoned units dead-letter into the journal and the run completes degraded (requires -checkpoint)")
+		replay   = flag.Bool("replay", false, "re-drive units the checkpoint journal holds dead letters for (implies -dlq)")
+		priority = flag.Int("priority", 0, "unit priority on the campaign service queue (higher dequeues first)")
 		httpAddr = flag.String("http", "", "serve /metrics, /progress, /healthz and pprof on this address (e.g. :8080)")
 		obsTrace = flag.String("obs-trace", "", "write a wall-clock span trace (JSONL) of the campaign to this file")
 		quiet    = flag.Bool("quiet", false, "suppress the live progress line on stderr")
@@ -220,6 +250,9 @@ func main() {
 		outPath:        *outPath,
 		telePath:       *telemOut,
 		ckptPath:       *ckpt,
+		dlq:            *dlqRun || *replay,
+		replay:         *replay,
+		priority:       *priority,
 		feCacheDir:     *feCache,
 		feCacheRebuild: *feRebld,
 		oracleMixes:    *oracleMx,
@@ -272,6 +305,12 @@ func (c config) validate() error {
 	}
 	if c.shards > 1 && c.ckptPath == "" {
 		return fmt.Errorf("-shards requires -checkpoint (the per-shard journals derive from it)")
+	}
+	if c.dlq && c.ckptPath == "" {
+		return fmt.Errorf("-dlq requires -checkpoint (the journal is the dead-letter store)")
+	}
+	if c.dlq && c.shards > 1 {
+		return fmt.Errorf("-dlq is incompatible with -shards (the campaign service owns unit execution)")
 	}
 	return nil
 }
@@ -378,21 +417,35 @@ func run(ctx context.Context, cfg config, stdout io.Writer) (retErr error) {
 		defer sc.close()
 	}
 
+	// Dead-letter execution: route the units through the resident campaign
+	// service so a poisoned unit degrades the run instead of failing it.
+	var qc *queueCampaign
+	if cfg.dlq {
+		qc, err = newQueueCampaign(cfg, journal)
+		if err != nil {
+			return err
+		}
+		defer qc.close()
+	}
+
 	// Figure 11.
 	var study []experiments.SensitivityResult
 	if cfg.sensIns > 0 && ctx.Err() == nil {
 		log.Printf("running Figure 11 sensitivity study (%d instructions per benchmark pass, %d jobs)...",
 			cfg.sensIns, cfg.jobs)
 		var err error
-		if sc != nil {
+		switch {
+		case qc != nil:
+			study, err = qc.sensitivityStudy(ctx)
+		case sc != nil:
 			study, err = sc.sensitivityStudy(ctx)
-		} else {
+		default:
 			study, err = experiments.SensitivityStudyCheckpointed(ctx, cfg.sensIns, cfg.jobs, journal)
 		}
 		if err != nil {
-			if ctx.Err() != nil {
+			if ctx.Err() != nil || errors.Is(err, campaign.ErrInterrupted) {
 				log.Print("interrupted during the sensitivity study")
-				writeManifest(w, cfg, study, 0)
+				writeManifest(w, cfg, study, 0, journalDead(journal))
 				return commit(telemSink, telemFile, outFile)
 			}
 			return err
@@ -406,12 +459,15 @@ func run(ctx context.Context, cfg config, stdout io.Writer) (retErr error) {
 	// worst-case accounting rerun, and journals the finished unit.
 	var outcomes []*savedMix
 	var runErr error
-	if sc != nil {
+	switch {
+	case qc != nil:
+		outcomes, runErr = qc.runMixes(ctx, study)
+	case sc != nil:
 		outcomes, runErr = sc.runMixes(ctx, study)
-	} else {
+	default:
 		outcomes, runErr = runMixes(ctx, cfg, study, journal)
 	}
-	if runErr != nil && ctx.Err() == nil {
+	if runErr != nil && ctx.Err() == nil && !errors.Is(runErr, campaign.ErrInterrupted) {
 		return runErr
 	}
 
@@ -442,7 +498,11 @@ func run(ctx context.Context, cfg config, stdout io.Writer) (retErr error) {
 		}
 	}
 	if done < len(cfg.ids) {
-		log.Printf("interrupted; reporting %d of %d mixes", done, len(cfg.ids))
+		if dead := journalDead(journal); dead > 0 {
+			log.Printf("degraded; reporting %d of %d mixes (%d units dead-lettered)", done, len(cfg.ids), dead)
+		} else {
+			log.Printf("interrupted; reporting %d of %d mixes", done, len(cfg.ids))
+		}
 	}
 
 	fmt.Fprintln(w, report.Table6(rows))
@@ -459,13 +519,25 @@ func run(ctx context.Context, cfg config, stdout io.Writer) (retErr error) {
 		fmt.Fprintf(w, "Active attacker (no Maintain optimization): %.1f bits per assessment on average\n",
 			stats.Mean(activeRates))
 	}
-	writeManifest(w, cfg, study, done)
+	writeManifest(w, cfg, study, done, journalDead(journal))
 	return commit(telemSink, telemFile, outFile)
+}
+
+// journalDead counts the journal's live dead letters; zero without a
+// journal. A replay that succeeds clears its key (Record supersedes the
+// dead letter), so a fully repaired run reports no dead units.
+func journalDead(j *checkpoint.Journal) int {
+	if j == nil {
+		return 0
+	}
+	return j.DeadLen()
 }
 
 // writeManifest ends the report with an explicit statement of coverage, so
 // a degraded or interrupted run can never be mistaken for a complete one.
-func writeManifest(w io.Writer, cfg config, study []experiments.SensitivityResult, mixesDone int) {
+// The dead-letter suffix appears only when units actually died, keeping a
+// clean run's manifest byte-identical to pre-dlq reports.
+func writeManifest(w io.Writer, cfg config, study []experiments.SensitivityResult, mixesDone, dead int) {
 	sens := "sensitivity study skipped"
 	if cfg.sensIns > 0 {
 		doneSens := 0
@@ -476,6 +548,10 @@ func writeManifest(w io.Writer, cfg config, study []experiments.SensitivityResul
 		}
 		total := len(workload.SPECBenchmarks)
 		sens = fmt.Sprintf("%d/%d sensitivity benchmarks", doneSens, total)
+	}
+	if dead > 0 {
+		fmt.Fprintf(w, "Completed: %s, %d/%d mixes (%d dead-lettered).\n", sens, mixesDone, len(cfg.ids), dead)
+		return
 	}
 	fmt.Fprintf(w, "Completed: %s, %d/%d mixes.\n", sens, mixesDone, len(cfg.ids))
 }
@@ -566,7 +642,12 @@ func runMixUnit(ctx context.Context, cfg config, study []experiments.Sensitivity
 	log.Printf("running mix %d at scale %v...", id, cfg.scale)
 	var res *experiments.MixResult
 	var buffers map[partition.Kind]*telemetry.Buffer
-	err = parallel.Retry(ctx, experiments.RetryAttempts, experiments.RetryBackoff, func(ctx context.Context, attempt int) error {
+	err = parallel.RetryUnit(ctx, key, experiments.RetryAttempts, experiments.RetryBackoff, func(ctx context.Context, attempt int) error {
+		// Fault-injection seam: a keyed fault poisons this unit on every
+		// attempt, exhausting the retry budget deterministically.
+		if ferr := experiments.FireUnitFault(key); ferr != nil {
+			return ferr
+		}
 		passDone := experiments.ObserveUnit("mix/pass", fmt.Sprintf("%s#%d", key, attempt))
 		opts := experiments.Options{Scale: cfg.scale, Jobs: innerJobs, DisableFusion: cfg.oracleMixes}
 		if cfg.traced {

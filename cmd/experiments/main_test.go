@@ -78,7 +78,7 @@ func equivalenceConfig(dir string) config {
 
 // campaign runs cfg to completion and returns the report and telemetry
 // bytes it committed.
-func campaign(t *testing.T, ctx context.Context, cfg config) (report, trace []byte) {
+func runCampaignFiles(t *testing.T, ctx context.Context, cfg config) (report, trace []byte) {
 	t.Helper()
 	if err := run(ctx, cfg, io.Discard); err != nil {
 		t.Fatal(err)
@@ -102,7 +102,7 @@ func TestCheckpointResumeEquivalence(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs five small campaigns")
 	}
-	freshReport, freshTrace := campaign(t, context.Background(), equivalenceConfig(t.TempDir()))
+	freshReport, freshTrace := runCampaignFiles(t, context.Background(), equivalenceConfig(t.TempDir()))
 
 	t.Run("kill-in-sensitivity-study", func(t *testing.T) {
 		cfg := equivalenceConfig(t.TempDir())
@@ -125,7 +125,7 @@ func TestCheckpointResumeEquivalence(t *testing.T) {
 			t.Fatalf("kill point missed the study; interrupted manifest:\n%s", partial)
 		}
 
-		gotReport, gotTrace := campaign(t, context.Background(), cfg)
+		gotReport, gotTrace := runCampaignFiles(t, context.Background(), cfg)
 		if !bytes.Equal(gotReport, freshReport) {
 			t.Errorf("resumed report differs from fresh run (%d vs %d bytes)", len(gotReport), len(freshReport))
 		}
@@ -157,7 +157,7 @@ func TestCheckpointResumeEquivalence(t *testing.T) {
 		}
 
 		cfg.unitHook = nil
-		gotReport, gotTrace := campaign(t, context.Background(), cfg)
+		gotReport, gotTrace := runCampaignFiles(t, context.Background(), cfg)
 		if !bytes.Equal(gotReport, freshReport) {
 			t.Errorf("resumed report differs from fresh run (%d vs %d bytes)", len(gotReport), len(freshReport))
 		}
@@ -181,7 +181,7 @@ func TestMixFusionCampaignOutputsMatchOracle(t *testing.T) {
 	oracleCfg := equivalenceConfig(t.TempDir())
 	oracleCfg.sensIns = 0
 	oracleCfg.oracleMixes = true
-	wantReport, wantTrace := campaign(t, context.Background(), oracleCfg)
+	wantReport, wantTrace := runCampaignFiles(t, context.Background(), oracleCfg)
 
 	check := func(t *testing.T, report, trace []byte) {
 		t.Helper()
@@ -196,7 +196,7 @@ func TestMixFusionCampaignOutputsMatchOracle(t *testing.T) {
 	t.Run("fused-cold", func(t *testing.T) {
 		cfg := equivalenceConfig(t.TempDir())
 		cfg.sensIns = 0
-		report, trace := campaign(t, context.Background(), cfg)
+		report, trace := runCampaignFiles(t, context.Background(), cfg)
 		check(t, report, trace)
 	})
 
@@ -205,13 +205,13 @@ func TestMixFusionCampaignOutputsMatchOracle(t *testing.T) {
 		cfg := equivalenceConfig(t.TempDir())
 		cfg.sensIns = 0
 		cfg.feCacheDir = cacheDir
-		report, trace := campaign(t, context.Background(), cfg) // populates the cache
+		report, trace := runCampaignFiles(t, context.Background(), cfg) // populates the cache
 		check(t, report, trace)
 
 		warm := equivalenceConfig(t.TempDir())
 		warm.sensIns = 0
 		warm.feCacheDir = cacheDir
-		report, trace = campaign(t, context.Background(), warm) // replays it
+		report, trace = runCampaignFiles(t, context.Background(), warm) // replays it
 		check(t, report, trace)
 	})
 
@@ -240,7 +240,7 @@ func TestMixFusionCampaignOutputsMatchOracle(t *testing.T) {
 			t.Fatalf("kill point missed the mix phase; interrupted manifest:\n%s", partial)
 		}
 
-		report, trace := campaign(t, context.Background(), cfg)
+		report, trace := runCampaignFiles(t, context.Background(), cfg)
 		check(t, report, trace)
 	})
 }
@@ -254,7 +254,7 @@ func TestFailedRunPreservesPreviousOutputs(t *testing.T) {
 	}
 	cfg := equivalenceConfig(t.TempDir())
 	cfg.sensIns = 0 // mix units only; keep it quick
-	oldReport, oldTrace := campaign(t, context.Background(), cfg)
+	oldReport, oldTrace := runCampaignFiles(t, context.Background(), cfg)
 
 	inj := faultinject.ErrorAt(1, ^uint64(0), nil) // every engine chunk fails
 	experiments.SetEngineChunkHook(inj.Fire)

@@ -45,6 +45,12 @@ func (c config) obsEnabled() bool {
 // journal and store may be nil (no heartbeat / no trace-cache gauges then).
 // Returns nil when nothing is enabled.
 func startObs(cfg config, journal *checkpoint.Journal, store *tracecache.Store) (*obsState, error) {
+	// Serve mode: the resident service owns the progress tracker, registry,
+	// and HTTP server, shared across concurrent campaigns — a per-campaign
+	// observer would fight over the process-wide unit hook.
+	if cfg.service != nil {
+		return nil, nil
+	}
 	if !cfg.obsEnabled() {
 		return nil, nil
 	}

@@ -24,7 +24,7 @@ func TestObservabilityDoesNotPerturbOutputs(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs two small campaigns")
 	}
-	freshReport, freshTrace := campaign(t, context.Background(), equivalenceConfig(t.TempDir()))
+	freshReport, freshTrace := runCampaignFiles(t, context.Background(), equivalenceConfig(t.TempDir()))
 
 	cfg := equivalenceConfig(t.TempDir())
 	dir := filepath.Dir(cfg.outPath)
@@ -78,7 +78,7 @@ func TestObservabilityDoesNotPerturbOutputs(t *testing.T) {
 		}
 	}
 
-	gotReport, gotTrace := campaign(t, context.Background(), cfg)
+	gotReport, gotTrace := runCampaignFiles(t, context.Background(), cfg)
 	if !scraped {
 		t.Error("the mid-campaign scrape never ran")
 	}

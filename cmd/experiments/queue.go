@@ -1,0 +1,212 @@
+// Dead-letter campaign execution: -dlq (and -replay) route the campaign's
+// units through the resident campaign service (internal/campaign) instead
+// of the raw worker pool. The phase structure is unchanged — sensitivity
+// units, then mix units — but a unit that exhausts its retries or panics is
+// written to the checkpoint journal's dead-letter section and the campaign
+// completes degraded, reporting the dead count in its manifest. A later
+// -replay run re-drives exactly the dead keys; once they succeed, the
+// journal and the final outputs are byte-identical to a never-poisoned
+// run's (TestDeadLetterCampaignEquivalence).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"untangle/internal/campaign"
+	"untangle/internal/checkpoint"
+	"untangle/internal/experiments"
+)
+
+// drainTimeout bounds the owned service's shutdown: in-flight units at
+// smoke scale settle in seconds; a minute means a wedged unit surfaces as
+// a drain error instead of a hang.
+const drainTimeout = time.Minute
+
+// queueCampaign drives a campaign through a campaign.Service. In -dlq mode
+// run builds a private service and drains it on exit; in serve mode the
+// resident service is shared across campaigns and cfg.jobPrefix namespaces
+// this campaign's job IDs on it.
+type queueCampaign struct {
+	cfg     config
+	journal *checkpoint.Journal
+	svc     *campaign.Service
+	owned   bool // run() built the service and must drain it
+
+	mu    sync.Mutex
+	study []experiments.SensitivityResult // set after the sensitivity phase
+}
+
+func newQueueCampaign(cfg config, journal *checkpoint.Journal) (*queueCampaign, error) {
+	if journal == nil {
+		return nil, errors.New("-dlq requires -checkpoint (the journal is the dead-letter store)")
+	}
+	qc := &queueCampaign{cfg: cfg, journal: journal, svc: cfg.service}
+	if qc.svc == nil {
+		qc.svc = campaign.New(campaign.Options{
+			Workers: cfg.jobs,
+			Logf:    log.Printf,
+		})
+		qc.owned = true
+	}
+	return qc, nil
+}
+
+// close drains an owned service; a shared one outlives this campaign.
+func (qc *queueCampaign) close() {
+	if !qc.owned {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := qc.svc.Drain(ctx); err != nil {
+		log.Printf("campaign service: %v", err)
+	}
+}
+
+// exec runs one unit by key — the same dispatch a shard worker uses, so a
+// unit's journal value is byte-identical however it executed. Retries live
+// inside the executors; by the time an error escapes here it is terminal
+// and the service dead-letters it.
+func (qc *queueCampaign) exec(ctx context.Context, key string) (json.RawMessage, error) {
+	switch {
+	case strings.HasPrefix(key, "sens/"):
+		return experiments.RunSensitivityUnit(ctx, strings.TrimPrefix(key, "sens/"), qc.cfg.sensIns)
+	case strings.HasPrefix(key, "mix/"):
+		id, err := strconv.Atoi(strings.TrimPrefix(key, "mix/"))
+		if err != nil {
+			return nil, fmt.Errorf("bad mix key %q", key)
+		}
+		qc.mu.Lock()
+		study := qc.study
+		qc.mu.Unlock()
+		sv, err := runMixUnit(ctx, qc.cfg, study, id, 1)
+		if err != nil {
+			return nil, err
+		}
+		if qc.cfg.active && !sv.HaveActive {
+			// Cancellation landed between the main run and the active
+			// rerun; journaling the truncated unit would poison every
+			// future resume.
+			return nil, fmt.Errorf("mix %d interrupted before the active-attacker rerun", id)
+		}
+		return json.Marshal(sv)
+	}
+	return nil, fmt.Errorf("unknown unit key %q", key)
+}
+
+// observe opens a unit's observation span: through the serve-mode hook when
+// one is set, else through the process-wide observer the in-process run
+// installed (startObs) — the same names the sequential path reports.
+func (qc *queueCampaign) observe(phase, key string) func(outcome string, err error) {
+	if qc.cfg.observe != nil {
+		return qc.cfg.observe(phase, key)
+	}
+	p, unit := obsUnitName(key)
+	return experiments.ObserveUnit(p, unit)
+}
+
+// runJob submits one single-phase job and waits for it, mapping the
+// service's terminal states onto the campaign's error conventions: nil for
+// completed (even degraded), campaign.ErrInterrupted for a drain, the
+// context's error for a cancellation.
+func (qc *queueCampaign) runJob(ctx context.Context, id, phase string, keys []string) error {
+	job, err := qc.svc.Submit(campaign.JobSpec{
+		ID:         qc.cfg.jobPrefix + id,
+		Priority:   qc.cfg.priority,
+		Phases:     []campaign.PhaseSpec{{Name: phase, Keys: keys}},
+		Exec:       qc.exec,
+		Journal:    qc.journal,
+		ReplayDead: qc.cfg.replay,
+		Observe:    qc.observe,
+		PostRecord: qc.cfg.unitHook,
+	})
+	if err != nil {
+		if errors.Is(err, campaign.ErrDraining) {
+			// The service is shutting down under us; the campaign is
+			// interrupted, resumable from its journal.
+			return campaign.ErrInterrupted
+		}
+		return err
+	}
+	select {
+	case <-job.Done():
+	case <-ctx.Done():
+		job.Cancel()
+		<-job.Done()
+		return ctx.Err()
+	}
+	switch job.Status().State {
+	case campaign.StateFailed:
+		return job.Err()
+	case campaign.StateCanceled:
+		return context.Canceled
+	case campaign.StateInterrupted:
+		return campaign.ErrInterrupted
+	}
+	return nil
+}
+
+// sensitivityStudy runs the Figure 11 units through the service and
+// assembles the study from the journal in canonical benchmark order — a
+// dead-lettered benchmark leaves a zero row, same as an interrupt, so the
+// figure renders degraded rather than failing.
+func (qc *queueCampaign) sensitivityStudy(ctx context.Context) ([]experiments.SensitivityResult, error) {
+	names := experiments.SensitivityOrder()
+	keys := make([]string, len(names))
+	for i, name := range names {
+		keys[i] = experiments.SensitivityKey(name)
+	}
+	runErr := qc.runJob(ctx, "sens", "sensitivity", keys)
+	study := make([]experiments.SensitivityResult, len(names))
+	for i, key := range keys {
+		var raw json.RawMessage
+		ok, err := qc.journal.Lookup(key, &raw)
+		if err != nil {
+			return study, fmt.Errorf("checkpoint %s: %w", key, err)
+		}
+		if !ok {
+			continue // dead-lettered or interrupted: zero row
+		}
+		if study[i], err = experiments.DecodeSensitivityUnit(raw); err != nil {
+			return study, fmt.Errorf("checkpoint %s: %w", key, err)
+		}
+	}
+	qc.mu.Lock()
+	qc.study = study
+	qc.mu.Unlock()
+	return study, runErr
+}
+
+// runMixes runs the mix units through the service and collects each mix's
+// journaled outcome by index — nil where the unit dead-lettered or was
+// abandoned, which the report skips, exactly like an interrupt.
+func (qc *queueCampaign) runMixes(ctx context.Context, study []experiments.SensitivityResult) ([]*savedMix, error) {
+	qc.mu.Lock()
+	qc.study = study
+	qc.mu.Unlock()
+	keys := make([]string, len(qc.cfg.ids))
+	for i, id := range qc.cfg.ids {
+		keys[i] = mixKey(id)
+	}
+	runErr := qc.runJob(ctx, "mix", "mix", keys)
+	outcomes := make([]*savedMix, len(qc.cfg.ids))
+	for i, key := range keys {
+		var sv savedMix
+		ok, err := qc.journal.Lookup(key, &sv)
+		if err != nil {
+			return outcomes, fmt.Errorf("checkpoint %s: %w", key, err)
+		}
+		if ok {
+			outcomes[i] = &sv
+		}
+	}
+	return outcomes, runErr
+}

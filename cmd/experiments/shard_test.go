@@ -8,12 +8,16 @@ import (
 	"testing"
 )
 
-// TestMain lets this test binary double as the shard worker: the
-// coordinator re-execs os.Executable() with -shard-worker as the first
-// argument, which in tests is this binary.
+// TestMain lets this test binary double as the shard worker and the
+// resident campaign service: the coordinator (and the serve tests) re-exec
+// os.Executable() with -shard-worker or -serve as the first argument, which
+// in tests is this binary.
 func TestMain(m *testing.M) {
 	if len(os.Args) > 1 && os.Args[1] == "-shard-worker" {
 		os.Exit(workerMain(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "-serve" {
+		os.Exit(serveMain(os.Args[2:]))
 	}
 	os.Exit(m.Run())
 }
@@ -26,7 +30,7 @@ func TestShardedCampaignEquivalence(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs three small campaigns")
 	}
-	freshReport, freshTrace := campaign(t, context.Background(), equivalenceConfig(t.TempDir()))
+	freshReport, freshTrace := runCampaignFiles(t, context.Background(), equivalenceConfig(t.TempDir()))
 
 	check := func(t *testing.T, gotReport, gotTrace []byte) {
 		t.Helper()
@@ -42,7 +46,7 @@ func TestShardedCampaignEquivalence(t *testing.T) {
 		cfg := equivalenceConfig(t.TempDir())
 		cfg.ckptPath = filepath.Join(filepath.Dir(cfg.outPath), "run.ckpt")
 		cfg.shards = 3
-		gotReport, gotTrace := campaign(t, context.Background(), cfg)
+		gotReport, gotTrace := runCampaignFiles(t, context.Background(), cfg)
 		check(t, gotReport, gotTrace)
 	})
 
@@ -57,7 +61,7 @@ func TestShardedCampaignEquivalence(t *testing.T) {
 		cfg := equivalenceConfig(dir)
 		cfg.ckptPath = filepath.Join(dir, "run.ckpt")
 		cfg.shards = 2
-		gotReport, gotTrace := campaign(t, context.Background(), cfg)
+		gotReport, gotTrace := runCampaignFiles(t, context.Background(), cfg)
 		if _, err := os.Stat(sentinel); err != nil {
 			t.Fatalf("kill hook never fired: %v", err)
 		}

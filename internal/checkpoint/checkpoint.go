@@ -7,10 +7,11 @@
 // # Format
 //
 // Line 1 is a header record carrying the fingerprint and format version.
-// Every further line is a unit record:
+// Every further line is a unit record or a dead-letter record:
 //
 //	{"kind":"header","version":1,"fingerprint":{...}}
 //	{"kind":"unit","key":"sens/mcf_0","value":{...}}
+//	{"kind":"dead","key":"mix/3","value":{"attempts":3,"error":"..."}}
 //	{"kind":"unit","key":"mix/3","value":{...}}
 //
 // Units are journaled as they complete (concurrently, under an internal
@@ -18,6 +19,13 @@
 // process killed at any instant loses at most the unit in flight. A torn
 // final line — the record the crash interrupted — is detected on open and
 // truncated away before appending resumes.
+//
+// A dead record is the campaign service's dead-letter queue entry: the unit
+// exhausted its retry budget (or panicked) and was set aside so the rest of
+// the campaign could finish. A later unit record for the same key —
+// appended by a replay after the underlying fault was fixed — supersedes
+// the dead record, which is how an append-only file expresses "no longer
+// poisoned". See docs/ROBUSTNESS.md.
 //
 // # Resume semantics
 //
@@ -127,6 +135,23 @@ type record struct {
 	Value       json.RawMessage `json:"value,omitempty"`
 }
 
+// DeadLetter is one poisoned unit's dead-letter record: the unit key, how
+// many attempts it burned, and the final error (with the recovered stack
+// when the failure was a panic). It is what a campaign's degraded manifest
+// and the replay command enumerate.
+type DeadLetter struct {
+	// Key is the unit's journal key ("mix/3"); populated from the record
+	// envelope on read, never serialized inside the value.
+	Key string `json:"-"`
+	// Attempts is how many times the unit ran before being declared
+	// poisoned (1 for failures the retry layer never retries).
+	Attempts int `json:"attempts"`
+	// Error is the final error's text.
+	Error string `json:"error"`
+	// Stack is the panicking goroutine's stack when the poison was a panic.
+	Stack string `json:"stack,omitempty"`
+}
+
 // Journal is an open checkpoint file. All methods are safe for concurrent
 // use; Record serializes appends internally.
 type Journal struct {
@@ -135,7 +160,60 @@ type Journal struct {
 	path    string
 	fp      Fingerprint
 	done    map[string]json.RawMessage
+	dead    map[string]DeadLetter
 	resumed int
+}
+
+// parsed is the outcome of replaying a journal's record lines: the
+// completed units, the still-dead letters (a unit record supersedes an
+// earlier dead record for its key), and the byte length of the valid
+// prefix — anything past it is a torn tail from a crash mid-append.
+type parsed struct {
+	units map[string]json.RawMessage
+	dead  map[string]DeadLetter
+	good  int
+}
+
+// parseRecords replays the record lines after the header. It stops at the
+// first line that is not a well-formed unit or dead record — the torn final
+// line a crash leaves — and reports how many bytes of data were valid.
+// headerLen is the header line's length including its newline.
+func parseRecords(data []byte, lines [][]byte, headerLen int) parsed {
+	p := parsed{
+		units: map[string]json.RawMessage{},
+		dead:  map[string]DeadLetter{},
+		good:  headerLen,
+	}
+scan:
+	for _, line := range lines {
+		var rec record
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Key == "" {
+			break
+		}
+		switch rec.Kind {
+		case "unit":
+			p.units[rec.Key] = rec.Value
+			// A unit record for a previously dead key is a replay's repair:
+			// the poison is gone.
+			delete(p.dead, rec.Key)
+		case "dead":
+			var dl DeadLetter
+			if err := json.Unmarshal(rec.Value, &dl); err != nil {
+				break scan
+			}
+			dl.Key = rec.Key
+			if _, ok := p.units[rec.Key]; !ok {
+				p.dead[rec.Key] = dl
+			}
+		default:
+			break scan
+		}
+		p.good += len(line) + 1
+	}
+	if p.good > len(data) {
+		p.good = len(data)
+	}
+	return p
 }
 
 // Open creates path as a fresh journal for fp, or resumes an existing one
@@ -168,33 +246,23 @@ func Open(path string, fp Fingerprint) (*Journal, error) {
 			path, hdr.Fingerprint, fp)
 	}
 
-	j := &Journal{path: path, fp: fp, done: map[string]json.RawMessage{}}
-	// Replay unit records. good tracks the byte length of the valid prefix;
-	// anything past it (a torn final line from a crash mid-append) is
-	// truncated away so new appends start on a clean boundary.
-	good := len(lines[0]) + 1
-	for _, line := range lines[1:] {
-		var rec record
-		if err := json.Unmarshal(line, &rec); err != nil || rec.Kind != "unit" || rec.Key == "" {
-			break
-		}
-		j.done[rec.Key] = rec.Value
-		good += len(line) + 1
-	}
-	if good > len(data) {
-		good = len(data)
-	}
+	// Replay the unit and dead-letter records. parsed.good tracks the byte
+	// length of the valid prefix; anything past it (a torn final line from
+	// a crash mid-append) is truncated away so new appends start on a clean
+	// boundary.
+	p := parseRecords(data, lines[1:], len(lines[0])+1)
+	j := &Journal{path: path, fp: fp, done: p.units, dead: p.dead}
 	j.resumed = len(j.done)
 
 	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	if err := f.Truncate(int64(good)); err != nil {
+	if err := f.Truncate(int64(p.good)); err != nil {
 		f.Close()
 		return nil, err
 	}
-	if _, err := f.Seek(int64(good), 0); err != nil {
+	if _, err := f.Seek(int64(p.good), 0); err != nil {
 		f.Close()
 		return nil, err
 	}
@@ -207,7 +275,7 @@ func create(path string, fp Fingerprint) (*Journal, error) {
 	if err != nil {
 		return nil, err
 	}
-	j := &Journal{f: f, path: path, fp: fp, done: map[string]json.RawMessage{}}
+	j := &Journal{f: f, path: path, fp: fp, done: map[string]json.RawMessage{}, dead: map[string]DeadLetter{}}
 	if err := j.append(record{Kind: "header", Version: Version, Fingerprint: &fp}); err != nil {
 		f.Close()
 		return nil, err
@@ -232,7 +300,9 @@ func (j *Journal) append(rec record) error {
 
 // Record journals the completed unit key with its result value. Keys are
 // recorded at most once; re-recording a resumed key is a silent no-op so
-// callers need not special-case replayed units.
+// callers need not special-case replayed units. Recording a key that was
+// dead-lettered supersedes the dead record — the replay path: the unit ran
+// to completion after its fault was fixed, so it is no longer poisoned.
 func (j *Journal) Record(key string, value any) error {
 	raw, err := json.Marshal(value)
 	if err != nil {
@@ -244,8 +314,62 @@ func (j *Journal) Record(key string, value any) error {
 		return nil
 	}
 	j.done[key] = raw
+	delete(j.dead, key)
 	j.mu.Unlock()
 	return j.append(record{Kind: "unit", Key: key, Value: raw})
+}
+
+// RecordDead journals key as dead-lettered: the unit is poisoned (it
+// exhausted its retry budget, or panicked) and the campaign is completing
+// without it. The record is durable like any unit record, so a restart
+// still knows which units to skip — and which ones a replay must re-drive.
+// Dead-lettering a key that already completed is a no-op (the result wins);
+// re-dead-lettering a dead key updates the journaled diagnosis.
+func (j *Journal) RecordDead(dl DeadLetter) error {
+	if dl.Key == "" {
+		return fmt.Errorf("checkpoint: dead letter with empty key")
+	}
+	raw, err := json.Marshal(dl)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	if _, ok := j.done[dl.Key]; ok {
+		j.mu.Unlock()
+		return nil
+	}
+	j.dead[dl.Key] = dl
+	j.mu.Unlock()
+	return j.append(record{Kind: "dead", Key: dl.Key, Value: raw})
+}
+
+// Dead returns key's dead-letter record, if the unit is currently
+// dead-lettered (a completed unit is never dead).
+func (j *Journal) Dead(key string) (DeadLetter, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	dl, ok := j.dead[key]
+	return dl, ok
+}
+
+// DeadLetters lists every currently dead-lettered unit, sorted by key — the
+// work a replay re-drives.
+func (j *Journal) DeadLetters() []DeadLetter {
+	j.mu.Lock()
+	out := make([]DeadLetter, 0, len(j.dead))
+	for _, dl := range j.dead {
+		out = append(out, dl)
+	}
+	j.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool { return out[a].Key < out[b].Key })
+	return out
+}
+
+// DeadLen returns the number of dead-lettered units — the DLQ depth.
+func (j *Journal) DeadLen() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.dead)
 }
 
 // Lookup returns the journaled value for key, if the unit completed in a
@@ -306,15 +430,7 @@ func ReadUnits(path string, fp Fingerprint) (map[string]json.RawMessage, error) 
 		return nil, fmt.Errorf("checkpoint: %s was written by a different configuration\n  journal: %s\n  this run: %s",
 			path, hdr.Fingerprint, fp)
 	}
-	units := map[string]json.RawMessage{}
-	for _, line := range lines[1:] {
-		var rec record
-		if err := json.Unmarshal(line, &rec); err != nil || rec.Kind != "unit" || rec.Key == "" {
-			break
-		}
-		units[rec.Key] = rec.Value
-	}
-	return units, nil
+	return parseRecords(data, lines[1:], len(lines[0])+1).units, nil
 }
 
 // MergeFrom folds the units of the journal at path into j, appending (and

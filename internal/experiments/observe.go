@@ -24,6 +24,12 @@ const (
 	// not. Like resumed units, replayed units complete far faster than
 	// generated ones and must not feed ETA rate estimates.
 	UnitReplayed = "replayed"
+	// UnitDead means the unit exhausted its retry budget (or panicked) and
+	// was written to the dead-letter journal instead of failing the
+	// campaign. Dead units count as done for progress purposes — the
+	// campaign will not run them again — but, like resumed units, must not
+	// feed ETA rate estimates.
+	UnitDead = "dead"
 )
 
 // UnitObserver is notified when a unit of campaign work (a sensitivity
@@ -64,4 +70,38 @@ func ObserveUnit(phase, unit string) func(outcome string, err error) {
 		return nil
 	}
 	return (*p)(phase, unit)
+}
+
+// UnitFaultHook is the per-unit fault seam behind the dead-letter tests: it
+// receives a unit's journal key ("sens/mcf_0", "mix/3") at the start of
+// every retried attempt and may return an error to poison that attempt. A
+// keyed injector (faultinject.KeyedError) installed here makes one chosen
+// unit fail every attempt — exhausting the bounded retry — while its
+// siblings run untouched, which is exactly the shape a dead-letter journal
+// must absorb. Same atomic.Pointer pattern as the unit observer; release
+// builds pay one atomic load when no hook is installed.
+type UnitFaultHook func(key string) error
+
+var unitFaultHook atomic.Pointer[UnitFaultHook]
+
+// SetUnitFaultHook installs (or with nil clears) the process-wide unit
+// fault hook. Tests install it before the campaign starts and clear it
+// (and must clear it) when done.
+func SetUnitFaultHook(h UnitFaultHook) {
+	if h == nil {
+		unitFaultHook.Store(nil)
+		return
+	}
+	unitFaultHook.Store(&h)
+}
+
+// FireUnitFault invokes the installed hook for one attempt at the unit with
+// the given journal key, returning its verdict (nil when no hook is
+// installed).
+func FireUnitFault(key string) error {
+	p := unitFaultHook.Load()
+	if p == nil {
+		return nil
+	}
+	return (*p)(key)
 }

@@ -118,7 +118,10 @@ func SensitivityStudyCheckpointed(ctx context.Context, instructions uint64, jobs
 				ipcs    []float64
 				outcome string
 			)
-			err := parallel.Retry(ctx, RetryAttempts, RetryBackoff, func(ctx context.Context, attempt int) error {
+			err := parallel.RetryUnit(ctx, key, RetryAttempts, RetryBackoff, func(ctx context.Context, attempt int) error {
+				if ferr := FireUnitFault(key); ferr != nil {
+					return ferr
+				}
 				passDone := ObserveUnit("sensitivity/pass", fmt.Sprintf("%s#%d", params[i].Name, attempt))
 				e := enginePool.Get().(*laneEngine)
 				defer enginePool.Put(e)

@@ -51,7 +51,10 @@ func RunSensitivityUnit(ctx context.Context, name string, instructions uint64) (
 		sizes []int64
 		ipcs  []float64
 	)
-	err := parallel.Retry(ctx, RetryAttempts, RetryBackoff, func(ctx context.Context, attempt int) error {
+	err := parallel.RetryUnit(ctx, SensitivityKey(name), RetryAttempts, RetryBackoff, func(ctx context.Context, attempt int) error {
+		if ferr := FireUnitFault(SensitivityKey(name)); ferr != nil {
+			return ferr
+		}
 		passDone := ObserveUnit("sensitivity/pass", fmt.Sprintf("%s#%d", name, attempt))
 		e := enginePool.Get().(*laneEngine)
 		defer enginePool.Put(e)

@@ -98,6 +98,41 @@ func (j *Injector) Fire() error {
 // Calls returns how many times Fire has been invoked.
 func (j *Injector) Calls() uint64 { return j.calls.Load() }
 
+// Keyed fires a fault on every call that matches a specific unit key —
+// the "poisoned unit" model: one piece of campaign work fails on every
+// attempt (so bounded retries exhaust) while all its siblings stay healthy.
+// Unlike Injector's call-indexed placement, Keyed is position-independent:
+// the poisoned unit fails no matter which worker picks it up or in what
+// order, which is what a dead-letter test needs under a concurrent pool.
+// The zero value never fires.
+type Keyed struct {
+	key   string
+	err   error
+	calls atomic.Uint64 // matching calls only
+}
+
+// KeyedError returns an injector that fails every call whose key equals
+// key. A nil err becomes ErrInjected.
+func KeyedError(key string, err error) *Keyed {
+	if err == nil {
+		err = ErrInjected
+	}
+	return &Keyed{key: key, err: err}
+}
+
+// Fire records the call and returns the armed error when key matches, nil
+// otherwise (including on a nil or zero-valued receiver).
+func (k *Keyed) Fire(key string) error {
+	if k == nil || k.key == "" || key != k.key {
+		return nil
+	}
+	k.calls.Add(1)
+	return k.err
+}
+
+// Calls returns how many matching calls have fired.
+func (k *Keyed) Calls() uint64 { return k.calls.Load() }
+
 // Writer wraps an io.Writer and corrupts the Nth Write call: in short mode
 // it writes only half the buffer and reports the truncated count with an
 // error (the classic torn write); otherwise it writes nothing and fails.

@@ -129,3 +129,33 @@ func TestWriterShortWrite(t *testing.T) {
 		t.Errorf("buffer = %q, want the torn half", buf.String())
 	}
 }
+
+func TestKeyedFiresOnEveryMatchingCall(t *testing.T) {
+	sentinel := errors.New("poison")
+	k := KeyedError("mix/2", sentinel)
+	for i := 0; i < 3; i++ {
+		if err := k.Fire("mix/2"); !errors.Is(err, sentinel) {
+			t.Fatalf("call %d: err = %v", i, err)
+		}
+		if err := k.Fire("mix/1"); err != nil {
+			t.Fatalf("non-matching key fired: %v", err)
+		}
+	}
+	if k.Calls() != 3 {
+		t.Errorf("Calls = %d", k.Calls())
+	}
+	if err := KeyedError("x", nil).Fire("x"); !errors.Is(err, ErrInjected) {
+		t.Errorf("nil err not defaulted: %v", err)
+	}
+}
+
+func TestKeyedZeroAndNilNeverFire(t *testing.T) {
+	var k *Keyed
+	if err := k.Fire("anything"); err != nil {
+		t.Errorf("nil receiver fired: %v", err)
+	}
+	var z Keyed
+	if err := z.Fire(""); err != nil {
+		t.Errorf("zero value fired on empty key: %v", err)
+	}
+}

@@ -57,6 +57,7 @@ const (
 	UnitGenerated = ""
 	UnitResumed   = "resumed"
 	UnitReplayed  = "replayed"
+	UnitDead      = "dead"
 )
 
 // spanRecord is the JSONL wire form. Every span emits two lines — a start

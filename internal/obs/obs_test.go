@@ -193,3 +193,31 @@ func TestSnapshotString(t *testing.T) {
 		t.Errorf("unknown ETA rendered as %q, want 'eta ?'", got)
 	}
 }
+
+// Dead-lettered units count toward done (the campaign will not rerun them)
+// but never feed the rate estimate, exactly like resumed/replayed units.
+func TestProgressDeadUnitsCountedNotRated(t *testing.T) {
+	p := NewProgress()
+	ph := p.Phase("mix", 4)
+	ph.UnitDone(UnitDead)
+	ph.UnitDone(UnitDead)
+	s := p.Snapshot()
+	if len(s.Phases) != 1 {
+		t.Fatalf("phases = %+v", s.Phases)
+	}
+	got := s.Phases[0]
+	if got.Done != 2 || got.Dead != 2 || got.RatePerSec != 0 {
+		t.Fatalf("snapshot = %+v", got)
+	}
+	if got.ETASeconds != -1 {
+		t.Errorf("ETA = %v, want unknown (no rated completions)", got.ETASeconds)
+	}
+	// JSON round trip exposes the dead count.
+	b, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"dead":2`) {
+		t.Errorf("json = %s", b)
+	}
+}

@@ -74,6 +74,7 @@ type Phase struct {
 	done     int
 	resumed  int
 	replayed int
+	dead     int
 	started  time.Time
 	last     time.Time
 	// ratePerSec is the decaying estimate of units completed per second,
@@ -89,6 +90,8 @@ type Phase struct {
 // estimate, so a resume that replays 30 journaled units in a millisecond —
 // or a warm cache that replays a front-end pass in a fraction of its
 // generation time — does not fake an absurd ETA for the remaining cold work.
+// UnitDead (a unit written to the dead-letter journal) likewise counts as
+// done — the campaign will not run it again — without feeding the rate.
 func (ph *Phase) UnitDone(outcome string) {
 	if ph == nil {
 		return
@@ -103,6 +106,9 @@ func (ph *Phase) UnitDone(outcome string) {
 		return
 	case UnitReplayed:
 		ph.replayed++
+		return
+	case UnitDead:
+		ph.dead++
 		return
 	}
 	ref := ph.last
@@ -132,6 +138,10 @@ type PhaseSnapshot struct {
 	// Replayed counts units served from the front-end trace cache; like
 	// Resumed, they are done but excluded from the rate estimate.
 	Replayed int `json:"replayed,omitempty"`
+	// Dead counts units that exhausted their retry budget and were written
+	// to the dead-letter journal; the campaign completed degraded by this
+	// many units.
+	Dead int `json:"dead,omitempty"`
 	// RatePerSec is the decaying completion-rate estimate; 0 until the
 	// phase's first non-cached completion.
 	RatePerSec float64 `json:"rate_per_sec,omitempty"`
@@ -176,6 +186,7 @@ func (p *Progress) Snapshot() Snapshot {
 			Total:      ph.total,
 			Resumed:    ph.resumed,
 			Replayed:   ph.replayed,
+			Dead:       ph.dead,
 			RatePerSec: ph.ratePerSec,
 			ETASeconds: -1,
 		}
@@ -199,7 +210,7 @@ func (p *Progress) Snapshot() Snapshot {
 				rest.mu.Lock()
 				rs := PhaseSnapshot{
 					Name: rest.name, Done: rest.done, Total: rest.total,
-					Resumed: rest.resumed, Replayed: rest.replayed,
+					Resumed: rest.resumed, Replayed: rest.replayed, Dead: rest.dead,
 					RatePerSec: rest.ratePerSec, ETASeconds: -1,
 				}
 				rest.mu.Unlock()

@@ -35,15 +35,35 @@ type Server struct {
 	srv *http.Server
 }
 
+// Endpoint is an extra route mounted on the observability server — the
+// campaign service's job API (/campaigns, /queue) rides on the same listener
+// as /metrics and /progress so an operator watches and drives a resident
+// process through one port.
+type Endpoint struct {
+	// Pattern is an http.ServeMux pattern ("/campaigns", "/campaigns/").
+	Pattern string
+	Handler http.Handler
+}
+
 // StartServer binds addr (":0" for an ephemeral test port) and serves in a
 // background goroutine. The returned server is ready to scrape when
 // StartServer returns; call Shutdown to stop it.
 func StartServer(addr string, progress *Progress, regs ...NamedRegistry) (*Server, error) {
+	return StartServerEndpoints(addr, progress, nil, regs...)
+}
+
+// StartServerEndpoints is StartServer plus caller-supplied routes. Pattern
+// conflicts are not checked — callers own their namespace and must not
+// shadow /metrics, /healthz, /progress, or /debug/pprof.
+func StartServerEndpoints(addr string, progress *Progress, extra []Endpoint, regs ...NamedRegistry) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
 	mux := http.NewServeMux()
+	for _, e := range extra {
+		mux.Handle(e.Pattern, e.Handler)
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		for _, nr := range regs {

@@ -144,3 +144,31 @@ func ExampleSnapshot_String() {
 	fmt.Println(s.String())
 	// Output: sensitivity 12/36 · mix 0/16 · 34s elapsed · eta 1m4s
 }
+
+// Extra endpoints mount alongside the built-ins on the same listener — the
+// campaign service's job API rides the observability port.
+func TestServerExtraEndpoints(t *testing.T) {
+	extra := []Endpoint{{
+		Pattern: "/queue",
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprint(w, `{"depth":3}`)
+		}),
+	}}
+	s, err := StartServerEndpoints("127.0.0.1:0", NewProgress(), extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown()
+	code, body := scrape(t, "http://"+s.Addr()+"/queue")
+	if code != http.StatusOK || !strings.Contains(body, `"depth":3`) {
+		t.Fatalf("GET /queue = %d %q", code, body)
+	}
+	// Built-ins still present.
+	if code, _ := scrape(t, "http://"+s.Addr()+"/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz = %d", code)
+	}
+	if code, _ := scrape(t, "http://"+s.Addr()+"/progress"); code != http.StatusOK {
+		t.Fatalf("progress = %d", code)
+	}
+}

@@ -3,8 +3,38 @@ package parallel
 import (
 	"context"
 	"errors"
+	"fmt"
 	"time"
 )
+
+// RetryExhaustedError is the typed failure Retry returns when every attempt
+// failed: the campaign layer classifies it (a unit that outlasts the retry
+// budget is poisoned and belongs in the dead-letter journal, not on the
+// retry treadmill) and tests assert on it with errors.As instead of
+// string-matching the bare last error. It wraps only genuine exhaustion —
+// context cancellations and *PanicError keep their never-retry contract and
+// are returned unwrapped, so errors.Is(err, context.Canceled) and
+// errors.As(err, **PanicError) behave exactly as before.
+type RetryExhaustedError struct {
+	// Unit identifies the unit of work being retried ("" when the caller
+	// used Retry rather than RetryUnit).
+	Unit string
+	// Attempts is how many times the function ran, all failing.
+	Attempts int
+	// Err is the final attempt's error.
+	Err error
+}
+
+// Error implements error.
+func (e *RetryExhaustedError) Error() string {
+	if e.Unit != "" {
+		return fmt.Sprintf("parallel: retry of %s exhausted after %d attempts: %v", e.Unit, e.Attempts, e.Err)
+	}
+	return fmt.Sprintf("parallel: retry exhausted after %d attempts: %v", e.Attempts, e.Err)
+}
+
+// Unwrap exposes the final attempt's error to errors.Is/As chains.
+func (e *RetryExhaustedError) Unwrap() error { return e.Err }
 
 // Retry runs fn up to attempts times, sleeping between tries with
 // jittered exponential backoff, and returns nil on the first success or
@@ -28,7 +58,19 @@ import (
 // de-synchronize while any given retry schedule is exactly reproducible.
 // The sleep — never the result — is the only thing the wall clock touches.
 // A canceled context cuts the sleep short and returns ctx.Err().
+//
+// When every attempt fails, the last error comes back wrapped in a
+// *RetryExhaustedError carrying the attempt count (the two never-retried
+// classes above are returned unwrapped).
 func Retry(ctx context.Context, attempts int, backoff time.Duration, fn func(ctx context.Context, attempt int) error) error {
+	return RetryUnit(ctx, "", attempts, backoff, fn)
+}
+
+// RetryUnit is Retry with unit-identifying context: unit names the piece of
+// campaign work being retried ("mix/3", "sens/mcf_0") and is carried on the
+// RetryExhaustedError so dead-letter records and logs can say which unit
+// burned its attempts without the caller re-wrapping the error.
+func RetryUnit(ctx context.Context, unit string, attempts int, backoff time.Duration, fn func(ctx context.Context, attempt int) error) error {
 	if attempts < 1 {
 		attempts = 1
 	}
@@ -60,7 +102,7 @@ func Retry(ctx context.Context, attempts int, backoff time.Duration, fn func(ctx
 			}
 		}
 	}
-	return err
+	return &RetryExhaustedError{Unit: unit, Attempts: attempts, Err: err}
 }
 
 // backoffDelay computes base<<attempt plus a deterministic jitter of up to

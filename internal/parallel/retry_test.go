@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 )
@@ -36,7 +37,7 @@ func TestRetryOutlastsTransientFailure(t *testing.T) {
 	}
 }
 
-func TestRetryExhaustionReturnsLastError(t *testing.T) {
+func TestRetryExhaustionReturnsTypedError(t *testing.T) {
 	calls := 0
 	err := Retry(context.Background(), 3, time.Nanosecond, func(_ context.Context, attempt int) error {
 		calls++
@@ -45,8 +46,60 @@ func TestRetryExhaustionReturnsLastError(t *testing.T) {
 	if calls != 3 {
 		t.Fatalf("calls = %d", calls)
 	}
-	if err == nil || err.Error() != "fail 2" {
-		t.Fatalf("err = %v, want the last attempt's", err)
+	var re *RetryExhaustedError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %T %v, want *RetryExhaustedError", err, err)
+	}
+	if re.Attempts != 3 || re.Err == nil || re.Err.Error() != "fail 2" {
+		t.Fatalf("exhausted = %+v, want 3 attempts wrapping the last error", re)
+	}
+}
+
+// RetryUnit stamps the unit name onto the exhaustion error, and the wrapped
+// final error stays reachable through errors.Is.
+func TestRetryUnitCarriesContext(t *testing.T) {
+	sentinel := errors.New("disk on fire")
+	err := RetryUnit(context.Background(), "mix/3", 2, time.Nanosecond, func(context.Context, int) error {
+		return sentinel
+	})
+	var re *RetryExhaustedError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %T %v", err, err)
+	}
+	if re.Unit != "mix/3" || re.Attempts != 2 {
+		t.Errorf("exhausted = %+v", re)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Error("wrapped final error lost")
+	}
+	if !strings.Contains(err.Error(), "mix/3") {
+		t.Errorf("message %q does not name the unit", err)
+	}
+}
+
+// The never-retry classes are returned unwrapped: classification code that
+// checks for RetryExhaustedError must not see cancellations or panics
+// disguised as exhaustion.
+func TestRetryNeverWrapsCancellationOrPanic(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	err := Retry(ctx, 3, time.Nanosecond, func(context.Context, int) error {
+		cancel()
+		return context.Canceled
+	})
+	var re *RetryExhaustedError
+	if errors.As(err, &re) {
+		t.Errorf("cancellation wrapped as exhaustion: %v", err)
+	}
+
+	err = Retry(context.Background(), 3, time.Nanosecond, func(ctx context.Context, _ int) error {
+		return ForEach(ctx, 1, 1, func(context.Context, int) error { panic("bug") })
+	})
+	if errors.As(err, &re) {
+		t.Errorf("panic wrapped as exhaustion: %v", err)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Errorf("err = %v, want *PanicError", err)
 	}
 }
 

@@ -1,8 +1,8 @@
 #!/bin/sh
 # Runs the repository's benchmark suites and writes the machine-readable
 # baseline. The output file is BENCH_OUT (or the first argument), defaulting
-# to BENCH_PR9.json; the comparison baseline is BENCH_BASELINE, defaulting
-# to the committed BENCH_PR8.json. The same recipe produced the numbers in
+# to BENCH_PR10.json; the comparison baseline is BENCH_BASELINE, defaulting
+# to the committed BENCH_PR9.json. The same recipe produced the numbers in
 # docs/PERFORMANCE.md; re-run it after any hot-path change and diff the
 # JSON. A per-benchmark ns/op comparison against the baseline is printed
 # after the run (benchjson -compare); set BENCH_THRESHOLD to make a
@@ -12,8 +12,8 @@
 # BENCH_BASELINE=none to skip the comparison explicitly.
 #
 # Environment knobs:
-#   BENCH_OUT             output JSON path (default BENCH_PR9.json)
-#   BENCH_BASELINE        comparison baseline (default BENCH_PR8.json);
+#   BENCH_OUT             output JSON path (default BENCH_PR10.json)
+#   BENCH_BASELINE        comparison baseline (default BENCH_PR9.json);
 #                         "none" skips the comparison explicitly
 #   BENCH_THRESHOLD       fail if any benchmark regresses more than this
 #                         percent vs the baseline (default 0 = report only)
@@ -26,8 +26,8 @@
 set -eu
 
 cd "$(dirname "$0")/.."
-out="${BENCH_OUT:-${1:-BENCH_PR9.json}}"
-baseline="${BENCH_BASELINE:-BENCH_PR8.json}"
+out="${BENCH_OUT:-${1:-BENCH_PR10.json}}"
+baseline="${BENCH_BASELINE:-BENCH_PR9.json}"
 count="${BENCH_COUNT:-1}"
 threshold="${BENCH_THRESHOLD:-0}"
 tmp="$(mktemp)"

@@ -4,12 +4,14 @@
 #   tier 1  build + vet + the fast (-short) test suite — what every change
 #           must keep green (see ROADMAP.md)
 #   tier 2  the race detector over the concurrency-bearing packages: the
-#           worker pool, the shard coordinator, the fault-injection
-#           harness, the checkpoint journal, the front-end trace cache,
-#           the observability layer, the experiment engine's resilience
+#           worker pool, the shard coordinator, the campaign service's
+#           bounded priority queue, the fault-injection harness, the
+#           checkpoint journal, the front-end trace cache, the
+#           observability layer, the experiment engine's resilience
 #           layer, the fused-mix-engine equivalence (clean runs and a
 #           mid-mix kill-and-resume), and the cmd-level kill-and-resume,
-#           sharded worker-kill-and-merge, warm-cache, and
+#           sharded worker-kill-and-merge, dead-letter-and-replay,
+#           serve-mode drain-and-restart, warm-cache, and
 #           observability-equivalence tests
 #
 # Everything is hermetic (no network, no external services); the whole
@@ -37,7 +39,8 @@ go test -race -short \
     ./internal/checkpoint/... \
     ./internal/telemetry/... \
     ./internal/tracecache/... \
-    ./internal/obs/...
+    ./internal/obs/... \
+    ./internal/campaign/...
 
 echo "==> go test -race (kill-and-resume + trace cache + observability equivalence)"
 go test -race -run 'TestCheckpointResumeEquivalence|TestStudyCheckpointResume|TestTransientFault|TestObservabilityDoesNotPerturbOutputs|TestUnitObserverSeam|TestTraceCacheWarmColdEquivalence|TestTraceCacheKeyMismatchFailsLoudly|TestTraceCacheCorruptEntry|TestTraceCacheLaneOutcomeSidecar|TestWarmFrontEndCache' \
@@ -46,6 +49,14 @@ go test -race -run 'TestCheckpointResumeEquivalence|TestStudyCheckpointResume|Te
 echo "==> go test -race (sharded worker-kill-and-merge equivalence)"
 go test -race -run 'TestShardedCampaignEquivalence|TestShardedStudyEquivalence' \
     ./cmd/experiments/ ./cmd/sensitivity/
+
+echo "==> go test -race (dead-letter-and-replay + serve drain-and-restart)"
+# The tentpole robustness guarantees: a poisoned campaign completes
+# degraded with the unit dead-lettered and -replay restores byte-identical
+# outputs; a resident service drained mid-campaign commits a valid partial
+# and a restarted service resumes to byte-identical outputs.
+go test -race -run 'TestDeadLetterCampaignEquivalence|TestDeadLetterPanickingUnit|TestServeDrainRestartEquivalence' \
+    ./cmd/experiments/
 
 echo "==> go test -race (mix-fusion equivalence: clean + mid-mix kill)"
 # -short limits the engine-level bitwise check to two mixes (the full
@@ -62,8 +73,8 @@ echo "==> benchjson gate (committed baselines)"
 # stay within ~+-10%), so the default threshold is 40 — tight enough to
 # catch a real hot-path regression, loose enough not to trip on the
 # measured noise band. See docs/PERFORMANCE.md.
-if [ -f BENCH_PR9.json ] && [ -f BENCH_PR8.json ]; then
-    go run ./cmd/benchjson -compare -threshold "${BENCH_GATE_THRESHOLD:-40}" BENCH_PR8.json BENCH_PR9.json
+if [ -f BENCH_PR10.json ] && [ -f BENCH_PR9.json ]; then
+    go run ./cmd/benchjson -compare -threshold "${BENCH_GATE_THRESHOLD:-40}" BENCH_PR9.json BENCH_PR10.json
 fi
 
 if [ "${CI:-}" = "full" ]; then
